@@ -1,0 +1,51 @@
+//! Ablation: instruction-fetch policy vs cache size.
+//!
+//! Isolates the paper's §5.2 claim that the optimized dependency-aware
+//! fetch matters more than cache capacity: sweeps capacity from 0.5×PE to
+//! 4×PE under both policies on the 256-bit adder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_circuit::QubitId;
+use cqla_core::report::TextTable;
+use cqla_core::{CacheSim, FetchPolicy};
+use cqla_workloads::DraperAdder;
+
+fn bench(c: &mut Criterion) {
+    let adder = DraperAdder::new(256);
+    let circuit = adder.circuit();
+    let inputs: Vec<QubitId> = adder
+        .a_register()
+        .chain(adder.b_register())
+        .map(QubitId::new)
+        .collect();
+    let pe = 9 * 36; // Table 4 provisioning for 256 bits
+
+    let mut t = TextTable::new(["cache/PE", "in-order", "optimized", "delta"]);
+    for factor in [0.5f64, 1.0, 1.5, 2.0, 3.0, 4.0] {
+        let capacity = ((pe as f64) * factor) as usize;
+        let sim = CacheSim::new(capacity.max(1));
+        let a = sim
+            .run(&circuit, FetchPolicy::InOrder, &inputs, 2)
+            .hit_rate();
+        let b = sim
+            .run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 2)
+            .hit_rate();
+        t.push_row([
+            format!("{factor:.1}"),
+            format!("{:.1}%", a * 100.0),
+            format!("{:.1}%", b * 100.0),
+            format!("+{:.1}pp", (b - a) * 100.0),
+        ]);
+    }
+    cqla_bench::print_artifact("Ablation: fetch policy vs cache size (256-bit adder)", &t.to_string());
+
+    let sim = CacheSim::new(pe * 2);
+    c.bench_function("ablation_fetch/optimized_2pe", |b| {
+        b.iter(|| black_box(sim.run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 2)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: prefetch lookahead in the level-1 pipeline.
+//!
+//! The paper's optimized fetch uses the whole program as its window; this
+//! sweep shows how much of that benefit survives at bounded lookahead
+//! depths — the knob a real (non-static) instruction fetcher would have.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::report::{fmt3, TextTable};
+use cqla_core::{PipelineConfig, PipelineSim};
+use cqla_ecc::Code;
+use cqla_iontrap::TechnologyParams;
+use cqla_workloads::DraperAdder;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let sim = PipelineSim::new(&tech);
+    let adder = DraperAdder::new(256);
+
+    let mut t = TextTable::new([
+        "lookahead",
+        "total (s)",
+        "stall (s)",
+        "block util",
+        "channel util",
+    ]);
+    for lookahead in [1usize, 4, 16, 64, 256, 1024] {
+        let config = PipelineConfig::new(Code::Steane713, 36, 10)
+            .with_cache_capacity(2 * 9 * 36)
+            .with_lookahead(lookahead);
+        let r = sim.run_adder(&adder, &config);
+        t.push_row([
+            lookahead.to_string(),
+            fmt3(r.total_time.as_secs()),
+            fmt3(r.stall_time.as_secs()),
+            format!("{:.0}%", r.block_utilization * 100.0),
+            format!("{:.0}%", r.channel_utilization * 100.0),
+        ]);
+    }
+    cqla_bench::print_artifact(
+        "Ablation: prefetch lookahead (256-bit adder, Steane, 36 blocks, 10 channels)",
+        &t.to_string(),
+    );
+
+    let config = PipelineConfig::new(Code::Steane713, 36, 10).with_cache_capacity(648);
+    c.bench_function("ablation_lookahead/pipeline_256", |b| {
+        b.iter(|| black_box(sim.run_adder(&adder, &config)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

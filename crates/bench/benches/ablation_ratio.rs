@@ -1,0 +1,55 @@
+//! Ablation: memory data:ancilla sharing ratio.
+//!
+//! The paper picks 8:1 for memory. This sweep shows the area and EC-wait
+//! consequences of 2:1 … 32:1 — the area win saturates while the
+//! worst-case wait between error corrections keeps growing linearly,
+//! which is why 8:1 is a sweet spot under the projected memory time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::report::{fmt3, TextTable};
+use cqla_core::AreaModel;
+use cqla_ecc::{Code, EccMetrics, Level};
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let area = AreaModel::new(&tech);
+    let qubits = 6 * 1024u64;
+
+    let mut t = TextTable::new([
+        "data:ancilla",
+        "mem mm^2/qubit (St)",
+        "area x vs QLA (St)",
+        "EC round-trip wait (s)",
+        "wait / memory time",
+    ]);
+    for ratio in [2u64, 4, 8, 16, 32] {
+        let per = area.memory_area_per_data_qubit_with_ratio(Code::Steane713, ratio);
+        let total = per * qubits as f64
+            + area.compute_block_area(Code::Steane713) * 100.0;
+        let reduction = area.qla_area(Code::Steane713, qubits) / total;
+        // One shared ancilla serves `ratio` qubits round-robin: the wait
+        // between consecutive ECs of one qubit is ratio × EC time.
+        let ec = EccMetrics::compute(Code::Steane713, Level::TWO, &tech).ec_time();
+        let wait = ec * ratio as f64;
+        t.push_row([
+            format!("{ratio}:1"),
+            fmt3(per.value()),
+            fmt3(reduction),
+            fmt3(wait.as_secs()),
+            format!("{:.1}%", wait / tech.memory_time() * 100.0),
+        ]);
+    }
+    cqla_bench::print_artifact("Ablation: memory sharing ratio (1024-bit, Steane)", &t.to_string());
+
+    c.bench_function("ablation_ratio/area_model", |b| {
+        b.iter(|| {
+            black_box(area.memory_area_per_data_qubit_with_ratio(Code::Steane713, 8))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

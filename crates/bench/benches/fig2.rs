@@ -1,0 +1,24 @@
+//! Figure 2: available parallelism of the 64-qubit Draper adder, unlimited
+//! resources vs 15 compute blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig2;
+
+fn bench(c: &mut Criterion) {
+    let (data, body) = fig2(64, 15);
+    let summary = format!(
+        "{body}\nmakespans (gate-steps): unlimited {}, 15 blocks {} (stretch {:.2}x)\n",
+        data.unlimited_makespan,
+        data.capped_makespan,
+        data.relative_stretch()
+    );
+    cqla_bench::print_artifact("Figure 2: 64-qubit adder parallelism", &summary);
+    c.bench_function("fig2/schedule_both_profiles", |b| {
+        b.iter(|| black_box(fig2(64, 15)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 6a: compute-block utilization vs block count for 32…1024-bit
+//! adders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig6a;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = fig6a(&tech);
+    cqla_bench::print_artifact("Figure 6a: utilization vs compute blocks", &body);
+    c.bench_function("fig6a/sweep", |b| b.iter(|| black_box(fig6a(&tech))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 6b: required vs available perimeter bandwidth and the superblock
+//! crossover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig6b;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = fig6b(&tech);
+    cqla_bench::print_artifact("Figure 6b: superblock bandwidth", &body);
+    c.bench_function("fig6b/sweep", |b| b.iter(|| black_box(fig6b(&tech))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 7: cache hit rates — adder sizes 64…1024, cache sizes
+//! {1, 1.5, 2}×PE, in-order vs optimized instruction fetch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig7;
+use cqla_core::{CacheSim, FetchPolicy};
+use cqla_workloads::DraperAdder;
+
+fn bench(c: &mut Criterion) {
+    let (_, body) = fig7();
+    cqla_bench::print_artifact("Figure 7: cache hit rates", &body);
+
+    let adder = DraperAdder::new(256);
+    let circuit = adder.circuit();
+    let sim = CacheSim::new(324);
+    c.bench_function("fig7/cache_sim_256_optimized", |b| {
+        b.iter(|| black_box(sim.run(&circuit, FetchPolicy::OptimizedLookahead, &[], 1)))
+    });
+    c.bench_function("fig7/cache_sim_256_inorder", |b| {
+        b.iter(|| black_box(sim.run(&circuit, FetchPolicy::InOrder, &[], 1)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 8a: modular exponentiation communication vs computation time
+//! (Bacon-Shor code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig8a;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = fig8a(&tech);
+    cqla_bench::print_artifact("Figure 8a: modular exponentiation comm vs comp", &body);
+    c.bench_function("fig8a/sweep", |b| b.iter(|| black_box(fig8a(&tech))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 8b: QFT communication vs computation time (Bacon-Shor code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::fig8b;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = fig8b(&tech);
+    cqla_bench::print_artifact("Figure 8b: QFT comm vs comp", &body);
+    c.bench_function("fig8b/sweep", |b| b.iter(|| black_box(fig8b(&tech))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

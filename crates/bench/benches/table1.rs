@@ -1,0 +1,25 @@
+//! Table 1: ion-trap physical operation parameters (current vs projected).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let body = format!(
+        "{}\n\n{}",
+        TechnologyParams::current(),
+        TechnologyParams::projected()
+    );
+    cqla_bench::print_artifact("Table 1: physical operation parameters", &body);
+    c.bench_function("table1/build_parameter_sets", |b| {
+        b.iter(|| {
+            let now = TechnologyParams::current();
+            let future = TechnologyParams::projected();
+            black_box((now.average_failure_rate(), future.average_failure_rate()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

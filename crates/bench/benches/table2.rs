@@ -1,0 +1,20 @@
+//! Table 2: error-correction metric summary for \[\[7,1,3\]\] and \[\[9,1,3\]\]
+//! at levels 1 and 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::table2;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = table2(&tech);
+    cqla_bench::print_artifact("Table 2: error correction metric summary", &body);
+    c.bench_function("table2/compute_metrics", |b| {
+        b.iter(|| black_box(table2(&tech)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Table 3: code-transfer network latency matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::table3;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = table3(&tech);
+    cqla_bench::print_artifact("Table 3: transfer network latency", &body);
+    c.bench_function("table3/compute_matrix", |b| {
+        b.iter(|| black_box(table3(&tech)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

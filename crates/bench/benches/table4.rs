@@ -1,0 +1,25 @@
+//! Table 4: CQLA specialization — area reduction, speedup and gain product
+//! over the input-size / block-count grid, both codes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_core::experiments::table4;
+use cqla_core::{CqlaConfig, SpecializationStudy};
+use cqla_ecc::Code;
+use cqla_iontrap::TechnologyParams;
+
+fn bench(c: &mut Criterion) {
+    let tech = TechnologyParams::projected();
+    let (_, body) = table4(&tech);
+    cqla_bench::print_artifact("Table 4: CQLA modular exponentiation", &body);
+
+    let study = SpecializationStudy::new(&tech);
+    c.bench_function("table4/evaluate_one_point_256", |b| {
+        b.iter(|| black_box(study.evaluate(CqlaConfig::new(Code::BaconShor913, 256, 36))))
+    });
+    c.bench_function("table4/full_grid", |b| b.iter(|| black_box(table4(&tech))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index): it prints the reproduced
+//! artifact once, then lets Criterion measure the generator.
+
+use std::sync::Once;
+
+static BANNER: Once = Once::new();
+
+/// Prints the artifact banner and body exactly once per bench process
+/// (Criterion re-enters the bench function many times).
+pub fn print_artifact(title: &str, body: &str) {
+    BANNER.call_once(|| {
+        println!("\n================ {title} ================");
+        println!("{body}");
+    });
+}

@@ -1,0 +1,292 @@
+//! Assembly-style text format for instruction streams.
+//!
+//! The paper's cache simulator consumes "a sequence of instructions; each
+//! instruction is similar to assembly language and describes a logical gate
+//! between qubits" (§5.2). This module round-trips circuits through that
+//! format:
+//!
+//! ```text
+//! # circuit: 4 qubits, 2 gates
+//! toffoli q0, q1, q2
+//! cphase[3] q2, q3
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, QubitId};
+
+/// Error produced while parsing circuit assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseAsmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl core::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Serializes a circuit to assembly text (the same format [`Circuit`]'s
+/// `Display` produces).
+#[must_use]
+pub fn emit(circuit: &Circuit) -> String {
+    circuit.to_string()
+}
+
+/// Parses assembly text into a circuit.
+///
+/// The register size is the maximum qubit index seen plus one, unless a
+/// header comment `# circuit: N qubits, ...` declares it.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] on unknown mnemonics, malformed operands, or
+/// arity mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_circuit::asm;
+///
+/// let c = asm::parse("cnot q0, q1\ntoffoli q0, q1, q2\n")?;
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.len(), 2);
+/// # Ok::<(), cqla_circuit::asm::ParseAsmError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, ParseAsmError> {
+    let mut declared_qubits: Option<u32> = None;
+    let mut gates: Vec<Gate> = Vec::new();
+    let mut max_qubit: u32 = 0;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(rest) = comment.trim().strip_prefix("circuit:") {
+                if let Some(n) = rest.trim().split_whitespace().next() {
+                    if let Ok(n) = n.parse::<u32>() {
+                        declared_qubits = Some(n);
+                    }
+                }
+            }
+            continue;
+        }
+        let gate = parse_line(line, lineno)?;
+        for q in gate.qubits() {
+            max_qubit = max_qubit.max(q.index());
+        }
+        gates.push(gate);
+    }
+
+    let num_qubits = declared_qubits.unwrap_or(max_qubit + 1).max(max_qubit + 1).max(1);
+    let mut circuit = Circuit::new(num_qubits);
+    for g in gates {
+        circuit.push(g);
+    }
+    Ok(circuit)
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
+    let (head, rest) = match line.split_once(' ') {
+        Some((h, r)) => (h.trim(), r.trim()),
+        None => (line, ""),
+    };
+    let (mnemonic, order) = match head.split_once('[') {
+        Some((m, bracket)) => {
+            let inner = bracket.strip_suffix(']').ok_or_else(|| {
+                ParseAsmError::new(lineno, format!("unterminated '[' in {head:?}"))
+            })?;
+            let k: u8 = inner.parse().map_err(|_| {
+                ParseAsmError::new(lineno, format!("invalid phase order {inner:?}"))
+            })?;
+            (m, Some(k))
+        }
+        None => (head, None),
+    };
+
+    let operands: Vec<QubitId> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|tok| parse_qubit(tok.trim(), lineno))
+            .collect::<Result<_, _>>()?
+    };
+
+    let expect = |n: usize| -> Result<(), ParseAsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(ParseAsmError::new(
+                lineno,
+                format!("{mnemonic} expects {n} operands, got {}", operands.len()),
+            ))
+        }
+    };
+
+    let gate = match mnemonic {
+        "x" => {
+            expect(1)?;
+            Gate::X(operands[0])
+        }
+        "y" => {
+            expect(1)?;
+            Gate::Y(operands[0])
+        }
+        "z" => {
+            expect(1)?;
+            Gate::Z(operands[0])
+        }
+        "h" => {
+            expect(1)?;
+            Gate::H(operands[0])
+        }
+        "s" => {
+            expect(1)?;
+            Gate::S(operands[0])
+        }
+        "t" => {
+            expect(1)?;
+            Gate::T(operands[0])
+        }
+        "measure" => {
+            expect(1)?;
+            Gate::Measure(operands[0])
+        }
+        "cnot" => {
+            expect(2)?;
+            Gate::Cnot {
+                control: operands[0],
+                target: operands[1],
+            }
+        }
+        "cz" => {
+            expect(2)?;
+            Gate::Cz {
+                a: operands[0],
+                b: operands[1],
+            }
+        }
+        "cphase" => {
+            expect(2)?;
+            let order = order.ok_or_else(|| {
+                ParseAsmError::new(lineno, "cphase requires an order, e.g. cphase[3]")
+            })?;
+            Gate::ControlledPhase {
+                control: operands[0],
+                target: operands[1],
+                order,
+            }
+        }
+        "toffoli" => {
+            expect(3)?;
+            Gate::Toffoli {
+                c1: operands[0],
+                c2: operands[1],
+                target: operands[2],
+            }
+        }
+        other => {
+            return Err(ParseAsmError::new(
+                lineno,
+                format!("unknown mnemonic {other:?}"),
+            ))
+        }
+    };
+    if order.is_some() && mnemonic != "cphase" {
+        return Err(ParseAsmError::new(
+            lineno,
+            format!("{mnemonic} does not take an order parameter"),
+        ));
+    }
+    Ok(gate)
+}
+
+fn parse_qubit(token: &str, lineno: usize) -> Result<QubitId, ParseAsmError> {
+    let digits = token
+        .strip_prefix('q')
+        .ok_or_else(|| ParseAsmError::new(lineno, format!("operand {token:?} must look like q7")))?;
+    let index: u32 = digits
+        .parse()
+        .map_err(|_| ParseAsmError::new(lineno, format!("invalid qubit index in {token:?}")))?;
+    Ok(QubitId::new(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_circuit() {
+        let mut c = Circuit::new(5);
+        c.h(0);
+        c.cnot(0, 1);
+        c.toffoli(1, 2, 3);
+        c.controlled_phase(3, 4, 5);
+        c.measure(4);
+        let text = emit(&c);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn header_declares_register_size() {
+        let c = parse("# circuit: 10 qubits, 1 gates\nx q0\n").unwrap();
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    fn register_inferred_from_operands() {
+        let c = parse("cnot q2, q7\n").unwrap();
+        assert_eq!(c.num_qubits(), 8);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let c = parse("\n# hello\n\nx q0\n# bye\n").unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("x q0\nfrobnicate q1\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse("cnot q0\n").is_err());
+        assert!(parse("toffoli q0, q1\n").is_err());
+        assert!(parse("x q0, q1\n").is_err());
+    }
+
+    #[test]
+    fn malformed_operands() {
+        assert!(parse("x 0\n").is_err());
+        assert!(parse("x qx\n").is_err());
+        assert!(parse("cphase q0, q1\n").is_err()); // missing order
+        assert!(parse("cphase[z] q0, q1\n").is_err());
+        assert!(parse("cnot[2] q0, q1\n").is_err()); // stray order
+    }
+}

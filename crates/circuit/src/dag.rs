@@ -1,0 +1,252 @@
+//! Dependency analysis: the gate DAG, critical paths, and parallelism
+//! profiles (paper Fig 2).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// The data-dependency DAG of a circuit: gate `j` depends on gate `i` when
+/// they share an operand and `i` precedes `j` in program order (with only
+/// the *latest* prior toucher of each operand kept, which is sufficient for
+/// scheduling).
+///
+/// # Examples
+///
+/// ```
+/// use cqla_circuit::{Circuit, DependencyDag};
+///
+/// let mut c = Circuit::new(4);
+/// c.cnot(0, 1); // layer 0
+/// c.cnot(2, 3); // layer 0 (independent)
+/// c.cnot(1, 2); // layer 1 (depends on both)
+/// let dag = DependencyDag::new(&c);
+/// assert_eq!(dag.parallelism_profile(), vec![2, 1]);
+/// assert_eq!(dag.depth(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    num_gates: usize,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    gates: Vec<Gate>,
+}
+
+impl DependencyDag {
+    /// Builds the DAG of `circuit`.
+    #[must_use]
+    pub fn new(circuit: &Circuit) -> Self {
+        let gates: Vec<Gate> = circuit.gates().to_vec();
+        let n = gates.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_touch: Vec<Option<usize>> = vec![None; circuit.num_qubits() as usize];
+        for (i, gate) in gates.iter().enumerate() {
+            for q in gate.qubits() {
+                if let Some(p) = last_touch[q.index() as usize] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_touch[q.index() as usize] = Some(i);
+            }
+        }
+        Self {
+            num_gates: n,
+            preds,
+            succs,
+            gates,
+        }
+    }
+
+    /// Number of gates (DAG nodes).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+
+    /// The gate at node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn gate(&self, i: usize) -> Gate {
+        self.gates[i]
+    }
+
+    /// Direct dependencies of gate `i`.
+    #[must_use]
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Gates directly depending on gate `i`.
+    #[must_use]
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// ASAP level of every gate with unit gate durations (level 0 = no
+    /// dependencies).
+    #[must_use]
+    pub fn asap_levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.num_gates];
+        for i in 0..self.num_gates {
+            // Program order is a topological order by construction.
+            for &p in &self.preds[i] {
+                level[i] = level[i].max(level[p] + 1);
+            }
+        }
+        level
+    }
+
+    /// Circuit depth in unit-gate layers (0 for an empty circuit).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.asap_levels().iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Number of gates eligible to run at each unit-time layer under
+    /// unlimited resources — the paper's Fig 2 "unlimited" series.
+    #[must_use]
+    pub fn parallelism_profile(&self) -> Vec<usize> {
+        let levels = self.asap_levels();
+        let mut profile = vec![0usize; self.depth()];
+        for &l in &levels {
+            profile[l] += 1;
+        }
+        profile
+    }
+
+    /// Weighted critical-path length: the longest dependency chain where
+    /// each gate contributes `weight(gate)` time units. This is the
+    /// makespan lower bound no amount of parallel hardware can beat.
+    #[must_use]
+    pub fn critical_path<W: Fn(&Gate) -> u64>(&self, weight: W) -> u64 {
+        let mut finish = vec![0u64; self.num_gates];
+        let mut best = 0;
+        for i in 0..self.num_gates {
+            let start = self.preds[i].iter().map(|&p| finish[p]).max().unwrap_or(0);
+            finish[i] = start + weight(&self.gates[i]);
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Total work: the sum of gate weights.
+    #[must_use]
+    pub fn total_work<W: Fn(&Gate) -> u64>(&self, weight: W) -> u64 {
+        self.gates.iter().map(weight).sum()
+    }
+
+    /// Average parallelism = total unit-gate count / depth.
+    #[must_use]
+    pub fn average_parallelism(&self) -> f64 {
+        if self.num_gates == 0 {
+            return 0.0;
+        }
+        self.num_gates as f64 / self.depth() as f64
+    }
+
+    /// Remaining critical path from each gate to the DAG's exit, under
+    /// `weight` — the standard list-scheduling priority.
+    #[must_use]
+    pub fn downstream_priority<W: Fn(&Gate) -> u64>(&self, weight: W) -> Vec<u64> {
+        let mut prio = vec![0u64; self.num_gates];
+        for i in (0..self.num_gates).rev() {
+            let tail = self.succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+            prio[i] = tail + weight(&self.gates[i]);
+        }
+        prio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(_: &Gate) -> u64 {
+        1
+    }
+
+    #[test]
+    fn chain_is_serial() {
+        let mut c = Circuit::new(2);
+        for _ in 0..5 {
+            c.cnot(0, 1);
+        }
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.depth(), 5);
+        assert_eq!(dag.parallelism_profile(), vec![1; 5]);
+        assert_eq!(dag.critical_path(unit), 5);
+        assert_eq!(dag.average_parallelism(), 1.0);
+    }
+
+    #[test]
+    fn independent_gates_are_flat() {
+        let mut c = Circuit::new(8);
+        for i in 0..4 {
+            c.cnot(2 * i, 2 * i + 1);
+        }
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.depth(), 1);
+        assert_eq!(dag.parallelism_profile(), vec![4]);
+        assert_eq!(dag.average_parallelism(), 4.0);
+    }
+
+    #[test]
+    fn profile_area_equals_gate_count() {
+        let mut c = Circuit::new(6);
+        c.toffoli(0, 1, 2);
+        c.cnot(2, 3);
+        c.cnot(4, 5);
+        c.h(0);
+        c.cnot(0, 4);
+        let dag = DependencyDag::new(&c);
+        let area: usize = dag.parallelism_profile().iter().sum();
+        assert_eq!(area, c.len());
+    }
+
+    #[test]
+    fn weighted_critical_path_counts_toffolis() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        c.cnot(0, 1);
+        let dag = DependencyDag::new(&c);
+        let w = Gate::two_qubit_gate_equivalents;
+        // The cnot depends on the toffoli via q0/q1: 15 + 1.
+        assert_eq!(dag.critical_path(|g| w(g)), 16);
+        assert_eq!(dag.total_work(|g| w(g)), 16);
+    }
+
+    #[test]
+    fn predecessors_are_deduplicated() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        c.cnot(0, 1); // shares both operands with gate 0
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn downstream_priority_decreases_along_chains() {
+        let mut c = Circuit::new(2);
+        for _ in 0..3 {
+            c.cnot(0, 1);
+        }
+        let dag = DependencyDag::new(&c);
+        let prio = dag.downstream_priority(unit);
+        assert_eq!(prio, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_circuit_edge_cases() {
+        let c = Circuit::new(1);
+        let dag = DependencyDag::new(&c);
+        assert_eq!(dag.depth(), 0);
+        assert!(dag.parallelism_profile().is_empty());
+        assert_eq!(dag.critical_path(unit), 0);
+        assert_eq!(dag.average_parallelism(), 0.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Logical gates and qubit identifiers.
+
+/// Identifier of a logical qubit within a circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_circuit::QubitId;
+///
+/// let q = QubitId::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct QubitId(u32);
+
+impl QubitId {
+    /// Creates a qubit id.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// The raw index.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for QubitId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+impl core::fmt::Display for QubitId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A logical gate instruction.
+///
+/// The set matches what the paper's workloads need: Clifford gates, the `T`
+/// gate (for universality), the Toffoli (the workhorse of the Draper
+/// adder), controlled-phase rotations (for the QFT), and measurement.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_circuit::{Gate, QubitId};
+///
+/// let g = Gate::toffoli(0, 1, 2);
+/// assert_eq!(g.qubits().len(), 3);
+/// assert!(g.is_classical());
+/// assert_eq!(g.two_qubit_gate_equivalents(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Gate {
+    /// Pauli X.
+    X(QubitId),
+    /// Pauli Y.
+    Y(QubitId),
+    /// Pauli Z.
+    Z(QubitId),
+    /// Hadamard.
+    H(QubitId),
+    /// Phase gate.
+    S(QubitId),
+    /// The non-Clifford T gate.
+    T(QubitId),
+    /// Controlled-NOT.
+    Cnot {
+        /// Control qubit.
+        control: QubitId,
+        /// Target qubit.
+        target: QubitId,
+    },
+    /// Controlled-Z.
+    Cz {
+        /// First qubit (CZ is symmetric).
+        a: QubitId,
+        /// Second qubit.
+        b: QubitId,
+    },
+    /// Controlled phase rotation by `2π / 2^k` (the QFT's building block).
+    ControlledPhase {
+        /// Control qubit.
+        control: QubitId,
+        /// Target qubit.
+        target: QubitId,
+        /// Rotation order `k` (angle `2π / 2^k`).
+        order: u8,
+    },
+    /// Toffoli (controlled-controlled-NOT).
+    Toffoli {
+        /// First control.
+        c1: QubitId,
+        /// Second control.
+        c2: QubitId,
+        /// Target qubit.
+        target: QubitId,
+    },
+    /// Computational-basis measurement.
+    Measure(QubitId),
+}
+
+impl Gate {
+    /// Convenience constructor for a CNOT from raw indices.
+    #[must_use]
+    pub fn cnot(control: u32, target: u32) -> Self {
+        Self::Cnot {
+            control: QubitId::new(control),
+            target: QubitId::new(target),
+        }
+    }
+
+    /// Convenience constructor for a Toffoli from raw indices.
+    #[must_use]
+    pub fn toffoli(c1: u32, c2: u32, target: u32) -> Self {
+        Self::Toffoli {
+            c1: QubitId::new(c1),
+            c2: QubitId::new(c2),
+            target: QubitId::new(target),
+        }
+    }
+
+    /// The qubits this gate touches, in operand order.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match *self {
+            Self::X(q) | Self::Y(q) | Self::Z(q) | Self::H(q) | Self::S(q) | Self::T(q)
+            | Self::Measure(q) => vec![q],
+            Self::Cnot { control, target } => vec![control, target],
+            Self::Cz { a, b } => vec![a, b],
+            Self::ControlledPhase {
+                control, target, ..
+            } => vec![control, target],
+            Self::Toffoli { c1, c2, target } => vec![c1, c2, target],
+        }
+    }
+
+    /// Number of operands.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// `true` if the gate permutes computational basis states (X, CNOT,
+    /// Toffoli) — such circuits can be verified with the classical
+    /// reversible simulator.
+    #[must_use]
+    pub fn is_classical(&self) -> bool {
+        matches!(self, Self::X(_) | Self::Cnot { .. } | Self::Toffoli { .. })
+    }
+
+    /// Fault-tolerant execution cost in two-qubit-gate equivalents.
+    ///
+    /// The paper's rule (§5.1): a fault-tolerant Toffoli costs fifteen
+    /// two-qubit gates, each followed by error correction. Everything else
+    /// is one logical gate step.
+    #[must_use]
+    pub fn two_qubit_gate_equivalents(&self) -> u64 {
+        match self {
+            Self::Toffoli { .. } => 15,
+            _ => 1,
+        }
+    }
+
+    /// The same gate with every operand index shifted up by `offset` —
+    /// used to embed a circuit into a larger register.
+    #[must_use]
+    pub fn shifted(&self, offset: u32) -> Self {
+        let s = |q: QubitId| QubitId::new(q.index() + offset);
+        match *self {
+            Self::X(q) => Self::X(s(q)),
+            Self::Y(q) => Self::Y(s(q)),
+            Self::Z(q) => Self::Z(s(q)),
+            Self::H(q) => Self::H(s(q)),
+            Self::S(q) => Self::S(s(q)),
+            Self::T(q) => Self::T(s(q)),
+            Self::Measure(q) => Self::Measure(s(q)),
+            Self::Cnot { control, target } => Self::Cnot {
+                control: s(control),
+                target: s(target),
+            },
+            Self::Cz { a, b } => Self::Cz { a: s(a), b: s(b) },
+            Self::ControlledPhase {
+                control,
+                target,
+                order,
+            } => Self::ControlledPhase {
+                control: s(control),
+                target: s(target),
+                order,
+            },
+            Self::Toffoli { c1, c2, target } => Self::Toffoli {
+                c1: s(c1),
+                c2: s(c2),
+                target: s(target),
+            },
+        }
+    }
+
+    /// Lowercase mnemonic used by the assembly format.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Self::X(_) => "x",
+            Self::Y(_) => "y",
+            Self::Z(_) => "z",
+            Self::H(_) => "h",
+            Self::S(_) => "s",
+            Self::T(_) => "t",
+            Self::Cnot { .. } => "cnot",
+            Self::Cz { .. } => "cz",
+            Self::ControlledPhase { .. } => "cphase",
+            Self::Toffoli { .. } => "toffoli",
+            Self::Measure(_) => "measure",
+        }
+    }
+}
+
+impl core::fmt::Display for Gate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.mnemonic())?;
+        if let Self::ControlledPhase { order, .. } = self {
+            write!(f, "[{order}]")?;
+        }
+        let mut first = true;
+        for q in self.qubits() {
+            if first {
+                write!(f, " {q}")?;
+                first = false;
+            } else {
+                write!(f, ", {q}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_id_round_trip() {
+        let q = QubitId::from(7u32);
+        assert_eq!(q.index(), 7);
+        assert_eq!(q, QubitId::new(7));
+    }
+
+    #[test]
+    fn operand_lists() {
+        assert_eq!(Gate::X(QubitId::new(0)).arity(), 1);
+        assert_eq!(Gate::cnot(1, 2).qubits(), vec![QubitId::new(1), QubitId::new(2)]);
+        assert_eq!(Gate::toffoli(0, 1, 2).arity(), 3);
+    }
+
+    #[test]
+    fn classicality() {
+        assert!(Gate::X(QubitId::new(0)).is_classical());
+        assert!(Gate::cnot(0, 1).is_classical());
+        assert!(Gate::toffoli(0, 1, 2).is_classical());
+        assert!(!Gate::H(QubitId::new(0)).is_classical());
+        assert!(!Gate::Measure(QubitId::new(0)).is_classical());
+    }
+
+    #[test]
+    fn toffoli_cost_is_fifteen() {
+        assert_eq!(Gate::toffoli(0, 1, 2).two_qubit_gate_equivalents(), 15);
+        assert_eq!(Gate::cnot(0, 1).two_qubit_gate_equivalents(), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Gate::cnot(3, 4).to_string(), "cnot q3, q4");
+        assert_eq!(Gate::toffoli(0, 1, 2).to_string(), "toffoli q0, q1, q2");
+        let cp = Gate::ControlledPhase {
+            control: QubitId::new(0),
+            target: QubitId::new(1),
+            order: 3,
+        };
+        assert_eq!(cp.to_string(), "cphase[3] q0, q1");
+    }
+}

@@ -1,0 +1,371 @@
+//! Resource-constrained list scheduling (paper §5.1, Fig 2, Fig 6a).
+//!
+//! The CQLA restricts computation to `B` compute blocks; whether that hurts
+//! depends on how much parallelism the workload's dependency structure
+//! exposes. This module schedules a [`DependencyDag`] onto a bounded number
+//! of gate slots using classic list scheduling with downstream-critical-path
+//! priority, producing the makespans, utilizations and occupancy profiles
+//! behind the paper's specialization results.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dag::DependencyDag;
+use crate::gate::Gate;
+
+/// Width of a schedule: how many logical gates may execute simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Width {
+    /// No resource limit (the QLA's maximal-parallelism assumption).
+    Unlimited,
+    /// At most this many concurrent gates (the CQLA's compute blocks).
+    Blocks(usize),
+}
+
+impl Width {
+    fn cap(self) -> usize {
+        match self {
+            Self::Unlimited => usize::MAX,
+            Self::Blocks(b) => {
+                assert!(b > 0, "schedule width must be positive");
+                b
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Width {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Unlimited => write!(f, "unlimited"),
+            Self::Blocks(b) => write!(f, "{b} blocks"),
+        }
+    }
+}
+
+/// The result of scheduling a circuit onto bounded gate slots.
+///
+/// Times are in abstract units of the weight function handed to
+/// [`ListScheduler::schedule`]; multiply by the logical gate duration from
+/// [`EccMetrics`](../../cqla_ecc/struct.EccMetrics.html) to get wall-clock
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    width: Width,
+    makespan: u64,
+    total_work: u64,
+    start_times: Vec<u64>,
+    occupancy: Vec<usize>,
+}
+
+impl Schedule {
+    /// The width the schedule was built for.
+    #[must_use]
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Completion time of the last gate.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Sum of all gate durations.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// Start time of each gate (program order indices).
+    #[must_use]
+    pub fn start_times(&self) -> &[u64] {
+        &self.start_times
+    }
+
+    /// Number of gates executing during each time unit — the paper's
+    /// "gates in parallel" series (Fig 2).
+    #[must_use]
+    pub fn occupancy(&self) -> &[usize] {
+        &self.occupancy
+    }
+
+    /// Peak concurrent gates.
+    #[must_use]
+    pub fn peak_parallelism(&self) -> usize {
+        self.occupancy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean compute-block utilization: work / (blocks × makespan).
+    ///
+    /// For [`Width::Unlimited`] the denominator uses the peak parallelism
+    /// (the hardware a sea-of-qubits machine would have had to provision).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let slots = match self.width {
+            Width::Blocks(b) => b,
+            Width::Unlimited => self.peak_parallelism().max(1),
+        };
+        self.total_work as f64 / (slots as f64 * self.makespan as f64)
+    }
+}
+
+/// List scheduler over a dependency DAG.
+///
+/// Ready gates are prioritized by remaining downstream critical path
+/// (longest first), breaking ties by program order, which keeps schedules
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_circuit::{Circuit, DependencyDag, Gate, ListScheduler, Width};
+///
+/// let mut c = Circuit::new(8);
+/// for i in 0..4 {
+///     c.cnot(2 * i, 2 * i + 1);
+/// }
+/// let dag = DependencyDag::new(&c);
+/// let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, |_| 1);
+/// let two = ListScheduler::new(&dag).schedule(Width::Blocks(2), |_| 1);
+/// assert_eq!(unlimited.makespan(), 1);
+/// assert_eq!(two.makespan(), 2);
+/// assert!(two.utilization() > unlimited.utilization() - 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct ListScheduler<'a> {
+    dag: &'a DependencyDag,
+}
+
+impl<'a> ListScheduler<'a> {
+    /// Creates a scheduler over `dag`.
+    #[must_use]
+    pub fn new(dag: &'a DependencyDag) -> Self {
+        Self { dag }
+    }
+
+    /// Schedules every gate onto at most `width` slots, with per-gate
+    /// durations from `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is `Blocks(0)` or any weight is zero.
+    #[must_use]
+    pub fn schedule<W: Fn(&Gate) -> u64>(&self, width: Width, weight: W) -> Schedule {
+        let n = self.dag.num_gates();
+        let cap = width.cap();
+        let weights: Vec<u64> = (0..n).map(|i| weight(&self.dag.gate(i))).collect();
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "gate weights must be positive"
+        );
+        let priority = self.dag.downstream_priority(|g| weight(g));
+
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.dag.predecessors(i).len()).collect();
+        // Ready heap: max by (priority, Reverse(index)).
+        let mut ready: BinaryHeap<(u64, Reverse<usize>)> = BinaryHeap::new();
+        for i in 0..n {
+            if indegree[i] == 0 {
+                ready.push((priority[i], Reverse(i)));
+            }
+        }
+        // Completion events: min-heap of (finish_time, gate).
+        let mut running: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut start_times = vec![0u64; n];
+        let mut busy = 0usize;
+        let mut now = 0u64;
+        let mut makespan = 0u64;
+        let mut intervals: Vec<(u64, u64)> = Vec::with_capacity(n);
+        let mut scheduled = 0usize;
+
+        while scheduled < n || !running.is_empty() {
+            // Launch as many ready gates as slots allow.
+            while busy < cap {
+                let Some((_, Reverse(i))) = ready.pop() else {
+                    break;
+                };
+                start_times[i] = now;
+                let finish = now + weights[i];
+                intervals.push((now, finish));
+                running.push(Reverse((finish, i)));
+                busy += 1;
+                scheduled += 1;
+                makespan = makespan.max(finish);
+            }
+            // Advance to the next completion.
+            let Some(Reverse((t, _))) = running.peek().copied() else {
+                assert_eq!(scheduled, n, "deadlock: gates remain but none running");
+                break;
+            };
+            now = t;
+            while let Some(&Reverse((t2, i))) = running.peek() {
+                if t2 != now {
+                    break;
+                }
+                running.pop();
+                busy -= 1;
+                for &s in self.dag.successors(i) {
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        ready.push((priority[s], Reverse(s)));
+                    }
+                }
+            }
+        }
+
+        let occupancy = occupancy_from_intervals(&intervals, makespan);
+        Schedule {
+            width,
+            makespan,
+            total_work: weights.iter().sum(),
+            start_times,
+            occupancy,
+        }
+    }
+}
+
+fn occupancy_from_intervals(intervals: &[(u64, u64)], makespan: u64) -> Vec<usize> {
+    // Sweep with +1/-1 deltas; makespans here are modest (≤ ~10⁵ units).
+    let mut deltas = vec![0isize; makespan as usize + 1];
+    for &(s, f) in intervals {
+        deltas[s as usize] += 1;
+        deltas[f as usize] -= 1;
+    }
+    let mut occupancy = Vec::with_capacity(makespan as usize);
+    let mut current = 0isize;
+    for d in deltas.iter().take(makespan as usize) {
+        current += d;
+        occupancy.push(current as usize);
+    }
+    occupancy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn unit(_: &Gate) -> u64 {
+        1
+    }
+
+    fn diamond() -> Circuit {
+        // g0 -> (g1, g2) -> g3 over 4 qubits.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1);
+        c.cnot(0, 2);
+        c.cnot(1, 3);
+        c.cnot(2, 3);
+        c
+    }
+
+    #[test]
+    fn width_one_serializes() {
+        let c = diamond();
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Blocks(1), unit);
+        assert_eq!(s.makespan(), 4);
+        assert_eq!(s.peak_parallelism(), 1);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_equals_critical_path() {
+        let c = diamond();
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Unlimited, unit);
+        assert_eq!(s.makespan(), dag.critical_path(unit));
+    }
+
+    #[test]
+    fn makespan_bounds_hold() {
+        let c = diamond();
+        let dag = DependencyDag::new(&c);
+        for b in 1..=4 {
+            let s = ListScheduler::new(&dag).schedule(Width::Blocks(b), unit);
+            let cp = dag.critical_path(unit);
+            let work = dag.total_work(unit);
+            assert!(s.makespan() >= cp);
+            assert!(s.makespan() >= work.div_ceil(b as u64));
+            assert!(s.makespan() <= work);
+        }
+    }
+
+    #[test]
+    fn makespan_is_monotone_in_width() {
+        let mut c = Circuit::new(16);
+        // Two dependent layers of 8 independent CNOTs.
+        for i in 0..8u32 {
+            c.cnot(2 * i, 2 * i + 1);
+        }
+        for i in 0..8u32 {
+            c.cnot((2 * i + 1) % 16, (2 * i + 2) % 16);
+        }
+        let dag = DependencyDag::new(&c);
+        let mut last = u64::MAX;
+        for b in 1..=16 {
+            let s = ListScheduler::new(&dag).schedule(Width::Blocks(b), unit);
+            assert!(s.makespan() <= last, "width {b} regressed");
+            last = s.makespan();
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_width_and_sums_to_work() {
+        let c = diamond();
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Blocks(2), unit);
+        assert!(s.occupancy().iter().all(|&o| o <= 2));
+        let area: usize = s.occupancy().iter().sum();
+        assert_eq!(area as u64, s.total_work());
+    }
+
+    #[test]
+    fn weighted_gates_occupy_slots_for_their_duration() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2); // weight 15
+        c.cnot(3, 4); // weight 1, independent
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag)
+            .schedule(Width::Blocks(2), Gate::two_qubit_gate_equivalents);
+        assert_eq!(s.makespan(), 15);
+        assert_eq!(s.occupancy()[0], 2);
+        assert_eq!(s.occupancy()[14], 1);
+    }
+
+    #[test]
+    fn start_times_respect_dependencies() {
+        let c = diamond();
+        let dag = DependencyDag::new(&c);
+        for b in 1..=4 {
+            let s = ListScheduler::new(&dag).schedule(Width::Blocks(b), unit);
+            for i in 0..dag.num_gates() {
+                for &p in dag.predecessors(i) {
+                    assert!(
+                        s.start_times()[i] >= s.start_times()[p] + 1,
+                        "width {b}: gate {i} starts before predecessor {p} finishes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_schedules_trivially() {
+        let c = Circuit::new(1);
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Blocks(3), unit);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.utilization(), 0.0);
+        assert!(s.occupancy().is_empty());
+    }
+
+    #[test]
+    fn display_width() {
+        assert_eq!(Width::Unlimited.to_string(), "unlimited");
+        assert_eq!(Width::Blocks(15).to_string(), "15 blocks");
+    }
+}

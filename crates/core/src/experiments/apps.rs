@@ -1,0 +1,207 @@
+//! Generators for the paper's Figure 8: application communication vs
+//! computation time (paper §6).
+//!
+//! Both panels use the Bacon-Shor code at level 2, as the paper does.
+//! Computation time aggregates logical gate steps; communication time
+//! aggregates qubit-transport steps (teleport execution plus the error
+//! correction that re-establishes the moved qubit). The paper's point is
+//! that communication *tracks but does not exceed* computation — which is
+//! why the CQLA's interconnect can hide it.
+
+use cqla_ecc::{Code, EccMetrics, Level};
+use cqla_iontrap::{PhysicalOp, TechnologyParams};
+use cqla_units::Seconds;
+use cqla_workloads::{DraperAdder, ModExp, Qft};
+
+use crate::report::{fmt3, TextTable};
+use crate::specialize::SpecializationStudy;
+
+use super::tables::primary_blocks;
+
+/// One Figure 8 sample: total computation and communication time at one
+/// problem size.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AppTimeRow {
+    /// Problem size (adder bits for 8a, number size for 8b).
+    pub size: u32,
+    /// Total computation time.
+    pub computation: Seconds,
+    /// Total communication time.
+    pub communication: Seconds,
+}
+
+impl AppTimeRow {
+    /// Communication as a fraction of computation.
+    #[must_use]
+    pub fn comm_fraction(&self) -> f64 {
+        self.communication / self.computation
+    }
+}
+
+/// Per-qubit transport time: teleport execution plus the error-correction
+/// work that re-integrates the qubit at its destination (1.5 EC
+/// equivalents; see DESIGN.md §4).
+fn transport_time(code: Code, tech: &TechnologyParams) -> Seconds {
+    let m = EccMetrics::compute(code, Level::TWO, tech);
+    m.teleport_time(tech) + m.ec_time() * 1.5
+}
+
+/// Figure 8a: modular exponentiation computation vs communication time
+/// over adder sizes 32…1024 (Bacon-Shor).
+///
+/// Computation: each addition costs its block-constrained makespan; the
+/// compute region pipelines `blocks` addition streams, so the aggregate is
+/// `additions × adder_time / blocks`. Communication: per Toffoli, three
+/// operand qubits are fed through the block's teleport channels, each
+/// costing the EPR channel service of one logical qubit (two purification
+/// rounds — short intra-processor hauls).
+#[must_use]
+pub fn fig8a(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
+    let code = Code::BaconShor913;
+    let study = SpecializationStudy::new(tech);
+    let epr = cqla_network::EprModel::new(tech).with_purification_rounds(2);
+    // EPR channel service per logical operand qubit.
+    let per_qubit_service = epr.logical_service_time(code);
+    let sizes = [32u32, 64, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let blocks = f64::from(primary_blocks(n));
+        let me = ModExp::new(n);
+        let makespan = study.ideal_makespan_units(n, primary_blocks(n));
+        let adder_time = study.gate_step_time(code) * makespan as f64;
+        let computation = adder_time * me.additions() as f64 / blocks;
+        let toffolis = DraperAdder::new(n).circuit_ref().counts().toffoli;
+        // Each block feeds its own Toffolis through its own channel group
+        // (3 operands over `channels_required` channels), so the per-
+        // addition communication is the per-block Toffoli share times the
+        // per-operand channel service.
+        let per_add_comm = per_qubit_service
+            * (toffolis as f64 / blocks)
+            * (cqla_network::OPERANDS_PER_TOFFOLI
+                / f64::from(code.teleport_channels_required()));
+        let communication = per_add_comm * me.additions() as f64 / blocks;
+        rows.push(AppTimeRow {
+            size: n,
+            computation,
+            communication,
+        });
+    }
+    let text = render(&rows, "adder size", true);
+    (rows, text)
+}
+
+/// Figure 8b: QFT computation vs communication time over problem sizes
+/// 100…1000 (Bacon-Shor).
+#[must_use]
+pub fn fig8b(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
+    let code = Code::BaconShor913;
+    let gate = EccMetrics::compute(code, Level::TWO, tech).transversal_gate_time()
+        + tech.duration(PhysicalOp::DoubleGate);
+    let transport = transport_time(code, tech);
+    let sizes = [100u32, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let qft = Qft::new(n);
+        let computation = gate * qft.total_gates() as f64;
+        // Every pair interaction between qubits in different compute
+        // blocks moves one operand; blocks hold 9 qubits, so all but a
+        // vanishing fraction of pairs cross blocks.
+        let blocks = (f64::from(n) / 9.0).ceil();
+        let within = blocks * (9.0 * 8.0 / 2.0);
+        let crossing = qft.pair_interactions() as f64 - within;
+        let communication = transport * crossing.max(0.0);
+        rows.push(AppTimeRow {
+            size: n,
+            computation,
+            communication,
+        });
+    }
+    let text = render(&rows, "problem size", false);
+    (rows, text)
+}
+
+fn render(rows: &[AppTimeRow], label: &str, hours: bool) -> String {
+    let unit = if hours { "hours" } else { "seconds" };
+    let mut t = TextTable::new([
+        label,
+        &format!("computation ({unit})"),
+        &format!("communication ({unit})"),
+        "comm/comp",
+    ]);
+    for r in rows {
+        let (c, m) = if hours {
+            (r.computation.as_hours(), r.communication.as_hours())
+        } else {
+            (r.computation.as_secs(), r.communication.as_secs())
+        };
+        t.push_row([
+            r.size.to_string(),
+            fmt3(c),
+            fmt3(m),
+            fmt3(r.comm_fraction()),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::projected()
+    }
+
+    #[test]
+    fn fig8a_communication_tracks_but_never_exceeds_computation() {
+        let (rows, text) = fig8a(&tech());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let frac = r.comm_fraction();
+            assert!(
+                (0.1..1.0).contains(&frac),
+                "size {}: comm fraction {frac}",
+                r.size
+            );
+        }
+        assert!(text.contains("hours"));
+    }
+
+    #[test]
+    fn fig8a_times_grow_with_size_and_land_in_paper_scale() {
+        let (rows, _) = fig8a(&tech());
+        for pair in rows.windows(2) {
+            assert!(pair[1].computation > pair[0].computation);
+        }
+        // Paper Fig 8a: hundreds of hours at 1024 bits.
+        let last = rows.last().unwrap();
+        let hours = last.computation.as_hours();
+        assert!((50.0..5_000.0).contains(&hours), "1024-bit modexp: {hours} h");
+    }
+
+    #[test]
+    fn fig8b_scale_matches_paper() {
+        let (rows, text) = fig8b(&tech());
+        // Paper Fig 8b: ~1e5 seconds at size 1000.
+        let last = rows.last().unwrap();
+        assert!(
+            (2e4..5e5).contains(&last.computation.as_secs()),
+            "computation {}",
+            last.computation
+        );
+        for r in &rows {
+            let frac = r.comm_fraction();
+            assert!((0.3..1.0).contains(&frac), "size {}: {frac}", r.size);
+        }
+        assert!(text.contains("seconds"));
+    }
+
+    #[test]
+    fn fig8b_grows_quadratically() {
+        let (rows, _) = fig8b(&tech());
+        let c100 = rows[0].computation.as_secs();
+        let c1000 = rows[9].computation.as_secs();
+        let ratio = c1000 / c100;
+        assert!((50.0..200.0).contains(&ratio), "ratio {ratio}");
+    }
+}

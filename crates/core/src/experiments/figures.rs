@@ -1,0 +1,339 @@
+//! Generators for the paper's Figures 2, 6a, 6b and 7.
+
+use cqla_circuit::{DependencyDag, ListScheduler, Width};
+use cqla_ecc::Code;
+use cqla_iontrap::TechnologyParams;
+use cqla_network::{BandwidthSample, SuperblockBandwidth};
+use cqla_circuit::QubitId;
+use cqla_workloads::DraperAdder;
+
+use crate::cache::{CacheSim, FetchPolicy};
+use crate::report::{fmt3, TextTable};
+use crate::specialize::SpecializationStudy;
+
+use super::tables::primary_blocks;
+
+/// Figure 2: parallelism over time for the 64-qubit adder, with unlimited
+/// resources and with 15 compute blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig2Data {
+    /// Gates in flight per unit-gate time step, unlimited resources.
+    pub unlimited_profile: Vec<usize>,
+    /// Gates in flight per time step, capped at 15 blocks.
+    pub capped_profile: Vec<usize>,
+    /// Makespan (unit-gate steps) with unlimited resources.
+    pub unlimited_makespan: u64,
+    /// Makespan with 15 blocks.
+    pub capped_makespan: u64,
+}
+
+impl Fig2Data {
+    /// The paper's observation: capping at 15 blocks leaves the runtime
+    /// (essentially) unchanged. Returns the relative stretch.
+    #[must_use]
+    pub fn relative_stretch(&self) -> f64 {
+        self.capped_makespan as f64 / self.unlimited_makespan as f64
+    }
+}
+
+/// Generates Figure 2 (adder width and cap are parameters; the paper uses
+/// 64 and 15).
+///
+/// Gates carry their fault-tolerant durations (Toffoli = 15 gate+EC
+/// steps); this is what makes the paper's observation true — a Toffoli
+/// occupies its block long enough that 15 blocks keep up with unlimited
+/// hardware.
+#[must_use]
+pub fn fig2(adder_bits: u32, cap: usize) -> (Fig2Data, String) {
+    use cqla_circuit::Gate;
+    let adder = DraperAdder::new(adder_bits);
+    let dag = DependencyDag::new(adder.circuit_ref());
+    let weight = Gate::two_qubit_gate_equivalents;
+    let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, |g| weight(g));
+    let capped = ListScheduler::new(&dag).schedule(Width::Blocks(cap), |g| weight(g));
+    let data = Fig2Data {
+        unlimited_profile: unlimited.occupancy().to_vec(),
+        capped_profile: capped.occupancy().to_vec(),
+        unlimited_makespan: unlimited.makespan(),
+        capped_makespan: capped.makespan(),
+    };
+    // Sample the profiles at Toffoli granularity for display.
+    let stride = 15;
+    let mut t = TextTable::new(["time", "unlimited", &format!("{cap} blocks")]);
+    let len = data.unlimited_profile.len().max(data.capped_profile.len());
+    let mut i = 0;
+    while i < len {
+        t.push_row([
+            (i / stride).to_string(),
+            data.unlimited_profile.get(i).copied().unwrap_or(0).to_string(),
+            data.capped_profile.get(i).copied().unwrap_or(0).to_string(),
+        ]);
+        i += stride;
+    }
+    (data, t.to_string())
+}
+
+/// One Figure 6a sample: utilization of `blocks` compute blocks on one
+/// adder size.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6aRow {
+    /// Adder width in bits.
+    pub adder_bits: u32,
+    /// Compute blocks.
+    pub blocks: u32,
+    /// Mean block utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Generates Figure 6a: utilization vs block count for each adder size.
+#[must_use]
+pub fn fig6a(tech: &TechnologyParams) -> (Vec<Fig6aRow>, String) {
+    let study = SpecializationStudy::new(tech);
+    let sizes = [32u32, 64, 128, 256, 512, 1024];
+    let blocks = [4u32, 16, 36, 64, 100, 144, 196];
+    let mut rows = Vec::new();
+    for &bits in &sizes {
+        for (b, utilization) in study.utilization_sweep(bits, &blocks) {
+            rows.push(Fig6aRow {
+                adder_bits: bits,
+                blocks: b,
+                utilization,
+            });
+        }
+    }
+    let mut t = TextTable::new(["blocks", "32", "64", "128", "256", "512", "1024"]);
+    for &b in &blocks {
+        let mut cells = vec![b.to_string()];
+        for &bits in &sizes {
+            let u = rows
+                .iter()
+                .find(|r| r.adder_bits == bits && r.blocks == b)
+                .map_or(0.0, |r| r.utilization);
+            cells.push(fmt3(u));
+        }
+        t.push_row(cells);
+    }
+    (rows, t.to_string())
+}
+
+/// Figure 6b: required vs available perimeter bandwidth and the superblock
+/// crossover, per code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6bData {
+    /// Samples per code over the block sweep.
+    pub samples: Vec<(Code, Vec<BandwidthSample>)>,
+    /// Crossover block count per code.
+    pub crossovers: Vec<(Code, u32)>,
+}
+
+/// Generates Figure 6b (blocks swept 4…81 as in the paper's x-axis).
+#[must_use]
+pub fn fig6b(tech: &TechnologyParams) -> (Fig6bData, String) {
+    let sweep: Vec<u32> = (1..=9).map(|i| i * 9).collect();
+    let mut samples: Vec<(Code, Vec<BandwidthSample>)> = Vec::new();
+    let mut crossovers = Vec::new();
+    for code in Code::ALL {
+        let model = SuperblockBandwidth::new(code, tech);
+        samples.push((code, sweep.iter().map(|&b| model.sample(b)).collect()));
+        crossovers.push((code, model.crossover_blocks()));
+    }
+    let mut t = TextTable::new([
+        "blocks",
+        "req draper(St)",
+        "avail(St)",
+        "req draper(BSr)",
+        "avail(BSr)",
+        "worst case",
+    ]);
+    for (i, &b) in sweep.iter().enumerate() {
+        let st = samples[0].1[i];
+        let bs = samples[1].1[i];
+        t.push_row([
+            b.to_string(),
+            fmt3(st.required_draper),
+            fmt3(st.available),
+            fmt3(bs.required_draper),
+            fmt3(bs.available),
+            fmt3(st.required_worst),
+        ]);
+    }
+    let mut text = t.to_string();
+    for (code, b) in &crossovers {
+        text.push_str(&format!("crossover {}: {} blocks/superblock\n", code.label(), b));
+    }
+    (
+        Fig6bData {
+            samples,
+            crossovers,
+        },
+        text,
+    )
+}
+
+/// One Figure 7 sample: hit rate of one (adder, cache size, policy) cell.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig7Row {
+    /// Adder width in bits.
+    pub adder_bits: u32,
+    /// Cache capacity as a multiple of the compute-region qubits.
+    pub cache_factor: f64,
+    /// Fetch policy.
+    pub policy: FetchPolicy,
+    /// Measured hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+/// Generates Figure 7: cache hit rates for adders of 64…1024 bits, cache
+/// sizes {1, 1.5, 2}×PE, both fetch policies.
+///
+/// PE (compute-region qubits) scales with the Table 4 block provisioning
+/// for each adder size; the cache warms over two consecutive additions, as
+/// in the repeated additions of a modular exponentiation.
+#[must_use]
+pub fn fig7() -> (Vec<Fig7Row>, String) {
+    let sizes = [64u32, 128, 256, 512, 1024];
+    let factors = [1.0f64, 1.5, 2.0];
+    let mut rows = Vec::new();
+    for &bits in &sizes {
+        let adder = DraperAdder::new(bits);
+        let circuit = adder.circuit();
+        let inputs: Vec<QubitId> = adder
+            .a_register()
+            .chain(adder.b_register())
+            .map(QubitId::new)
+            .collect();
+        let pe = 9 * primary_blocks(bits) as usize;
+        for &factor in &factors {
+            let capacity = ((pe as f64) * factor).round() as usize;
+            let sim = CacheSim::new(capacity.max(1));
+            for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
+                let run = sim.run(&circuit, policy, &inputs, 2);
+                rows.push(Fig7Row {
+                    adder_bits: bits,
+                    cache_factor: factor,
+                    policy,
+                    hit_rate: run.hit_rate(),
+                });
+            }
+        }
+    }
+    let mut t = TextTable::new([
+        "adder",
+        "cache=PE",
+        "opt PE",
+        "cache=1.5PE",
+        "opt 1.5PE",
+        "cache=2PE",
+        "opt 2PE",
+    ]);
+    for &bits in &sizes {
+        let get = |factor: f64, policy: FetchPolicy| {
+            rows.iter()
+                .find(|r| {
+                    r.adder_bits == bits
+                        && (r.cache_factor - factor).abs() < 1e-9
+                        && r.policy == policy
+                })
+                .map_or(0.0, |r| r.hit_rate * 100.0)
+        };
+        t.push_row([
+            format!("{bits}-bit"),
+            format!("{:.0}%", get(1.0, FetchPolicy::InOrder)),
+            format!("{:.0}%", get(1.0, FetchPolicy::OptimizedLookahead)),
+            format!("{:.0}%", get(1.5, FetchPolicy::InOrder)),
+            format!("{:.0}%", get(1.5, FetchPolicy::OptimizedLookahead)),
+            format!("{:.0}%", get(2.0, FetchPolicy::InOrder)),
+            format!("{:.0}%", get(2.0, FetchPolicy::OptimizedLookahead)),
+        ]);
+    }
+    (rows, t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_few_blocks_capture_available_parallelism() {
+        // Paper Fig 2: ~15 blocks match unlimited hardware for the
+        // 64-qubit adder. Our Brent-Kung construction exposes a little
+        // more parallelism (work/critical-path ≈ 22), so 15 blocks stretch
+        // the adder mildly and ~22 capture everything.
+        let (at_paper_cap, text) = fig2(64, 15);
+        assert!(
+            at_paper_cap.relative_stretch() < 1.8,
+            "stretch {}",
+            at_paper_cap.relative_stretch()
+        );
+        let (saturated, _) = fig2(64, 32);
+        assert!(
+            saturated.relative_stretch() < 1.15,
+            "stretch {}",
+            saturated.relative_stretch()
+        );
+        // The unlimited profile opens near n gates wide.
+        assert!(*at_paper_cap.unlimited_profile.iter().max().unwrap() >= 55);
+        // The capped profile never exceeds the cap.
+        assert!(at_paper_cap.capped_profile.iter().all(|&g| g <= 15));
+        assert!(text.contains("unlimited"));
+    }
+
+    #[test]
+    fn fig2_profile_area_is_conserved() {
+        // Gate-seconds are conserved between the two schedules.
+        let (data, _) = fig2(64, 15);
+        let a: usize = data.unlimited_profile.iter().sum();
+        let b: usize = data.capped_profile.iter().sum();
+        assert_eq!(a, b, "both schedules run every gate-step");
+    }
+
+    #[test]
+    fn fig6a_utilization_monotone_in_blocks() {
+        let (rows, text) = fig6a(&TechnologyParams::projected());
+        for bits in [32u32, 1024] {
+            let series: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.adder_bits == bits)
+                .map(|r| r.utilization)
+                .collect();
+            for pair in series.windows(2) {
+                assert!(pair[1] <= pair[0] + 1e-9, "bits {bits}: {series:?}");
+            }
+        }
+        assert!(text.contains("blocks"));
+    }
+
+    #[test]
+    fn fig6b_has_crossovers_in_band() {
+        let (data, text) = fig6b(&TechnologyParams::projected());
+        for (code, b) in &data.crossovers {
+            assert!((10..=80).contains(b), "{code}: {b}");
+        }
+        assert!(text.contains("crossover"));
+    }
+
+    #[test]
+    fn fig7_optimized_dominates_and_is_size_stable() {
+        let (rows, text) = fig7();
+        // Optimized fetch beats in-order in every cell.
+        for bits in [64u32, 256, 1024] {
+            for factor in [1.0, 1.5, 2.0] {
+                let find = |p: FetchPolicy| {
+                    rows.iter()
+                        .find(|r| {
+                            r.adder_bits == bits
+                                && (r.cache_factor - factor).abs() < 1e-9
+                                && r.policy == p
+                        })
+                        .unwrap()
+                        .hit_rate
+                };
+                assert!(
+                    find(FetchPolicy::OptimizedLookahead) > find(FetchPolicy::InOrder),
+                    "bits {bits}, factor {factor}"
+                );
+            }
+        }
+        assert!(text.contains("64-bit"));
+    }
+}

@@ -1,0 +1,18 @@
+//! One generator per table and figure of the paper's evaluation.
+//!
+//! Every generator returns typed rows *and* renders the same table/series
+//! the paper prints, so the benchmark harness (`crates/bench`) can both
+//! time the computation and emit the reproduction artifact. The index
+//! lives in DESIGN.md §3; paper-vs-measured deltas in EXPERIMENTS.md.
+
+mod apps;
+mod figures;
+mod tables;
+
+pub use apps::{fig8a, fig8b, AppTimeRow};
+pub use figures::{
+    fig2, fig6a, fig6b, fig7, Fig2Data, Fig6aRow, Fig6bData, Fig7Row,
+};
+pub use tables::{
+    table2, table3, table4, table5, Table3Data, Table4Row, Table5Row,
+};

@@ -1,0 +1,250 @@
+//! Generators for the paper's Tables 2–5.
+
+use cqla_ecc::{table2_metrics, Code, EccMetrics, TransferNetwork};
+use cqla_iontrap::TechnologyParams;
+use cqla_units::Seconds;
+
+use crate::hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy};
+use crate::report::{fmt3, TextTable};
+use crate::specialize::{CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID};
+
+/// Table 2: error-correction metrics for both codes at both levels.
+///
+/// Returns the four metric blocks plus a rendered table.
+#[must_use]
+pub fn table2(tech: &TechnologyParams) -> (Vec<EccMetrics>, String) {
+    let rows = table2_metrics(tech);
+    let mut t = TextTable::new([
+        "code-level",
+        "EC time (s)",
+        "tile (mm^2)",
+        "gate (s)",
+        "data",
+        "ancilla",
+    ]);
+    for m in &rows {
+        t.push_row([
+            format!("{} {}", m.code().label(), m.level()),
+            format!("{:.2e}", m.ec_time().as_secs()),
+            fmt3(m.tile_area().value()),
+            format!("{:.2e}", m.transversal_gate_time().as_secs()),
+            m.data_qubits().to_string(),
+            m.ancilla_qubits().to_string(),
+        ]);
+    }
+    (rows, t.to_string())
+}
+
+/// Table 3: the 4×4 code-transfer latency matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Data {
+    /// Latencies indexed `[source][destination]` in the paper's order
+    /// (7-L1, 7-L2, 9-L1, 9-L2).
+    pub matrix: [[Seconds; 4]; 4],
+}
+
+/// Generates Table 3.
+#[must_use]
+pub fn table3(tech: &TechnologyParams) -> (Table3Data, String) {
+    let matrix = TransferNetwork::new(tech).table3_matrix();
+    let labels = ["7-L1", "7-L2", "9-L1", "9-L2"];
+    let mut t = TextTable::new(["(seconds)", "7-L1", "7-L2", "9-L1", "9-L2"]);
+    for (i, row) in matrix.iter().enumerate() {
+        let mut cells = vec![labels[i].to_string()];
+        for cell in row {
+            cells.push(fmt3(cell.as_secs()));
+        }
+        t.push_row(cells);
+    }
+    (Table3Data { matrix }, t.to_string())
+}
+
+/// One Table 4 row: a `(input size, block count)` point evaluated under
+/// both codes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table4Row {
+    /// Input size in bits.
+    pub input_bits: u32,
+    /// Compute blocks.
+    pub blocks: u32,
+    /// Steane evaluation.
+    pub steane: SpecializationResult,
+    /// Bacon-Shor evaluation.
+    pub bacon_shor: SpecializationResult,
+}
+
+/// Generates Table 4 over the paper's grid.
+#[must_use]
+pub fn table4(tech: &TechnologyParams) -> (Vec<Table4Row>, String) {
+    let study = SpecializationStudy::new(tech);
+    let mut rows = Vec::new();
+    for (bits, blocks) in TABLE4_GRID {
+        for b in blocks {
+            rows.push(Table4Row {
+                input_bits: bits,
+                blocks: b,
+                steane: study.evaluate(CqlaConfig::new(Code::Steane713, bits, b)),
+                bacon_shor: study.evaluate(CqlaConfig::new(Code::BaconShor913, bits, b)),
+            });
+        }
+    }
+    let mut t = TextTable::new([
+        "input",
+        "blocks",
+        "area x(St)",
+        "area x(BSr)",
+        "speedup(St)",
+        "speedup(BSr)",
+        "GP(St)",
+        "GP(BSr)",
+    ]);
+    for r in &rows {
+        t.push_row([
+            format!("{}-bit", r.input_bits),
+            r.blocks.to_string(),
+            fmt3(r.steane.area_reduction),
+            fmt3(r.bacon_shor.area_reduction),
+            fmt3(r.steane.speedup),
+            fmt3(r.bacon_shor.speedup),
+            fmt3(r.steane.gain_product),
+            fmt3(r.bacon_shor.gain_product),
+        ]);
+    }
+    (rows, t.to_string())
+}
+
+/// One Table 5 row: a hierarchy design point for one code.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table5Row {
+    /// Parallel memory↔cache transfers.
+    pub par_xfer: u32,
+    /// Adder size in bits.
+    pub input_bits: u32,
+    /// The code.
+    pub code: Code,
+    /// Full evaluation.
+    pub result: HierarchyResult,
+}
+
+/// The `(input bits → primary block count)` pairs Table 5 inherits from
+/// Table 4.
+#[must_use]
+pub fn primary_blocks(input_bits: u32) -> u32 {
+    TABLE4_GRID
+        .iter()
+        .find(|&&(bits, _)| bits == input_bits)
+        .map_or_else(
+            || ((input_bits as f64).sqrt() as u32).max(1).pow(2).max(4),
+            |&(_, blocks)| blocks[0],
+        )
+}
+
+/// Generates Table 5 over the paper's grid (both codes, par-xfer ∈ {10, 5},
+/// sizes {256, 512, 1024}).
+#[must_use]
+pub fn table5(tech: &TechnologyParams) -> (Vec<Table5Row>, String) {
+    let study = HierarchyStudy::new(tech);
+    let mut rows = Vec::new();
+    for code in Code::ALL {
+        for par_xfer in [10u32, 5] {
+            for bits in [256u32, 512, 1024] {
+                let config = HierarchyConfig::new(code, bits, par_xfer, primary_blocks(bits));
+                rows.push(Table5Row {
+                    par_xfer,
+                    input_bits: bits,
+                    code,
+                    result: study.evaluate(config),
+                });
+            }
+        }
+    }
+    let mut t = TextTable::new([
+        "code",
+        "xfer",
+        "size",
+        "L1 speedup",
+        "L2 speedup",
+        "adder(1:2)",
+        "adder(budget)",
+        "adder(max)",
+        "area x",
+        "GP(1:2)",
+        "GP(max)",
+    ]);
+    for r in &rows {
+        t.push_row([
+            r.code.label().to_string(),
+            r.par_xfer.to_string(),
+            r.input_bits.to_string(),
+            fmt3(r.result.l1_speedup),
+            fmt3(r.result.l2_speedup),
+            fmt3(r.result.adder_speedup_interleave),
+            fmt3(r.result.adder_speedup_budgeted),
+            fmt3(r.result.adder_speedup_balanced),
+            fmt3(r.result.area_reduction),
+            fmt3(r.result.gain_product_conservative),
+            fmt3(r.result.gain_product_optimistic),
+        ]);
+    }
+    (rows, t.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::projected()
+    }
+
+    #[test]
+    fn table2_renders_four_rows() {
+        let (rows, text) = table2(&tech());
+        assert_eq!(rows.len(), 4);
+        assert!(text.contains("[[7,1,3]] L2"));
+        assert!(text.contains("441"));
+    }
+
+    #[test]
+    fn table3_diagonal_zero_and_rendered() {
+        let (data, text) = table3(&tech());
+        for i in 0..4 {
+            assert_eq!(data.matrix[i][i], Seconds::ZERO);
+        }
+        assert!(text.contains("9-L2"));
+    }
+
+    #[test]
+    fn table4_has_twelve_rows_with_growing_gain() {
+        let (rows, text) = table4(&tech());
+        assert_eq!(rows.len(), 12);
+        // Gain products grow with input size (paper: 14 → 30 for
+        // Bacon-Shor across the sweep; ours 10.7 → 17 — same direction,
+        // damped by the more-parallel adder DAG).
+        let first = &rows[0];
+        let last = &rows[11];
+        assert!(last.bacon_shor.gain_product > first.bacon_shor.gain_product * 1.3);
+        // Bacon-Shor dominates Steane everywhere.
+        for r in &rows {
+            assert!(r.bacon_shor.gain_product > r.steane.gain_product, "{}", r.input_bits);
+        }
+        assert!(text.contains("1024-bit"));
+    }
+
+    #[test]
+    fn primary_blocks_matches_grid() {
+        assert_eq!(primary_blocks(32), 4);
+        assert_eq!(primary_blocks(256), 36);
+        assert_eq!(primary_blocks(1024), 100);
+    }
+
+    #[test]
+    fn table5_rows_and_ordering() {
+        let (rows, text) = table5(&tech());
+        assert_eq!(rows.len(), 2 * 2 * 3);
+        for r in &rows {
+            assert!(r.result.l1_speedup > 1.0, "{:?}", (r.code, r.par_xfer, r.input_bits));
+        }
+        assert!(text.contains("L1 speedup"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixed-width text tables for experiment output.
+
+/// A simple aligned text table used by the benchmark harness to print
+/// paper-style tables.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_core::report::TextTable;
+///
+/// let mut t = TextTable::new(["n", "speedup"]);
+/// t.push_row(["64", "0.98"]);
+/// let text = t.to_string();
+/// assert!(text.contains("speedup"));
+/// assert!(text.contains("0.98"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl core::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut core::fmt::Formatter<'_>, row: &[String]| -> core::fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with three significant-ish decimals for table cells.
+#[must_use]
+pub fn fmt3(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_cells() {
+        let mut t = TextTable::new(["a", "long-header"]);
+        t.push_row(["12345", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt3_ranges() {
+        assert_eq!(fmt3(0.0), "0");
+        assert_eq!(fmt3(0.543), "0.543");
+        assert_eq!(fmt3(9.14), "9.14");
+        assert_eq!(fmt3(108.53), "109");
+    }
+}

@@ -1,0 +1,300 @@
+//! Specialization into memory and compute regions — the Table 4 engine
+//! (paper §5.1).
+//!
+//! A CQLA configuration picks a code and a compute-block count `B`; the
+//! Draper-adder dependency DAG is list-scheduled onto `B` gate slots, and
+//! the resulting makespan, together with the area model, yields the
+//! paper's three Table 4 columns: area reduction, speedup (vs the
+//! maximally parallel Steane QLA), and their product, the *gain product*.
+
+use cqla_circuit::{DependencyDag, Gate, ListScheduler, Schedule, Width};
+use cqla_ecc::{Code, EccMetrics, Level};
+use cqla_iontrap::TechnologyParams;
+use cqla_units::Seconds;
+use cqla_workloads::{DraperAdder, ModExp};
+
+use crate::area::AreaModel;
+use crate::qla::QlaBaseline;
+
+/// A CQLA design point: code, input size, and compute provisioning.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_core::CqlaConfig;
+/// use cqla_ecc::Code;
+///
+/// let config = CqlaConfig::new(Code::BaconShor913, 1024, 100);
+/// assert_eq!(config.memory_qubits(), 6 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CqlaConfig {
+    code: Code,
+    input_bits: u32,
+    compute_blocks: u32,
+}
+
+impl CqlaConfig {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits` or `compute_blocks` is zero.
+    #[must_use]
+    pub fn new(code: Code, input_bits: u32, compute_blocks: u32) -> Self {
+        assert!(input_bits > 0, "input size must be positive");
+        assert!(compute_blocks > 0, "at least one compute block is required");
+        Self {
+            code,
+            input_bits,
+            compute_blocks,
+        }
+    }
+
+    /// The error-correcting code.
+    #[must_use]
+    pub fn code(&self) -> Code {
+        self.code
+    }
+
+    /// Application input size (bits of the number being factored).
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Number of compute blocks.
+    #[must_use]
+    pub fn compute_blocks(&self) -> u32 {
+        self.compute_blocks
+    }
+
+    /// Logical data qubits the memory must hold (the modular
+    /// exponentiation working set, 6n).
+    #[must_use]
+    pub fn memory_qubits(&self) -> u64 {
+        ModExp::new(self.input_bits).working_qubits()
+    }
+}
+
+/// Evaluated performance of a CQLA design point — one Table 4 row for one
+/// code.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpecializationResult {
+    /// The evaluated configuration.
+    pub config: CqlaConfig,
+    /// Area-reduction factor vs the Steane QLA baseline.
+    pub area_reduction: f64,
+    /// Adder speedup vs the maximally parallel Steane QLA (values < 1 mean
+    /// the CQLA is slower; the point of Table 4 is how little is lost).
+    pub speedup: f64,
+    /// Mean compute-block utilization during the adder.
+    pub utilization: f64,
+    /// Wall-clock time of one addition on this configuration.
+    pub adder_time: Seconds,
+    /// `area_reduction × speedup` (QLA = 1.0).
+    pub gain_product: f64,
+}
+
+/// The specialization study: schedules adders onto bounded compute blocks
+/// and prices the resulting machines.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_core::{CqlaConfig, SpecializationStudy};
+/// use cqla_ecc::Code;
+/// use cqla_iontrap::TechnologyParams;
+///
+/// let study = SpecializationStudy::new(&TechnologyParams::projected());
+/// let r = study.evaluate(CqlaConfig::new(Code::Steane713, 32, 9));
+/// // Paper Table 4: with 9 blocks the 32-bit adder keeps most QLA
+/// // performance at a third of the area.
+/// assert!(r.speedup > 0.6 && r.speedup <= 1.0);
+/// assert!(r.area_reduction > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecializationStudy {
+    tech: TechnologyParams,
+}
+
+impl SpecializationStudy {
+    /// Builds the study at a technology point.
+    #[must_use]
+    pub fn new(tech: &TechnologyParams) -> Self {
+        Self { tech: tech.clone() }
+    }
+
+    /// Schedules the `n`-bit Draper adder onto `blocks` gate slots with an
+    /// online list scheduler (used for utilization and occupancy studies).
+    #[must_use]
+    pub fn schedule_adder(&self, n: u32, blocks: u32) -> Schedule {
+        let adder = DraperAdder::new(n);
+        let dag = DependencyDag::new(adder.circuit_ref());
+        ListScheduler::new(&dag).schedule(
+            Width::Blocks(blocks as usize),
+            Gate::two_qubit_gate_equivalents,
+        )
+    }
+
+    /// The perfectly packed makespan bound `max(critical path, work / B)`
+    /// in two-qubit-gate-step units.
+    ///
+    /// The paper's Table 4 speedups correspond to this bound (a static
+    /// scheduler with full lookahead and overlapped communication packs
+    /// the adder almost perfectly); the online list schedule from
+    /// [`SpecializationStudy::schedule_adder`] lands within ~30% of it.
+    #[must_use]
+    pub fn ideal_makespan_units(&self, n: u32, blocks: u32) -> u64 {
+        let adder = DraperAdder::new(n);
+        let dag = DependencyDag::new(adder.circuit_ref());
+        let weight = Gate::two_qubit_gate_equivalents;
+        let cp = dag.critical_path(|g| weight(g));
+        let work = dag.total_work(|g| weight(g));
+        cp.max(work.div_ceil(u64::from(blocks)))
+    }
+
+    /// Wall-clock duration of one logical gate step for `code` at level 2.
+    #[must_use]
+    pub fn gate_step_time(&self, code: Code) -> Seconds {
+        self.tech.duration(cqla_iontrap::PhysicalOp::DoubleGate)
+            + EccMetrics::compute(code, Level::TWO, &self.tech).ec_time()
+    }
+
+    /// Evaluates one design point against the QLA baseline.
+    #[must_use]
+    pub fn evaluate(&self, config: CqlaConfig) -> SpecializationResult {
+        let qla = QlaBaseline::new(&self.tech);
+        let schedule = self.schedule_adder(config.input_bits, config.compute_blocks);
+        let step = self.gate_step_time(config.code);
+        let makespan = self.ideal_makespan_units(config.input_bits, config.compute_blocks);
+        let adder_time = step * makespan as f64;
+        let qla_time = qla.adder_time(config.input_bits);
+        let speedup = qla_time / adder_time;
+        let area_reduction = AreaModel::new(&self.tech).area_reduction(
+            config.code,
+            config.memory_qubits(),
+            config.compute_blocks,
+        );
+        SpecializationResult {
+            config,
+            area_reduction,
+            speedup,
+            utilization: schedule.utilization(),
+            adder_time,
+            gain_product: area_reduction * speedup,
+        }
+    }
+
+    /// Compute-block utilization of the `n`-bit adder at each block count
+    /// (the Fig 6a series).
+    #[must_use]
+    pub fn utilization_sweep(&self, n: u32, block_counts: &[u32]) -> Vec<(u32, f64)> {
+        block_counts
+            .iter()
+            .map(|&b| (b, self.schedule_adder(n, b).utilization()))
+            .collect()
+    }
+}
+
+/// The `(input bits, block counts)` grid of the paper's Table 4.
+pub const TABLE4_GRID: [(u32, [u32; 2]); 6] = [
+    (32, [4, 9]),
+    (64, [9, 16]),
+    (128, [16, 25]),
+    (256, [36, 49]),
+    (512, [64, 81]),
+    (1024, [100, 121]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> SpecializationStudy {
+        SpecializationStudy::new(&TechnologyParams::projected())
+    }
+
+    #[test]
+    fn speedup_shape_matches_table4() {
+        // Qualitative Table 4 shape (absolute values differ because our
+        // Brent-Kung DAG exposes ~2x the parallelism of the paper's
+        // round-synchronous scheduler; see EXPERIMENTS.md): specializing
+        // never beats maximum parallelism on a single addition, more
+        // blocks always help, and enough blocks reach the unlimited bound.
+        let s = study();
+        for (n, [b1, b2]) in TABLE4_GRID {
+            let r1 = s.evaluate(CqlaConfig::new(Code::Steane713, n, b1));
+            let r2 = s.evaluate(CqlaConfig::new(Code::Steane713, n, b2));
+            assert!(r1.speedup > 0.0 && r1.speedup <= 1.0, "n={n}, B={b1}");
+            assert!(r2.speedup >= r1.speedup, "n={n}: B={b2} worse than B={b1}");
+        }
+        // The 32-bit adder saturates at ~15 blocks — the paper's Fig 2
+        // observation at our construction's parallelism.
+        let sat = s.evaluate(CqlaConfig::new(Code::Steane713, 32, 15));
+        assert!((sat.speedup - 1.0).abs() < 1e-9, "got {}", sat.speedup);
+    }
+
+    #[test]
+    fn small_block_speedups_are_fractional_but_substantial() {
+        // Paper Table 4 reports 0.54-0.98 for Steane; our more-parallel
+        // DAG lands lower at equal block counts but in the same regime
+        // (tens of percent, not orders of magnitude).
+        let s = study();
+        let r = s.evaluate(CqlaConfig::new(Code::Steane713, 32, 4));
+        assert!((0.2..0.8).contains(&r.speedup), "got {}", r.speedup);
+    }
+
+    #[test]
+    fn bacon_shor_speedup_is_about_three_times_steane() {
+        let s = study();
+        for (n, b) in [(256, 49), (1024, 121)] {
+            let st = s.evaluate(CqlaConfig::new(Code::Steane713, n, b)).speedup;
+            let bs = s.evaluate(CqlaConfig::new(Code::BaconShor913, n, b)).speedup;
+            let ratio = bs / st;
+            assert!((2.5..=3.3).contains(&ratio), "n={n}, B={b}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn gain_product_is_area_times_speedup() {
+        let s = study();
+        let r = s.evaluate(CqlaConfig::new(Code::BaconShor913, 128, 16));
+        assert!((r.gain_product - r.area_reduction * r.speedup).abs() < 1e-9);
+        // Every CQLA point beats the QLA's gain product of 1.0.
+        assert!(r.gain_product > 1.0);
+    }
+
+    #[test]
+    fn utilization_decreases_with_blocks() {
+        // Paper Fig 6a: utilization falls as blocks are added.
+        let sweep = study().utilization_sweep(128, &[4, 16, 36, 100]);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-9,
+                "utilization rose: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_adders_sustain_higher_utilization() {
+        // Paper Fig 6a: at a fixed block count, bigger adders keep blocks
+        // busier.
+        let s = study();
+        let small = s.schedule_adder(32, 36).utilization();
+        let large = s.schedule_adder(512, 36).utilization();
+        assert!(large > small, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn memory_qubits_are_6n() {
+        assert_eq!(CqlaConfig::new(Code::Steane713, 256, 36).memory_qubits(), 1536);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute block")]
+    fn zero_blocks_rejected() {
+        let _ = CqlaConfig::new(Code::Steane713, 32, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Ion-trap physical technology model (paper §2.2, Table 1).
+//!
+//! The CQLA is designed against trapped atomic ions: qubits are ions held
+//! in segmented electrode traps, shuttled ballistically between trapping
+//! regions across shared junctions, and manipulated by lasers. This crate
+//! captures everything the architecture layers need to know about that
+//! substrate:
+//!
+//! * [`TechnologyParams`] — operation latencies and failure rates, both the
+//!   experimentally demonstrated 2006 values and the projected values the
+//!   paper's evaluation uses (its Table 1),
+//! * [`PhysicalOp`] — the fundamental operations that each take one clock
+//!   cycle,
+//! * [`layout`] — trapping-region geometry, tile layouts and area
+//!   accounting, and the shuttling cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use cqla_iontrap::{PhysicalOp, TechnologyParams};
+//!
+//! let tech = TechnologyParams::projected();
+//! assert_eq!(tech.cycle_time().as_micros(), 10.0);
+//! assert!(tech.failure_rate(PhysicalOp::DoubleGate).value() <= 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod floorplan;
+pub mod layout;
+mod params;
+
+pub use floorplan::TileFloorplan;
+pub use layout::{RegionCoord, ShuttleRoute, TileLayout, TrapGrid};
+pub use params::{PhysicalOp, TechnologyParams};

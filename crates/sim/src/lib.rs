@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The CQLA memory-hierarchy study (paper §5.2) is driven by a small
+//! simulator: instructions are fetched, operands are pulled through bounded
+//! transfer channels, and compute regions advance on logical-gate timescales.
+//! This crate provides the three pieces that simulator is built from:
+//!
+//! * [`SimTime`] — a totally ordered simulation clock (integer nanoseconds,
+//!   so event ordering is exact and runs are reproducible),
+//! * [`EventQueue`] — a min-heap of timestamped events with FIFO tie-breaking,
+//! * [`ChannelPool`] — a capacity-limited resource (the paper's "parallel
+//!   transfers possible between memory and cache"),
+//!
+//! plus [`stats`] collectors used to report utilization and latency.
+//!
+//! # Examples
+//!
+//! ```
+//! use cqla_sim::{EventQueue, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_secs(2.0), "late");
+//! queue.push(SimTime::from_secs(1.0), "early");
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!(e, "early");
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod queue;
+pub mod stats;
+mod time;
+
+pub use channel::ChannelPool;
+pub use queue::EventQueue;
+pub use time::SimTime;

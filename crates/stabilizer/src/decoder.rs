@@ -1,0 +1,200 @@
+//! Minimum-weight lookup decoding for small CSS codes.
+
+use std::collections::HashMap;
+
+use crate::code::{CssCode, Syndrome};
+use crate::pauli::{PauliOp, PauliString};
+
+/// A syndrome-indexed table of minimum-weight corrections.
+///
+/// Built by enumerating Pauli errors of increasing weight until every
+/// reachable syndrome has a correction. For the distance-3 codes in this
+/// workspace the table is complete after weight ≤ 3 and guarantees that
+/// every weight-1 error is corrected exactly.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
+///
+/// let code = CssCode::shor9();
+/// let decoder = LookupDecoder::for_code(&code);
+/// let error = PauliString::single(9, 4, PauliOp::X);
+/// let correction = decoder.decode(&code.syndrome(&error)).unwrap();
+/// assert!(code.is_logically_trivial(&error.mul(&correction)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LookupDecoder {
+    table: HashMap<Syndrome, PauliString>,
+    max_weight_used: usize,
+}
+
+impl LookupDecoder {
+    /// Builds the lookup table for `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is still growing past weight `n` (which would
+    /// indicate an inconsistent code definition).
+    #[must_use]
+    pub fn for_code(code: &CssCode) -> Self {
+        let n = code.num_qubits();
+        let mut table: HashMap<Syndrome, PauliString> = HashMap::new();
+        table.insert(
+            code.syndrome(&PauliString::identity(n)),
+            PauliString::identity(n),
+        );
+        let mut max_weight_used = 0;
+        // The number of reachable syndromes equals 2^(num generators) for
+        // the full-rank check matrices used here; stop as soon as the table
+        // stops growing AND all unit syndromes of weight-1 errors are in.
+        let target = 1usize << code.num_generators();
+        for weight in 1..=n {
+            let before = table.len();
+            for error in enumerate_errors(n, weight) {
+                let syndrome = code.syndrome(&error);
+                table.entry(syndrome).or_insert(error);
+            }
+            if table.len() > before {
+                max_weight_used = weight;
+            }
+            if table.len() >= target {
+                break;
+            }
+            if weight == n {
+                // Not every syndrome needs to be reachable (non-full-rank
+                // checks); accept whatever we found.
+                break;
+            }
+        }
+        Self {
+            table,
+            max_weight_used,
+        }
+    }
+
+    /// Returns the stored minimum-weight correction for `syndrome`, if the
+    /// syndrome is reachable.
+    #[must_use]
+    pub fn decode(&self, syndrome: &Syndrome) -> Option<PauliString> {
+        self.table.get(syndrome).cloned()
+    }
+
+    /// Number of distinct syndromes in the table.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The largest error weight that contributed a table entry.
+    #[must_use]
+    pub fn max_weight_used(&self) -> usize {
+        self.max_weight_used
+    }
+}
+
+/// Enumerates all `n`-qubit Pauli strings of exactly the given weight.
+///
+/// The count is `C(n, weight) · 3^weight`; this is intended for the small
+/// block sizes of concatenated-code components (n ≤ ~10).
+#[must_use]
+pub fn enumerate_errors(n: usize, weight: usize) -> Vec<PauliString> {
+    let mut out = Vec::new();
+    let mut support = Vec::with_capacity(weight);
+    fn rec(
+        n: usize,
+        weight: usize,
+        start: usize,
+        support: &mut Vec<usize>,
+        out: &mut Vec<PauliString>,
+    ) {
+        if support.len() == weight {
+            // Assign each supported qubit one of X, Y, Z.
+            let k = support.len();
+            for mask in 0..3usize.pow(k as u32) {
+                let mut m = mask;
+                let mut p = PauliString::identity(n);
+                for &q in support.iter() {
+                    p.set(q, PauliOp::ERRORS[m % 3]);
+                    m /= 3;
+                }
+                out.push(p);
+            }
+            return;
+        }
+        for q in start..n {
+            support.push(q);
+            rec(n, weight, q + 1, support, out);
+            support.pop();
+        }
+    }
+    rec(n, weight, 0, &mut support, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_counts_match_formula() {
+        assert_eq!(enumerate_errors(7, 0).len(), 1);
+        assert_eq!(enumerate_errors(7, 1).len(), 21);
+        assert_eq!(enumerate_errors(7, 2).len(), 21 * 9); // C(7,2)*9
+        assert_eq!(enumerate_errors(4, 4).len(), 81);
+    }
+
+    #[test]
+    fn all_weight_one_errors_corrected_on_every_code() {
+        for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
+            let decoder = LookupDecoder::for_code(&code);
+            for error in enumerate_errors(code.num_qubits(), 1) {
+                let syndrome = code.syndrome(&error);
+                let correction = decoder
+                    .decode(&syndrome)
+                    .unwrap_or_else(|| panic!("{code}: unreachable syndrome {syndrome}"));
+                let residue = error.mul(&correction);
+                assert!(
+                    code.is_logically_trivial(&residue),
+                    "{code}: error {error} miscorrected by {correction}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_syndrome_decodes_to_identity() {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        let zero = code.syndrome(&PauliString::identity(7));
+        assert!(decoder.decode(&zero).unwrap().is_identity());
+    }
+
+    #[test]
+    fn steane_table_is_complete() {
+        let decoder = LookupDecoder::for_code(&CssCode::steane());
+        assert_eq!(decoder.table_len(), 64); // 2^6 syndromes
+    }
+
+    #[test]
+    fn shor_table_is_complete() {
+        let decoder = LookupDecoder::for_code(&CssCode::shor9());
+        assert_eq!(decoder.table_len(), 256); // 2^8 syndromes
+    }
+
+    #[test]
+    fn bacon_shor_table_is_complete() {
+        let decoder = LookupDecoder::for_code(&CssCode::bacon_shor());
+        assert_eq!(decoder.table_len(), 16); // 2^4 syndromes
+    }
+
+    #[test]
+    fn corrections_are_minimum_weight_for_weight_one_syndromes() {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        for error in enumerate_errors(7, 1) {
+            let c = decoder.decode(&code.syndrome(&error)).unwrap();
+            assert!(c.weight() <= 1, "{error} got correction {c}");
+        }
+    }
+}

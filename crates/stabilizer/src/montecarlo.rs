@@ -1,0 +1,220 @@
+//! Error-injection Monte Carlo: logical error rates under depolarizing
+//! noise.
+//!
+//! The paper's reliability analysis assumes that a distance-3 code block
+//! turns a physical error rate `p` into a logical error rate `~ c·p²`
+//! below threshold (that is what makes concatenation double-exponentially
+//! effective, paper §2.1). This module demonstrates that scaling by direct
+//! simulation: inject i.i.d. depolarizing noise, decode, and count logical
+//! failures.
+
+use rand::Rng;
+
+use crate::code::CssCode;
+use crate::decoder::LookupDecoder;
+use crate::pauli::{PauliOp, PauliString};
+
+/// I.i.d. single-qubit depolarizing noise with total error probability `p`
+/// per qubit (each of X, Y, Z drawn with probability `p/3`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepolarizingNoise {
+    p: f64,
+}
+
+impl DepolarizingNoise {
+    /// Creates a channel with per-qubit error probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "error probability {p} outside [0,1]");
+        Self { p }
+    }
+
+    /// Per-qubit error probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples an error on `n` qubits.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> PauliString {
+        let mut e = PauliString::identity(n);
+        for q in 0..n {
+            let u: f64 = rng.gen();
+            if u < self.p {
+                let idx = ((u / self.p) * 3.0) as usize;
+                e.set(q, PauliOp::ERRORS[idx.min(2)]);
+            }
+        }
+        e
+    }
+}
+
+/// Outcome of a logical-error-rate estimation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalErrorEstimate {
+    /// Trials that ended in a logical error after correction.
+    pub failures: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl LogicalErrorEstimate {
+    /// Point estimate of the logical error rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.trials as f64
+        }
+    }
+}
+
+impl core::fmt::Display for LogicalErrorEstimate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{} = {:.3e}", self.failures, self.trials, self.rate())
+    }
+}
+
+/// Runs `trials` rounds of inject–extract–decode–correct on a single code
+/// block and counts logical failures.
+///
+/// This is a *code-capacity* experiment (perfect syndrome extraction): it
+/// isolates the code's error-correcting power from circuit noise, which is
+/// what the paper's `p → p²` concatenation argument refers to.
+pub fn estimate_logical_error_rate<R: Rng + ?Sized>(
+    code: &CssCode,
+    decoder: &LookupDecoder,
+    noise: DepolarizingNoise,
+    trials: u64,
+    rng: &mut R,
+) -> LogicalErrorEstimate {
+    let n = code.num_qubits();
+    let mut failures = 0;
+    for _ in 0..trials {
+        let error = noise.sample(n, rng);
+        let syndrome = code.syndrome(&error);
+        let corrected = match decoder.decode(&syndrome) {
+            Some(correction) => error.mul(&correction),
+            // Unreachable syndrome: count as failure (detected but
+            // uncorrectable).
+            None => {
+                failures += 1;
+                continue;
+            }
+        };
+        if !code.is_logically_trivial(&corrected) {
+            failures += 1;
+        }
+    }
+    LogicalErrorEstimate { failures, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_never_fails() {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = estimate_logical_error_rate(
+            &code,
+            &decoder,
+            DepolarizingNoise::new(0.0),
+            1_000,
+            &mut rng,
+        );
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.rate(), 0.0);
+    }
+
+    #[test]
+    fn logical_rate_beats_physical_rate_below_pseudothreshold() {
+        for code in [CssCode::steane(), CssCode::shor9()] {
+            let decoder = LookupDecoder::for_code(&code);
+            let mut rng = StdRng::seed_from_u64(2);
+            let p = 0.002;
+            let est = estimate_logical_error_rate(
+                &code,
+                &decoder,
+                DepolarizingNoise::new(p),
+                200_000,
+                &mut rng,
+            );
+            assert!(
+                est.rate() < p,
+                "{code}: logical rate {} not below physical {p}",
+                est.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn logical_rate_scales_roughly_quadratically() {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = estimate_logical_error_rate(
+            &code,
+            &decoder,
+            DepolarizingNoise::new(0.01),
+            400_000,
+            &mut rng,
+        );
+        let hi = estimate_logical_error_rate(
+            &code,
+            &decoder,
+            DepolarizingNoise::new(0.04),
+            400_000,
+            &mut rng,
+        );
+        // 4x the physical rate should give ~16x the logical rate; allow a
+        // generous Monte Carlo margin (8x..32x).
+        let ratio = hi.rate() / lo.rate();
+        assert!(
+            (8.0..=32.0).contains(&ratio),
+            "expected ~16x scaling, got {ratio:.2}x ({} -> {})",
+            lo,
+            hi
+        );
+    }
+
+    #[test]
+    fn sample_respects_probability() {
+        let noise = DepolarizingNoise::new(0.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut hits = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let e = noise.sample(1, &mut rng);
+            if e.weight() > 0 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.02, "sampled rate {frac}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let est = LogicalErrorEstimate {
+            failures: 5,
+            trials: 1_000,
+        };
+        assert_eq!(est.to_string(), "5/1000 = 5.000e-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_probability_panics() {
+        let _ = DepolarizingNoise::new(1.5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Noisy (circuit-level) error-correction rounds.
+//!
+//! The [`montecarlo`](crate::montecarlo) module measures *code capacity*
+//! (perfect syndrome extraction). Real EC rounds are themselves noisy: the
+//! data picks up errors between rounds, the extraction gates add more, and
+//! measurement outcomes can be misread. This module simulates that regime
+//! on the tableau — the behaviour the paper's "every gate is followed by
+//! an error correction" discipline is designed around.
+
+use rand::Rng;
+
+use crate::code::CssCode;
+use crate::decoder::LookupDecoder;
+use crate::montecarlo::LogicalErrorEstimate;
+use crate::pauli::{PauliOp, PauliString};
+use crate::tableau::Tableau;
+
+/// Noise applied during one EC round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoisyEc {
+    /// Depolarizing probability per data qubit per round (storage +
+    /// extraction-gate noise combined).
+    p_data: f64,
+    /// Probability each syndrome bit is misread.
+    p_meas: f64,
+}
+
+impl NoisyEc {
+    /// Uniform model: data and measurement noise both `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        Self::with_rates(p, p)
+    }
+
+    /// Separate data / measurement rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1]`.
+    #[must_use]
+    pub fn with_rates(p_data: f64, p_meas: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_data), "p_data {p_data} out of range");
+        assert!((0.0..=1.0).contains(&p_meas), "p_meas {p_meas} out of range");
+        Self { p_data, p_meas }
+    }
+
+    /// Data-qubit noise rate.
+    #[must_use]
+    pub fn p_data(&self) -> f64 {
+        self.p_data
+    }
+
+    /// Syndrome-readout error rate.
+    #[must_use]
+    pub fn p_meas(&self) -> f64 {
+        self.p_meas
+    }
+
+    /// Injects one round of storage/extraction noise on every qubit of the
+    /// block.
+    pub fn inject<R: Rng + ?Sized>(&self, tableau: &mut Tableau, rng: &mut R) {
+        let n = tableau.num_qubits();
+        for q in 0..n {
+            let u: f64 = rng.gen();
+            if u < self.p_data {
+                let idx = ((u / self.p_data) * 3.0) as usize;
+                let err = PauliString::single(n, q, PauliOp::ERRORS[idx.min(2)]);
+                tableau.apply_pauli(&err);
+            }
+        }
+    }
+
+    /// Runs one noisy EC round: inject noise, measure every generator
+    /// (with possible readout flips), decode the *observed* syndrome, and
+    /// apply the correction.
+    ///
+    /// Returns `true` if a (non-identity) correction was applied.
+    pub fn round<R: Rng + ?Sized>(
+        &self,
+        code: &CssCode,
+        decoder: &LookupDecoder,
+        tableau: &mut Tableau,
+        rng: &mut R,
+    ) -> bool {
+        self.inject(tableau, rng);
+        let mut bits = Vec::with_capacity(code.num_generators());
+        for g in code.generators() {
+            let mut outcome = tableau.measure_pauli(&g, rng).value;
+            if rng.gen::<f64>() < self.p_meas {
+                outcome = !outcome;
+            }
+            bits.push(outcome);
+        }
+        let syndrome = crate::code::Syndrome::from_bits(bits);
+        match decoder.decode(&syndrome) {
+            Some(correction) if !correction.is_identity() => {
+                tableau.apply_pauli(&correction);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Estimates the logical error rate of holding logical `|0⟩` through
+/// `rounds` noisy EC rounds (followed by one perfect round to close the
+/// experiment, as is standard).
+pub fn estimate_memory_error_rate<R: Rng + ?Sized>(
+    code: &CssCode,
+    decoder: &LookupDecoder,
+    noise: NoisyEc,
+    rounds: u32,
+    trials: u64,
+    rng: &mut R,
+) -> LogicalErrorEstimate {
+    let mut failures = 0;
+    for _ in 0..trials {
+        let mut t = Tableau::new(code.num_qubits());
+        code.encode_zero(&mut t, 0, rng);
+        for _ in 0..rounds {
+            noise.round(code, decoder, &mut t, rng);
+        }
+        // Closing round: perfect extraction and correction.
+        let perfect = NoisyEc::with_rates(0.0, 0.0);
+        perfect.round(code, decoder, &mut t, rng);
+        if t.deterministic_sign(&code.logical_z()) != Some(false) {
+            failures += 1;
+        }
+    }
+    LogicalErrorEstimate { failures, trials }
+}
+
+/// The same storage noise but with *no* intermediate correction — the
+/// baseline that shows why periodic EC matters (errors accumulate past the
+/// code distance).
+pub fn estimate_uncorrected_error_rate<R: Rng + ?Sized>(
+    code: &CssCode,
+    decoder: &LookupDecoder,
+    noise: NoisyEc,
+    rounds: u32,
+    trials: u64,
+    rng: &mut R,
+) -> LogicalErrorEstimate {
+    let mut failures = 0;
+    for _ in 0..trials {
+        let mut t = Tableau::new(code.num_qubits());
+        code.encode_zero(&mut t, 0, rng);
+        for _ in 0..rounds {
+            noise.inject(&mut t, rng);
+        }
+        let perfect = NoisyEc::with_rates(0.0, 0.0);
+        perfect.round(code, decoder, &mut t, rng);
+        if t.deterministic_sign(&code.logical_z()) != Some(false) {
+            failures += 1;
+        }
+    }
+    LogicalErrorEstimate { failures, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CssCode, LookupDecoder, StdRng) {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        (code, decoder, StdRng::seed_from_u64(99))
+    }
+
+    #[test]
+    fn noiseless_rounds_never_fail() {
+        let (code, decoder, mut rng) = setup();
+        let est = estimate_memory_error_rate(
+            &code,
+            &decoder,
+            NoisyEc::new(0.0),
+            10,
+            200,
+            &mut rng,
+        );
+        assert_eq!(est.failures, 0);
+    }
+
+    #[test]
+    fn noiseless_round_applies_no_correction() {
+        let (code, decoder, mut rng) = setup();
+        let mut t = Tableau::new(7);
+        code.encode_zero(&mut t, 0, &mut rng);
+        let acted = NoisyEc::new(0.0).round(&code, &decoder, &mut t, &mut rng);
+        assert!(!acted);
+    }
+
+    #[test]
+    fn single_injected_error_is_corrected_by_a_round() {
+        let (code, decoder, mut rng) = setup();
+        for q in 0..7 {
+            for op in PauliOp::ERRORS {
+                let mut t = Tableau::new(7);
+                code.encode_zero(&mut t, 0, &mut rng);
+                t.apply_pauli(&PauliString::single(7, q, op));
+                let perfect = NoisyEc::with_rates(0.0, 0.0);
+                let acted = perfect.round(&code, &decoder, &mut t, &mut rng);
+                assert!(acted, "q={q}, {op}: correction expected");
+                assert!(t.is_stabilized_by(&code.logical_z()), "q={q}, {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_correction_beats_accumulation() {
+        // The paper's core discipline: EC after every operation. Holding a
+        // qubit for many noisy rounds WITH correction must beat letting
+        // the same noise accumulate.
+        let (code, decoder, mut rng) = setup();
+        let noise = NoisyEc::with_rates(0.02, 0.0);
+        let rounds = 8;
+        let trials = 3_000;
+        let with_ec =
+            estimate_memory_error_rate(&code, &decoder, noise, rounds, trials, &mut rng);
+        let without =
+            estimate_uncorrected_error_rate(&code, &decoder, noise, rounds, trials, &mut rng);
+        assert!(
+            with_ec.rate() < without.rate() * 0.8,
+            "EC {} vs none {}",
+            with_ec,
+            without
+        );
+    }
+
+    #[test]
+    fn error_rate_monotone_in_noise() {
+        let (code, decoder, mut rng) = setup();
+        let lo = estimate_memory_error_rate(
+            &code,
+            &decoder,
+            NoisyEc::new(0.002),
+            4,
+            4_000,
+            &mut rng,
+        );
+        let hi = estimate_memory_error_rate(
+            &code,
+            &decoder,
+            NoisyEc::new(0.05),
+            4,
+            4_000,
+            &mut rng,
+        );
+        assert!(hi.rate() > lo.rate(), "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn measurement_errors_alone_do_not_corrupt_data() {
+        // Pure readout noise can cause wrong corrections, but a subsequent
+        // perfect round must be able to repair anything a single faulty
+        // correction introduced (weight <= 1).
+        let (code, decoder, mut rng) = setup();
+        let noise = NoisyEc::with_rates(0.0, 0.3);
+        let est = estimate_memory_error_rate(&code, &decoder, noise, 1, 2_000, &mut rng);
+        assert_eq!(est.failures, 0, "single faulty round must be repairable");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let _ = NoisyEc::new(1.5);
+    }
+}

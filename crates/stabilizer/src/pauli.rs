@@ -1,0 +1,481 @@
+//! Pauli-group algebra with phase tracking.
+
+/// A single-qubit Pauli operator.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_stabilizer::PauliOp;
+///
+/// assert!(PauliOp::X.anticommutes_with(PauliOp::Z));
+/// assert!(!PauliOp::X.anticommutes_with(PauliOp::X));
+/// assert!(!PauliOp::I.anticommutes_with(PauliOp::Y));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip (`Y = iXZ`).
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl PauliOp {
+    /// All four single-qubit Paulis.
+    pub const ALL: [Self; 4] = [Self::I, Self::X, Self::Y, Self::Z];
+
+    /// The three non-identity Paulis (the error basis).
+    pub const ERRORS: [Self; 3] = [Self::X, Self::Y, Self::Z];
+
+    /// (x, z) symplectic component pair.
+    #[must_use]
+    pub const fn bits(self) -> (bool, bool) {
+        match self {
+            Self::I => (false, false),
+            Self::X => (true, false),
+            Self::Y => (true, true),
+            Self::Z => (false, true),
+        }
+    }
+
+    /// Reconstructs a Pauli from its symplectic components.
+    #[must_use]
+    pub const fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Self::I,
+            (true, false) => Self::X,
+            (true, true) => Self::Y,
+            (false, true) => Self::Z,
+        }
+    }
+
+    /// Whether two single-qubit Paulis anticommute.
+    #[must_use]
+    pub const fn anticommutes_with(self, other: Self) -> bool {
+        let (x1, z1) = self.bits();
+        let (x2, z2) = other.bits();
+        ((x1 & z2) ^ (z1 & x2)) != false
+    }
+}
+
+impl core::fmt::Display for PauliOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let c = match self {
+            Self::I => 'I',
+            Self::X => 'X',
+            Self::Y => 'Y',
+            Self::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// An n-qubit Pauli operator with a global phase `i^k`, `k ∈ {0,1,2,3}`.
+///
+/// Stored in the symplectic representation: two bit vectors (X and Z parts)
+/// plus the phase exponent. Products of *Hermitian* Paulis built by this
+/// crate always stay at real phases (`k` even), which the stabilizer
+/// formalism relies on.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_stabilizer::{PauliOp, PauliString};
+///
+/// let x = PauliString::single(1, 0, PauliOp::X);
+/// let z = PauliString::single(1, 0, PauliOp::Z);
+/// assert!(x.anticommutes_with(&z));
+///
+/// // XZ = -iY, so (XZ)·(ZX) = X Z Z X = +I.
+/// let xz = x.mul(&z);
+/// let zx = z.mul(&x);
+/// assert!(xz.mul(&zx).is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    /// Phase exponent k in i^k.
+    phase: u8,
+}
+
+impl PauliString {
+    /// The n-qubit identity.
+    #[must_use]
+    pub fn identity(num_qubits: usize) -> Self {
+        Self {
+            xs: vec![false; num_qubits],
+            zs: vec![false; num_qubits],
+            phase: 0,
+        }
+    }
+
+    /// A single-qubit Pauli embedded in `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= num_qubits`.
+    #[must_use]
+    pub fn single(num_qubits: usize, qubit: usize, op: PauliOp) -> Self {
+        assert!(qubit < num_qubits, "qubit {qubit} out of range {num_qubits}");
+        let mut p = Self::identity(num_qubits);
+        p.set(qubit, op);
+        p
+    }
+
+    /// Builds a Pauli string from `(qubit, op)` pairs; unlisted qubits are
+    /// identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of range or listed twice with
+    /// different operators.
+    #[must_use]
+    pub fn from_ops<I>(num_qubits: usize, ops: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, PauliOp)>,
+    {
+        let mut p = Self::identity(num_qubits);
+        for (q, op) in ops {
+            assert!(q < num_qubits, "qubit {q} out of range {num_qubits}");
+            assert_eq!(p.op(q), PauliOp::I, "qubit {q} assigned twice");
+            p.set(q, op);
+        }
+        p
+    }
+
+    /// Parses a string like `"XIZZY"` (one letter per qubit, optional
+    /// leading `+`/`-`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any character is not one of `IXYZ` (or a
+    /// leading sign).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (neg, body) = match text.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, text.strip_prefix('+').unwrap_or(text)),
+        };
+        let mut ops = Vec::with_capacity(body.len());
+        for c in body.chars() {
+            let op = match c {
+                'I' => PauliOp::I,
+                'X' => PauliOp::X,
+                'Y' => PauliOp::Y,
+                'Z' => PauliOp::Z,
+                other => return Err(format!("invalid Pauli character {other:?}")),
+            };
+            ops.push(op);
+        }
+        let mut p = Self::identity(ops.len());
+        for (q, op) in ops.into_iter().enumerate() {
+            p.set(q, op);
+        }
+        if neg {
+            p.phase = 2;
+        }
+        Ok(p)
+    }
+
+    /// Number of qubits the string acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// The single-qubit operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    #[must_use]
+    pub fn op(&self, qubit: usize) -> PauliOp {
+        PauliOp::from_bits(self.xs[qubit], self.zs[qubit])
+    }
+
+    /// Sets the single-qubit operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn set(&mut self, qubit: usize, op: PauliOp) {
+        let (x, z) = op.bits();
+        self.xs[qubit] = x;
+        self.zs[qubit] = z;
+    }
+
+    /// X-part bit of `qubit`.
+    #[must_use]
+    pub fn x_bit(&self, qubit: usize) -> bool {
+        self.xs[qubit]
+    }
+
+    /// Z-part bit of `qubit`.
+    #[must_use]
+    pub fn z_bit(&self, qubit: usize) -> bool {
+        self.zs[qubit]
+    }
+
+    /// Phase exponent `k` of the global phase `i^k`.
+    #[must_use]
+    pub fn phase_exponent(&self) -> u8 {
+        self.phase
+    }
+
+    /// Returns a copy with the opposite sign.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        let mut p = self.clone();
+        p.phase = (p.phase + 2) % 4;
+        p
+    }
+
+    /// `true` if the string is `+I⊗…⊗I`.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.phase == 0 && self.weight() == 0
+    }
+
+    /// Number of qubits acted on non-trivially.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.xs
+            .iter()
+            .zip(&self.zs)
+            .filter(|&(&x, &z)| x || z)
+            .count()
+    }
+
+    /// Indices of qubits acted on non-trivially.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_qubits())
+            .filter(|&q| self.xs[q] || self.zs[q])
+            .collect()
+    }
+
+    /// Whether this string anticommutes with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different numbers of qubits.
+    #[must_use]
+    pub fn anticommutes_with(&self, other: &Self) -> bool {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "Pauli strings must act on the same register"
+        );
+        let mut parity = false;
+        for q in 0..self.num_qubits() {
+            parity ^= (self.xs[q] & other.zs[q]) ^ (self.zs[q] & other.xs[q]);
+        }
+        parity
+    }
+
+    /// The product `self · other`, with exact phase tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings act on different numbers of qubits.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "Pauli strings must act on the same register"
+        );
+        let n = self.num_qubits();
+        let mut out = Self::identity(n);
+        // Phase exponent accumulates i-powers from single-qubit products.
+        let mut k = i16::from(self.phase) + i16::from(other.phase);
+        for q in 0..n {
+            k += single_product_phase(self.xs[q], self.zs[q], other.xs[q], other.zs[q]);
+            out.xs[q] = self.xs[q] ^ other.xs[q];
+            out.zs[q] = self.zs[q] ^ other.zs[q];
+        }
+        out.phase = k.rem_euclid(4) as u8;
+        out
+    }
+
+    /// Restricts the string to the first `n` qubits (used when an encoded
+    /// block is embedded in a larger register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string acts non-trivially outside the first `n` qubits.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Self {
+        for q in n..self.num_qubits() {
+            assert_eq!(self.op(q), PauliOp::I, "support outside truncation window");
+        }
+        Self {
+            xs: self.xs[..n].to_vec(),
+            zs: self.zs[..n].to_vec(),
+            phase: self.phase,
+        }
+    }
+
+    /// Embeds the string into a larger register at a qubit offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded string would not fit.
+    #[must_use]
+    pub fn embedded(&self, num_qubits: usize, offset: usize) -> Self {
+        assert!(
+            offset + self.num_qubits() <= num_qubits,
+            "embedding exceeds register size"
+        );
+        let mut p = Self::identity(num_qubits);
+        for q in 0..self.num_qubits() {
+            p.set(offset + q, self.op(q));
+        }
+        p.phase = self.phase;
+        p
+    }
+}
+
+/// Phase contribution (as an i-exponent in `{-1, 0, 1}`) of the single-qubit
+/// product `P1 · P2` where `P1 = (x1, z1)`, `P2 = (x2, z2)`.
+///
+/// This is the `g` function from Aaronson & Gottesman, "Improved simulation
+/// of stabilizer circuits" (2004).
+fn single_product_phase(x1: bool, z1: bool, x2: bool, z2: bool) -> i16 {
+    let (x1, z1, x2, z2) = (i16::from(x1), i16::from(z1), i16::from(x2), i16::from(z2));
+    match (x1, z1) {
+        (0, 0) => 0,
+        (1, 1) => z2 - x2,
+        (1, 0) => z2 * (2 * x2 - 1),
+        (0, 1) => x2 * (1 - 2 * z2),
+        _ => unreachable!(),
+    }
+}
+
+impl core::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.phase {
+            0 => write!(f, "+")?,
+            1 => write!(f, "+i")?,
+            2 => write!(f, "-")?,
+            3 => write!(f, "-i")?,
+            _ => unreachable!(),
+        }
+        for q in 0..self.num_qubits() {
+            write!(f, "{}", self.op(q))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_multiplication_table() {
+        // XY = iZ, YX = -iZ, ZX = iY, XZ = -iY, YZ = iX, ZY = -iX.
+        let cases = [
+            (PauliOp::X, PauliOp::Y, PauliOp::Z, 1),
+            (PauliOp::Y, PauliOp::X, PauliOp::Z, 3),
+            (PauliOp::Z, PauliOp::X, PauliOp::Y, 1),
+            (PauliOp::X, PauliOp::Z, PauliOp::Y, 3),
+            (PauliOp::Y, PauliOp::Z, PauliOp::X, 1),
+            (PauliOp::Z, PauliOp::Y, PauliOp::X, 3),
+        ];
+        for (a, b, prod, phase) in cases {
+            let pa = PauliString::single(1, 0, a);
+            let pb = PauliString::single(1, 0, b);
+            let pc = pa.mul(&pb);
+            assert_eq!(pc.op(0), prod, "{a} * {b}");
+            assert_eq!(pc.phase_exponent(), phase, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn squares_are_identity() {
+        for op in PauliOp::ALL {
+            let p = PauliString::single(3, 1, op);
+            assert!(p.mul(&p).is_identity(), "{op}^2 != I");
+        }
+    }
+
+    #[test]
+    fn commutation_matches_symplectic_product() {
+        let a = PauliString::parse("XXI").unwrap();
+        let b = PauliString::parse("ZIZ").unwrap();
+        // Overlap on qubit 0 only: X vs Z anticommute.
+        assert!(a.anticommutes_with(&b));
+        let c = PauliString::parse("ZZI").unwrap();
+        // Two anticommuting overlaps cancel.
+        assert!(!a.anticommutes_with(&c));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["+XIZZY", "-ZZZZZ", "+IIIII"] {
+            let p = PauliString::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+        assert!(PauliString::parse("XQ").is_err());
+    }
+
+    #[test]
+    fn weight_and_support() {
+        let p = PauliString::parse("XIYIZ").unwrap();
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.support(), vec![0, 2, 4]);
+        assert_eq!(p.num_qubits(), 5);
+    }
+
+    #[test]
+    fn from_ops_rejects_duplicates() {
+        let ok = PauliString::from_ops(3, [(0, PauliOp::X), (2, PauliOp::Z)]);
+        assert_eq!(ok.to_string(), "+XIZ");
+        let dup = std::panic::catch_unwind(|| {
+            PauliString::from_ops(3, [(0, PauliOp::X), (0, PauliOp::Z)])
+        });
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn embed_and_truncate_round_trip() {
+        let p = PauliString::parse("XZ").unwrap();
+        let e = p.embedded(5, 2);
+        assert_eq!(e.to_string(), "+IIXZI");
+        // Truncating back after moving support to front fails; truncate the
+        // prefix-embedded version instead.
+        let front = p.embedded(5, 0);
+        assert_eq!(front.truncated(2), p);
+    }
+
+    #[test]
+    fn negation_flips_sign_only() {
+        let p = PauliString::parse("XZ").unwrap();
+        let n = p.negated();
+        assert_eq!(n.phase_exponent(), 2);
+        assert_eq!(n.op(0), PauliOp::X);
+        assert!(!p.is_identity());
+        assert!(p.mul(&n).negated().is_identity());
+    }
+
+    #[test]
+    fn mul_is_associative_on_samples() {
+        let samples = ["XYZ", "ZZI", "IYX", "YYY"];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    let (pa, pb, pc) = (
+                        PauliString::parse(a).unwrap(),
+                        PauliString::parse(b).unwrap(),
+                        PauliString::parse(c).unwrap(),
+                    );
+                    assert_eq!(pa.mul(&pb).mul(&pc), pa.mul(&pb.mul(&pc)));
+                }
+            }
+        }
+    }
+}

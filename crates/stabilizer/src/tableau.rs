@@ -1,0 +1,589 @@
+//! Aaronson–Gottesman stabilizer tableau simulator.
+//!
+//! Implements the simulation algorithm of Aaronson & Gottesman, "Improved
+//! simulation of stabilizer circuits" (2004), extended with direct
+//! multi-qubit Pauli measurement — the operation syndrome extraction is
+//! built from.
+
+use rand::Rng;
+
+use crate::pauli::{PauliOp, PauliString};
+
+/// Result of a measurement on a [`Tableau`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureOutcome {
+    /// `false` for the `+1` eigenvalue (bit 0), `true` for `-1` (bit 1).
+    pub value: bool,
+    /// Whether the outcome was determined by the state (as opposed to a
+    /// fair coin flip).
+    pub deterministic: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    /// Sign bit: `false` = `+`, `true` = `-`.
+    r: bool,
+}
+
+impl Row {
+    fn identity(n: usize) -> Self {
+        Self {
+            xs: vec![false; n],
+            zs: vec![false; n],
+            r: false,
+        }
+    }
+
+    fn anticommutes_with(&self, p: &PauliString) -> bool {
+        let mut parity = false;
+        for q in 0..self.xs.len() {
+            parity ^= (self.xs[q] & p.z_bit(q)) ^ (self.zs[q] & p.x_bit(q));
+        }
+        parity
+    }
+
+    fn to_pauli(&self) -> PauliString {
+        let n = self.xs.len();
+        let mut p = PauliString::identity(n);
+        for q in 0..n {
+            p.set(q, PauliOp::from_bits(self.xs[q], self.zs[q]));
+        }
+        if self.r {
+            p.negated()
+        } else {
+            p
+        }
+    }
+}
+
+/// Phase function `g` from Aaronson–Gottesman: the i-exponent produced when
+/// multiplying single-qubit Paulis `(x1,z1) · (x2,z2)`.
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i16 {
+    let (x2i, z2i) = (i16::from(x2), i16::from(z2));
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => z2i - x2i,
+        (true, false) => z2i * (2 * x2i - 1),
+        (false, true) => x2i * (1 - 2 * z2i),
+    }
+}
+
+/// Multiplies row `src` into row `dst` (`dst := src · dst`), tracking signs.
+fn row_mul_into(dst: &mut Row, src: &Row) {
+    let mut k: i16 = 2 * i16::from(dst.r) + 2 * i16::from(src.r);
+    for q in 0..dst.xs.len() {
+        k += g(src.xs[q], src.zs[q], dst.xs[q], dst.zs[q]);
+        dst.xs[q] ^= src.xs[q];
+        dst.zs[q] ^= src.zs[q];
+    }
+    let k = k.rem_euclid(4);
+    debug_assert!(k % 2 == 0, "rowsum produced imaginary phase");
+    dst.r = k == 2;
+}
+
+/// A stabilizer state on `n` qubits, simulated in O(n²) space.
+///
+/// Supports the Clifford generators (`H`, `S`, `CNOT`), derived gates,
+/// Pauli applications, and both single-qubit and multi-qubit Pauli
+/// measurement. Initial state is `|0…0⟩`.
+///
+/// # Examples
+///
+/// Prepare a 3-qubit cat state (the resource the paper's code-transfer
+/// network consumes) and check its stabilizers:
+///
+/// ```
+/// use cqla_stabilizer::{PauliString, Tableau};
+///
+/// let mut t = Tableau::new(3);
+/// t.h(0);
+/// t.cnot(0, 1);
+/// t.cnot(0, 2);
+/// assert_eq!(t.deterministic_sign(&PauliString::parse("XXX").unwrap()), Some(false));
+/// assert_eq!(t.deterministic_sign(&PauliString::parse("ZZI").unwrap()), Some(false));
+/// assert_eq!(t.deterministic_sign(&PauliString::parse("ZII").unwrap()), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tableau {
+    n: usize,
+    /// Rows `0..n` are destabilizers, `n..2n` stabilizers.
+    rows: Vec<Row>,
+}
+
+impl Tableau {
+    /// Creates the `|0…0⟩` state on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let mut rows = Vec::with_capacity(2 * n);
+        for i in 0..2 * n {
+            let mut row = Row::identity(n);
+            if i < n {
+                row.xs[i] = true; // destabilizer X_i
+            } else {
+                row.zs[i - n] = true; // stabilizer Z_i
+            }
+            rows.push(row);
+        }
+        Self { n, rows }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The `i`-th stabilizer generator of the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn stabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n);
+        self.rows[self.n + i].to_pauli()
+    }
+
+    /// The `i`-th destabilizer generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn destabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n);
+        self.rows[i].to_pauli()
+    }
+
+    /// Hadamard on `qubit`.
+    pub fn h(&mut self, qubit: usize) {
+        self.check(qubit);
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] & row.zs[qubit];
+            row.xs.swap(qubit, qubit); // no-op to appease symmetric style
+            let x = row.xs[qubit];
+            row.xs[qubit] = row.zs[qubit];
+            row.zs[qubit] = x;
+        }
+    }
+
+    /// Phase gate `S` on `qubit`.
+    pub fn s(&mut self, qubit: usize) {
+        self.check(qubit);
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] & row.zs[qubit];
+            row.zs[qubit] ^= row.xs[qubit];
+        }
+    }
+
+    /// Inverse phase gate `S†` on `qubit`.
+    pub fn s_dag(&mut self, qubit: usize) {
+        self.s(qubit);
+        self.s(qubit);
+        self.s(qubit);
+    }
+
+    /// Controlled-NOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target` or either is out of range.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        self.check(control);
+        self.check(target);
+        assert_ne!(control, target, "cnot needs distinct qubits");
+        for row in &mut self.rows {
+            row.r ^= row.xs[control] & row.zs[target] & (row.xs[target] ^ row.zs[control] ^ true);
+            row.xs[target] ^= row.xs[control];
+            row.zs[control] ^= row.zs[target];
+        }
+    }
+
+    /// Controlled-Z.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Pauli `X` on `qubit`.
+    pub fn x(&mut self, qubit: usize) {
+        self.check(qubit);
+        for row in &mut self.rows {
+            row.r ^= row.zs[qubit];
+        }
+    }
+
+    /// Pauli `Z` on `qubit`.
+    pub fn z(&mut self, qubit: usize) {
+        self.check(qubit);
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit];
+        }
+    }
+
+    /// Pauli `Y` on `qubit`.
+    pub fn y(&mut self, qubit: usize) {
+        self.check(qubit);
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] ^ row.zs[qubit];
+        }
+    }
+
+    /// Applies an arbitrary Pauli string (e.g. an injected error).
+    ///
+    /// The global phase of `pauli` is ignored; only its conjugation action
+    /// matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` acts on a different number of qubits.
+    pub fn apply_pauli(&mut self, pauli: &PauliString) {
+        assert_eq!(pauli.num_qubits(), self.n, "register size mismatch");
+        for row in &mut self.rows {
+            row.r ^= row.anticommutes_with(pauli);
+        }
+    }
+
+    /// Measures qubit `qubit` in the computational (Z) basis.
+    pub fn measure_z<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> MeasureOutcome {
+        self.check(qubit);
+        let p = PauliString::single(self.n, qubit, PauliOp::Z);
+        self.measure_pauli(&p, rng)
+    }
+
+    /// Measures an arbitrary Hermitian Pauli observable.
+    ///
+    /// Random outcomes use `rng`; deterministic outcomes are computed from
+    /// the tableau. The state collapses accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` has an imaginary phase, acts on a different number
+    /// of qubits, or is the identity.
+    pub fn measure_pauli<R: Rng + ?Sized>(
+        &mut self,
+        pauli: &PauliString,
+        rng: &mut R,
+    ) -> MeasureOutcome {
+        assert_eq!(pauli.num_qubits(), self.n, "register size mismatch");
+        assert!(
+            pauli.phase_exponent() % 2 == 0,
+            "observable must be Hermitian (real phase)"
+        );
+        assert!(pauli.weight() > 0, "cannot measure the identity");
+        // Measuring -P flips the reported eigenvalue bit of +P.
+        let sign_flip = pauli.phase_exponent() == 2;
+
+        let anti_stab = (self.n..2 * self.n).find(|&i| self.rows[i].anticommutes_with(pauli));
+        if let Some(p_idx) = anti_stab {
+            // Random outcome: update the group. The destabilizer partner
+            // (p_idx - n) is skipped because it is overwritten below — and
+            // because it anticommutes with the pivot, so multiplying it
+            // would produce an (irrelevant) imaginary phase.
+            let pivot = self.rows[p_idx].clone();
+            for i in 0..2 * self.n {
+                if i != p_idx
+                    && i != p_idx - self.n
+                    && self.rows[i].anticommutes_with(pauli)
+                {
+                    row_mul_into(&mut self.rows[i], &pivot);
+                }
+            }
+            self.rows[p_idx - self.n] = pivot;
+            let value = rng.gen::<bool>();
+            let mut new_row = Row::identity(self.n);
+            for q in 0..self.n {
+                new_row.xs[q] = pauli.x_bit(q);
+                new_row.zs[q] = pauli.z_bit(q);
+            }
+            // Store +P or -P so that measuring P again yields `value`.
+            new_row.r = value ^ sign_flip;
+            self.rows[p_idx] = new_row;
+            MeasureOutcome {
+                value,
+                deterministic: false,
+            }
+        } else {
+            let value = self
+                .deterministic_sign_unsigned(pauli)
+                .expect("no anticommuting stabilizer implies deterministic outcome");
+            MeasureOutcome {
+                value: value ^ sign_flip,
+                deterministic: true,
+            }
+        }
+    }
+
+    /// If the observable `pauli` has a deterministic value in this state,
+    /// returns `Some(bit)` (`false` = +1 eigenvalue); otherwise `None`.
+    /// Does not modify the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on imaginary phases, size mismatch, or the identity.
+    #[must_use]
+    pub fn deterministic_sign(&self, pauli: &PauliString) -> Option<bool> {
+        assert_eq!(pauli.num_qubits(), self.n, "register size mismatch");
+        assert!(
+            pauli.phase_exponent() % 2 == 0,
+            "observable must be Hermitian (real phase)"
+        );
+        assert!(pauli.weight() > 0, "identity has no measurement value");
+        let sign_flip = pauli.phase_exponent() == 2;
+        self.deterministic_sign_unsigned(pauli).map(|v| v ^ sign_flip)
+    }
+
+    /// Deterministic eigenvalue bit of `+P` (ignoring `pauli`'s sign), or
+    /// `None` if the outcome is random.
+    fn deterministic_sign_unsigned(&self, pauli: &PauliString) -> Option<bool> {
+        if (self.n..2 * self.n).any(|i| self.rows[i].anticommutes_with(pauli)) {
+            return None;
+        }
+        // P is (up to sign) a product of stabilizer generators; which ones is
+        // revealed by the destabilizers: generator i participates iff
+        // destabilizer i anticommutes with P.
+        let mut scratch = Row::identity(self.n);
+        for i in 0..self.n {
+            if self.rows[i].anticommutes_with(pauli) {
+                let stab = self.rows[self.n + i].clone();
+                row_mul_into(&mut scratch, &stab);
+            }
+        }
+        for q in 0..self.n {
+            debug_assert_eq!(scratch.xs[q], pauli.x_bit(q), "scratch row mismatch");
+            debug_assert_eq!(scratch.zs[q], pauli.z_bit(q), "scratch row mismatch");
+        }
+        Some(scratch.r)
+    }
+
+    /// `true` if the state is a `+1` eigenstate of `pauli`.
+    #[must_use]
+    pub fn is_stabilized_by(&self, pauli: &PauliString) -> bool {
+        self.deterministic_sign(pauli) == Some(false)
+    }
+
+    fn check(&self, qubit: usize) {
+        assert!(qubit < self.n, "qubit {qubit} out of range {}", self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC01A)
+    }
+
+    fn parse(s: &str) -> PauliString {
+        PauliString::parse(s).unwrap()
+    }
+
+    #[test]
+    fn fresh_state_is_all_zero() {
+        let mut t = Tableau::new(3);
+        let mut r = rng();
+        for q in 0..3 {
+            let m = t.measure_z(q, &mut r);
+            assert!(!m.value);
+            assert!(m.deterministic);
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(2);
+        t.x(0);
+        let mut r = rng();
+        assert!(t.measure_z(0, &mut r).value);
+        assert!(!t.measure_z(1, &mut r).value);
+    }
+
+    #[test]
+    fn hadamard_makes_outcome_random_then_repeatable() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let mut r = rng();
+        let first = t.measure_z(0, &mut r);
+        assert!(!first.deterministic);
+        let second = t.measure_z(0, &mut r);
+        assert!(second.deterministic);
+        assert_eq!(first.value, second.value);
+    }
+
+    #[test]
+    fn plus_state_is_stabilized_by_x() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        assert!(t.is_stabilized_by(&parse("X")));
+        assert_eq!(t.deterministic_sign(&parse("Z")), None);
+    }
+
+    #[test]
+    fn s_turns_plus_into_y_eigenstate() {
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        assert!(t.is_stabilized_by(&parse("Y")));
+        t.s_dag(0);
+        assert!(t.is_stabilized_by(&parse("X")));
+    }
+
+    #[test]
+    fn ghz_state_stabilizers() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(0, 2);
+        for s in ["XXX", "ZZI", "IZZ"] {
+            assert!(t.is_stabilized_by(&parse(s)), "missing stabilizer {s}");
+        }
+        // Anti-stabilizer: -XXX must read as the 1 outcome.
+        assert_eq!(t.deterministic_sign(&parse("-XXX")), Some(true));
+    }
+
+    #[test]
+    fn ghz_collapse_is_correlated() {
+        for seed in 0..16 {
+            let mut t = Tableau::new(3);
+            t.h(0);
+            t.cnot(0, 1);
+            t.cnot(0, 2);
+            let mut r = StdRng::seed_from_u64(seed);
+            let a = t.measure_z(0, &mut r);
+            let b = t.measure_z(1, &mut r);
+            let c = t.measure_z(2, &mut r);
+            assert!(!a.deterministic);
+            assert!(b.deterministic && c.deterministic);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.value, c.value);
+        }
+    }
+
+    #[test]
+    fn cz_matches_h_conjugated_cnot() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.h(1);
+        t.cz(0, 1);
+        // H⊗H then CZ gives a graph state stabilized by XZ and ZX.
+        assert!(t.is_stabilized_by(&parse("XZ")));
+        assert!(t.is_stabilized_by(&parse("ZX")));
+    }
+
+    #[test]
+    fn apply_pauli_matches_gate_sequence() {
+        let mut a = Tableau::new(2);
+        let mut b = Tableau::new(2);
+        a.h(0);
+        a.cnot(0, 1);
+        b.h(0);
+        b.cnot(0, 1);
+        a.x(0);
+        a.z(1);
+        b.apply_pauli(&parse("XZ"));
+        for i in 0..2 {
+            assert_eq!(a.stabilizer(i), b.stabilizer(i));
+        }
+    }
+
+    #[test]
+    fn y_equals_ixz_action() {
+        let mut a = Tableau::new(1);
+        let mut b = Tableau::new(1);
+        a.h(0); // prepare |+>
+        b.h(0);
+        a.y(0);
+        b.x(0);
+        b.z(0);
+        assert_eq!(a.stabilizer(0), b.stabilizer(0));
+    }
+
+    #[test]
+    fn multi_qubit_measurement_projects() {
+        // Measuring XX on |00> then ZZ shows commuting joint observables.
+        let mut t = Tableau::new(2);
+        let mut r = rng();
+        let xx = t.measure_pauli(&parse("XX"), &mut r);
+        assert!(!xx.deterministic);
+        // ZZ commutes with XX and stabilized |00> -> still +1.
+        let zz = t.measure_pauli(&parse("ZZ"), &mut r);
+        assert!(zz.deterministic);
+        assert!(!zz.value);
+        // Re-measuring XX repeats the first outcome.
+        let xx2 = t.measure_pauli(&parse("XX"), &mut r);
+        assert!(xx2.deterministic);
+        assert_eq!(xx2.value, xx.value);
+    }
+
+    #[test]
+    fn teleportation_moves_a_stabilizer_state() {
+        for seed in 0..8 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut t = Tableau::new(3);
+            // Qubit 0 carries |+i> (stabilized by Y).
+            t.h(0);
+            t.s(0);
+            // EPR pair on 1, 2.
+            t.h(1);
+            t.cnot(1, 2);
+            // Bell measurement of 0 and 1.
+            t.cnot(0, 1);
+            t.h(0);
+            let m0 = t.measure_z(0, &mut r).value;
+            let m1 = t.measure_z(1, &mut r).value;
+            if m1 {
+                t.x(2);
+            }
+            if m0 {
+                t.z(2);
+            }
+            assert!(t.is_stabilized_by(&parse("IIY")), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn measurement_statistics_are_unbiased() {
+        let mut ones = 0u32;
+        let trials = 2_000;
+        let mut r = rng();
+        for _ in 0..trials {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            if t.measure_z(0, &mut r).value {
+                ones += 1;
+            }
+        }
+        let frac = f64::from(ones) / f64::from(trials);
+        assert!((frac - 0.5).abs() < 0.05, "biased coin: {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot measure the identity")]
+    fn measuring_identity_panics() {
+        let mut t = Tableau::new(1);
+        let mut r = rng();
+        let _ = t.measure_pauli(&PauliString::identity(1), &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn cnot_same_qubit_panics() {
+        let mut t = Tableau::new(2);
+        t.cnot(1, 1);
+    }
+}

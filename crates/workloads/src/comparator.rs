@@ -1,0 +1,179 @@
+//! Quantum magnitude comparator — the modular-reduction ingredient of the
+//! modular adders the paper's modular exponentiation decomposes into.
+//!
+//! Computes the predicate `a < b` into a flag qubit using the carry of
+//! the two's-complement subtraction `a - b`, built from the CDKM MAJ
+//! ladder run on `(a, ~b)` — the standard reversible-comparator trick.
+//! All intermediate state is uncomputed: only the flag changes.
+
+use cqla_circuit::{Circuit, ClassicalState};
+
+/// Generator for `a < b` comparators.
+///
+/// Register layout: qubit 0 is a borrowed ancilla (restored), qubits
+/// `1..=n` hold `a` (preserved), `n+1..=2n` hold `b` (preserved), and
+/// qubit `2n+1` is the output flag (XORed with the predicate).
+///
+/// # Examples
+///
+/// ```
+/// use cqla_workloads::Comparator;
+///
+/// let cmp = Comparator::new(8);
+/// assert!(cmp.compare(3, 200));
+/// assert!(!cmp.compare(200, 3));
+/// assert!(!cmp.compare(77, 77)); // strict
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    n: u32,
+    circuit: Circuit,
+}
+
+impl Comparator {
+    /// Builds the `n`-bit comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 127.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=127).contains(&n), "comparator width {n} out of range");
+        let mut c = Circuit::new(2 * n + 2);
+        let a = |i: u32| 1 + i;
+        let b = |i: u32| 1 + n + i;
+        let flag = 2 * n + 1;
+
+        // a < b  ⇔  carry out of ~a + b = (2^n - 1 - a) + b ≥ 2^n ⇔ b ≥ a+1.
+        // Complement a, ripple the MAJ ladder to produce that carry in
+        // a[n-1], copy it to the flag, then unwind.
+        let complement = |c: &mut Circuit| {
+            for i in 0..n {
+                c.x(a(i));
+            }
+        };
+        let maj_ladder = |c: &mut Circuit| {
+            c.cnot(a(0), b(0));
+            c.cnot(a(0), 0);
+            c.toffoli(0, b(0), a(0));
+            for i in 1..n {
+                c.cnot(a(i), b(i));
+                c.cnot(a(i), a(i - 1));
+                c.toffoli(a(i - 1), b(i), a(i));
+            }
+        };
+        let unmaj_ladder = |c: &mut Circuit| {
+            for i in (1..n).rev() {
+                c.toffoli(a(i - 1), b(i), a(i));
+                c.cnot(a(i), a(i - 1));
+                c.cnot(a(i), b(i));
+            }
+            c.toffoli(0, b(0), a(0));
+            c.cnot(a(0), 0);
+            c.cnot(a(0), b(0));
+        };
+
+        complement(&mut c);
+        maj_ladder(&mut c);
+        // Carry of ~a + b now sits in a[n-1]; a < b ⇔ carry = 1.
+        c.cnot(a(n - 1), flag);
+        unmaj_ladder(&mut c);
+        complement(&mut c);
+        Self { n, circuit: c }
+    }
+
+    /// Comparator width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.n
+    }
+
+    /// The generated circuit.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        self.circuit.clone()
+    }
+
+    /// Borrowed view of the generated circuit.
+    #[must_use]
+    pub fn circuit_ref(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Evaluates `a < b` classically, asserting that both inputs and the
+    /// ancilla are restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs do not fit in `n` bits or an invariant fails.
+    #[must_use]
+    pub fn compare(&self, a: u128, b: u128) -> bool {
+        let n = self.n as usize;
+        let mut state = ClassicalState::zeros(self.circuit.num_qubits() as usize);
+        state.load_uint(1, n, a);
+        state.load_uint(1 + n, n, b);
+        state
+            .run(&self.circuit)
+            .expect("comparator is classical reversible");
+        assert!(!state.bit(0), "ancilla not restored");
+        assert_eq!(state.read_uint(1, n), a, "a clobbered");
+        assert_eq!(state.read_uint(1 + n, n), b, "b clobbered");
+        state.bit(2 * self.n as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for n in 1..=4u32 {
+            let cmp = Comparator::new(n);
+            for a in 0..(1u128 << n) {
+                for b in 0..(1u128 << n) {
+                    assert_eq!(cmp.compare(a, b), a < b, "n={n}: {a} < {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_operands() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for n in [8u32, 16, 32, 64] {
+            let cmp = Comparator::new(n);
+            let mask = (1u128 << n) - 1;
+            for _ in 0..30 {
+                let a = rng.gen::<u128>() & mask;
+                let b = rng.gen::<u128>() & mask;
+                assert_eq!(cmp.compare(a, b), a < b, "n={n}: {a} < {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_boundary() {
+        let cmp = Comparator::new(16);
+        for v in [0u128, 1, 777, 65_535] {
+            assert!(!cmp.compare(v, v), "{v} < {v} must be false");
+        }
+        assert!(cmp.compare(0, 65_535));
+        assert!(!cmp.compare(65_535, 0));
+    }
+
+    #[test]
+    fn flag_is_xor_semantics() {
+        // Running the comparator twice toggles the flag back.
+        let cmp = Comparator::new(4);
+        let mut twice = cmp.circuit();
+        twice.append(cmp.circuit_ref());
+        let mut state = cqla_circuit::ClassicalState::zeros(10);
+        state.load_uint(1, 4, 3);
+        state.load_uint(5, 4, 9);
+        state.run(&twice).unwrap();
+        assert!(!state.bit(9), "flag must toggle back after two runs");
+    }
+}

@@ -1,0 +1,193 @@
+//! The Cuccaro–Draper–Kutin–Moulton in-place ripple adder
+//! (quant-ph/0410184) — the minimal-ancilla point of the adder design
+//! space.
+//!
+//! Where the Draper carry-lookahead adder spends ~n ancilla and Toffoli
+//! *width* to buy logarithmic depth, the CDKM adder computes `b := a + b`
+//! in place with a *single* ancilla using the MAJ/UMA (majority /
+//! unmajority-and-add) ladder. The CQLA study's memory-hierarchy framing
+//! makes the contrast interesting: the in-place adder has a smaller
+//! working set (less cache pressure) but serial depth (less use for
+//! compute blocks).
+
+use cqla_circuit::{Circuit, ClassicalState};
+
+/// Generator for CDKM in-place ripple adders.
+///
+/// Register layout: qubit 0 is the borrowed ancilla (restored to its input
+/// value), qubits `1..=n` hold `a` (preserved), `n+1..=2n` hold `b`
+/// (replaced by the sum), and qubit `2n+1` receives the carry out.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_workloads::CuccaroAdder;
+///
+/// let adder = CuccaroAdder::new(8);
+/// assert_eq!(adder.compute(200, 100), 300);
+/// // One ancilla, no workspace register: 2n + 2 qubits total.
+/// assert_eq!(adder.total_qubits(), 18);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuccaroAdder {
+    n: u32,
+    circuit: Circuit,
+}
+
+impl CuccaroAdder {
+    /// Builds the `n`-bit in-place adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 127 (verification uses `u128`).
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!((1..=127).contains(&n), "adder width {n} out of range 1..=127");
+        let mut c = Circuit::new(2 * n + 2);
+        let anc = 0u32;
+        let a = |i: u32| 1 + i;
+        let b = |i: u32| 1 + n + i;
+        let z = 2 * n + 1;
+
+        // MAJ ladder: carry ripples up the a register.
+        maj(&mut c, anc, b(0), a(0));
+        for i in 1..n {
+            maj(&mut c, a(i - 1), b(i), a(i));
+        }
+        // Carry out.
+        c.cnot(a(n - 1), z);
+        // UMA ladder: restore a and produce sum bits in b.
+        for i in (1..n).rev() {
+            uma(&mut c, a(i - 1), b(i), a(i));
+        }
+        uma(&mut c, anc, b(0), a(0));
+        Self { n, circuit: c }
+    }
+
+    /// Adder width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.n
+    }
+
+    /// The generated circuit.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        self.circuit.clone()
+    }
+
+    /// Borrowed view of the generated circuit.
+    #[must_use]
+    pub fn circuit_ref(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Total qubits: `2n + 2`.
+    #[must_use]
+    pub fn total_qubits(&self) -> u32 {
+        self.circuit.num_qubits()
+    }
+
+    /// Runs the adder classically, checking every machine invariant
+    /// (`a` preserved, ancilla restored), and returns `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs do not fit in `n` bits or an invariant fails.
+    #[must_use]
+    pub fn compute(&self, a: u128, b: u128) -> u128 {
+        let n = self.n as usize;
+        let mut state = ClassicalState::zeros(self.total_qubits() as usize);
+        state.load_uint(1, n, a);
+        state.load_uint(1 + n, n, b);
+        state
+            .run(&self.circuit)
+            .expect("CDKM adder is classical reversible");
+        assert!(!state.bit(0), "ancilla not restored");
+        assert_eq!(state.read_uint(1, n), a, "a clobbered");
+        let sum = state.read_uint(1 + n, n);
+        let carry = u128::from(state.bit(2 * n + 1));
+        (carry << n) | sum
+    }
+}
+
+/// MAJ(c, b, a): a := MAJ(a, b, c), b := b ⊕ a, c := c ⊕ a.
+fn maj(c: &mut Circuit, x: u32, y: u32, z: u32) {
+    c.cnot(z, y);
+    c.cnot(z, x);
+    c.toffoli(x, y, z);
+}
+
+/// UMA(c, b, a): inverse of MAJ followed by the sum formation.
+fn uma(c: &mut Circuit, x: u32, y: u32, z: u32) {
+    c.toffoli(x, y, z);
+    c.cnot(z, x);
+    c.cnot(x, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draper::DraperAdder;
+    use cqla_circuit::DependencyDag;
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for n in 1..=4u32 {
+            let adder = CuccaroAdder::new(n);
+            for a in 0..(1u128 << n) {
+                for b in 0..(1u128 << n) {
+                    assert_eq!(adder.compute(a, b), a + b, "n={n}: {a}+{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_operands_match_draper() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for n in [8u32, 16, 32, 64] {
+            let cdkm = CuccaroAdder::new(n);
+            let cla = DraperAdder::new(n);
+            let mask = (1u128 << n) - 1;
+            for _ in 0..20 {
+                let a = rng.gen::<u128>() & mask;
+                let b = rng.gen::<u128>() & mask;
+                assert_eq!(cdkm.compute(a, b), cla.compute(a, b), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_chain_worst_case() {
+        let adder = CuccaroAdder::new(16);
+        let ones = (1u128 << 16) - 1;
+        assert_eq!(adder.compute(ones, 1), 1 << 16);
+        assert_eq!(adder.compute(ones, ones), ones * 2);
+    }
+
+    #[test]
+    fn uses_one_ancilla_and_no_workspace() {
+        let adder = CuccaroAdder::new(32);
+        // 2n registers + ancilla + carry.
+        assert_eq!(adder.total_qubits(), 66);
+        let draper = DraperAdder::new(32);
+        assert!(adder.total_qubits() < draper.total_qubits());
+    }
+
+    #[test]
+    fn depth_is_linear_but_toffoli_count_is_lower_than_draper() {
+        let cdkm = CuccaroAdder::new(32);
+        let cla = DraperAdder::new(32);
+        let cdkm_dag = DependencyDag::new(cdkm.circuit_ref());
+        let cla_dag = DependencyDag::new(cla.circuit_ref());
+        // Serial ladder: depth scales with n.
+        assert!(cdkm_dag.depth() >= 2 * 32);
+        assert!(cdkm_dag.depth() > 3 * cla_dag.depth());
+        // But it needs only 2n Toffolis vs Draper's ~4.4n.
+        assert!(cdkm.circuit_ref().counts().toffoli < cla.circuit_ref().counts().toffoli);
+        assert_eq!(cdkm.circuit_ref().counts().toffoli, 2 * 32);
+    }
+}

@@ -1,0 +1,136 @@
+//! Quantum Fourier Transform generator (paper §6.1).
+//!
+//! The QFT is the paper's communication stress test: it applies a
+//! controlled-phase between *every pair* of qubits ("all-to-all
+//! personalized communication"), but each interaction is a cheap two-qubit
+//! gate — a communication-heavy, computation-light workload.
+
+use cqla_circuit::Circuit;
+
+/// Generator for the textbook QFT circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_workloads::Qft;
+///
+/// let qft = Qft::new(16);
+/// // n Hadamards + n(n-1)/2 controlled-phase rotations.
+/// assert_eq!(qft.pair_interactions(), 120);
+/// assert_eq!(qft.circuit().len() as u64, 16 + 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qft {
+    n: u32,
+    circuit: Circuit,
+}
+
+impl Qft {
+    /// Builds the `n`-qubit QFT (without the final bit-reversal swaps,
+    /// which compilers typically elide by relabeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "QFT needs at least one qubit");
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(i);
+            for j in (i + 1)..n {
+                // Rotation angle 2π / 2^(j - i + 1), controlled by qubit j.
+                let order = u8::try_from((j - i + 1).min(127)).expect("bounded above");
+                c.controlled_phase(j, i, order);
+            }
+        }
+        Self { n, circuit: c }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.n
+    }
+
+    /// The generated circuit.
+    #[must_use]
+    pub fn circuit(&self) -> Circuit {
+        self.circuit.clone()
+    }
+
+    /// Borrowed view of the generated circuit.
+    #[must_use]
+    pub fn circuit_ref(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of two-qubit interactions: `n(n-1)/2` — every ordered pair
+    /// exactly once, the all-to-all pattern of paper Fig 8b.
+    #[must_use]
+    pub fn pair_interactions(&self) -> u64 {
+        u64::from(self.n) * (u64::from(self.n) - 1) / 2
+    }
+
+    /// Total logical gate steps (Hadamards + pair interactions).
+    #[must_use]
+    pub fn total_gates(&self) -> u64 {
+        u64::from(self.n) + self.pair_interactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqla_circuit::{DependencyDag, Gate};
+
+    #[test]
+    fn gate_census() {
+        let qft = Qft::new(8);
+        let counts = qft.circuit_ref().counts();
+        assert_eq!(counts.single_qubit, 8);
+        assert_eq!(counts.two_qubit_other, 28);
+        assert_eq!(counts.toffoli, 0);
+        assert_eq!(qft.total_gates(), 36);
+    }
+
+    #[test]
+    fn every_pair_interacts_exactly_once() {
+        let qft = Qft::new(10);
+        let mut pairs = std::collections::HashSet::new();
+        for g in qft.circuit_ref().gates() {
+            if let Gate::ControlledPhase { control, target, .. } = g {
+                let key = (control.index().min(target.index()), control.index().max(target.index()));
+                assert!(pairs.insert(key), "pair {key:?} repeated");
+            }
+        }
+        assert_eq!(pairs.len() as u64, qft.pair_interactions());
+    }
+
+    #[test]
+    fn rotation_orders_decay_with_distance() {
+        let qft = Qft::new(6);
+        for g in qft.circuit_ref().gates() {
+            if let Gate::ControlledPhase { control, target, order } = g {
+                let dist = control.index().abs_diff(target.index());
+                assert_eq!(u32::from(*order), dist + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_linear_not_quadratic() {
+        // Each qubit's H must wait for all rotations targeting it, but
+        // rotations on disjoint pairs commute into parallel layers.
+        let dag = DependencyDag::new(&Qft::new(24).circuit());
+        let depth = dag.depth();
+        assert!(depth >= 24, "depth {depth}");
+        assert!(depth < 24 * 24 / 2, "depth {depth} is quadratic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_width_rejected() {
+        let _ = Qft::new(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Executable proof of the codes' error-correcting power: exhaustive
+//! distance verification plus a Monte Carlo logical-error-rate sweep.
+//!
+//! ```text
+//! cargo run --example code_distance
+//! ```
+
+use cqla_repro::stabilizer::montecarlo::{estimate_logical_error_rate, DepolarizingNoise};
+use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString, Tableau};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2006);
+
+    for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
+        println!("{code}");
+        let decoder = LookupDecoder::for_code(&code);
+        println!("  syndrome table: {} entries", decoder.table_len());
+
+        // Exhaustive weight-1 correction check.
+        let n = code.num_qubits();
+        let mut corrected = 0;
+        let mut total = 0;
+        for q in 0..n {
+            for op in PauliOp::ERRORS {
+                let error = PauliString::single(n, q, op);
+                let syndrome = code.syndrome(&error);
+                let fix = decoder.decode(&syndrome).expect("reachable syndrome");
+                if code.is_logically_trivial(&error.mul(&fix)) {
+                    corrected += 1;
+                }
+                total += 1;
+            }
+        }
+        println!("  weight-1 errors corrected: {corrected}/{total}");
+
+        // Logical error rate under depolarizing noise.
+        print!("  logical error rate:");
+        for p in [0.001f64, 0.01, 0.05] {
+            let est = estimate_logical_error_rate(
+                &code,
+                &decoder,
+                DepolarizingNoise::new(p),
+                100_000,
+                &mut rng,
+            );
+            print!("  p={p}: {:.2e}", est.rate());
+        }
+        println!("\n");
+    }
+
+    // Tableau-level demonstration: encode, corrupt, extract, correct.
+    println!("Circuit-level round trip on the Steane code:");
+    let code = CssCode::steane();
+    let decoder = LookupDecoder::for_code(&code);
+    let mut t = Tableau::new(7);
+    code.encode_zero(&mut t, 0, &mut rng);
+    let error = PauliString::single(7, 4, PauliOp::Y);
+    t.apply_pauli(&error);
+    let measured: Vec<bool> = code
+        .generators()
+        .iter()
+        .map(|g| t.measure_pauli(g, &mut rng).value)
+        .collect();
+    let syndrome = cqla_repro::stabilizer::Syndrome::from_bits(measured);
+    let fix = decoder.decode(&syndrome).expect("weight-1 syndrome");
+    t.apply_pauli(&fix);
+    let logical_z_ok = t.is_stabilized_by(&code.logical_z());
+    println!("  injected Y on qubit 4, measured syndrome {syndrome}, applied {fix}");
+    println!("  logical |0> recovered: {logical_z_ok}");
+    assert!(logical_z_ok);
+}

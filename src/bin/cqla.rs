@@ -1,0 +1,145 @@
+//! `cqla` — command-line front end for the CQLA reproduction.
+//!
+//! ```text
+//! cqla table <1|2|3|4|5>        print one of the paper's tables
+//! cqla figure <2|6a|6b|7|8a|8b> print one of the paper's figure datasets
+//! cqla machine <bits> <blocks> [steane|bacon-shor]
+//!                               price a CQLA configuration
+//! cqla floorplan                draw the level-1 tile floorplans
+//! cqla verify                   run the built-in self-checks
+//! ```
+
+use std::process::ExitCode;
+
+use cqla_repro::core::experiments as exp;
+use cqla_repro::core::{CqlaConfig, HierarchyConfig, HierarchyStudy, SpecializationStudy};
+use cqla_repro::ecc::Code;
+use cqla_repro::iontrap::{TechnologyParams, TileFloorplan};
+use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
+use cqla_repro::workloads::DraperAdder;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tech = TechnologyParams::projected();
+    match args.first().map(String::as_str) {
+        Some("table") => table(&tech, args.get(1).map(String::as_str)),
+        Some("figure") => figure(&tech, args.get(1).map(String::as_str)),
+        Some("machine") => machine(&tech, &args[1..]),
+        Some("floorplan") => {
+            println!("{}", TileFloorplan::steane_level1());
+            println!("{}", TileFloorplan::bacon_shor_level1());
+            ExitCode::SUCCESS
+        }
+        Some("verify") => verify(),
+        _ => {
+            eprintln!(
+                "usage: cqla <table N | figure N | machine BITS BLOCKS [CODE] | floorplan | verify>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn table(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
+    match which {
+        Some("1") => {
+            println!("{}\n\n{}", TechnologyParams::current(), TechnologyParams::projected());
+        }
+        Some("2") => println!("{}", exp::table2(tech).1),
+        Some("3") => println!("{}", exp::table3(tech).1),
+        Some("4") => println!("{}", exp::table4(tech).1),
+        Some("5") => println!("{}", exp::table5(tech).1),
+        other => {
+            eprintln!("unknown table {other:?}; expected 1-5");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn figure(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
+    match which {
+        Some("2") => {
+            let (data, text) = exp::fig2(64, 15);
+            println!("{text}");
+            println!(
+                "makespans: unlimited {}, capped {} ({:.2}x)",
+                data.unlimited_makespan,
+                data.capped_makespan,
+                data.relative_stretch()
+            );
+        }
+        Some("6a") => println!("{}", exp::fig6a(tech).1),
+        Some("6b") => println!("{}", exp::fig6b(tech).1),
+        Some("7") => println!("{}", exp::fig7().1),
+        Some("8a") => println!("{}", exp::fig8a(tech).1),
+        Some("8b") => println!("{}", exp::fig8b(tech).1),
+        other => {
+            eprintln!("unknown figure {other:?}; expected 2, 6a, 6b, 7, 8a, 8b");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
+    let (Some(bits), Some(blocks)) = (
+        args.first().and_then(|s| s.parse::<u32>().ok()),
+        args.get(1).and_then(|s| s.parse::<u32>().ok()),
+    ) else {
+        eprintln!("usage: cqla machine BITS BLOCKS [steane|bacon-shor]");
+        return ExitCode::FAILURE;
+    };
+    let code = match args.get(2).map(String::as_str) {
+        Some("steane") => Code::Steane713,
+        Some("bacon-shor") | None => Code::BaconShor913,
+        Some(other) => {
+            eprintln!("unknown code {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let study = SpecializationStudy::new(tech);
+    let r = study.evaluate(CqlaConfig::new(code, bits, blocks));
+    println!("CQLA: {code}, {bits}-bit input, {blocks} compute blocks");
+    println!("  memory qubits     {}", r.config.memory_qubits());
+    println!("  area reduction    {:.2}x vs QLA", r.area_reduction);
+    println!("  adder speedup     {:.2}x vs maximally parallel QLA", r.speedup);
+    println!("  block utilization {:.0}%", r.utilization * 100.0);
+    println!("  adder time        {}", r.adder_time);
+    println!("  gain product      {:.1}", r.gain_product);
+    let h = HierarchyStudy::new(tech).evaluate(HierarchyConfig::new(code, bits, 10, blocks));
+    println!("with a level-1 cache + compute region (10 parallel transfers):");
+    println!("  cache hit rate    {:.0}%", h.cache_hit_rate * 100.0);
+    println!("  L1 region speedup {:.1}x over L2", h.l1_speedup);
+    println!(
+        "  adder speedup     {:.2}x … {:.2}x (policy bracket)",
+        h.adder_speedup_interleave, h.adder_speedup_balanced
+    );
+    ExitCode::SUCCESS
+}
+
+fn verify() -> ExitCode {
+    // Adder correctness spot-check.
+    let adder = DraperAdder::new(32);
+    let ok_adder = adder.compute_checked(0xDEAD_BEEF, 0x1234_5678) == 0xDEAD_BEEF + 0x1234_5678;
+    println!("draper adder 32-bit: {}", if ok_adder { "ok" } else { "FAIL" });
+    // Code distance spot-check.
+    let mut ok_codes = true;
+    for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
+        let decoder = LookupDecoder::for_code(&code);
+        for q in 0..code.num_qubits() {
+            for op in PauliOp::ERRORS {
+                let e = PauliString::single(code.num_qubits(), q, op);
+                let fix = decoder.decode(&code.syndrome(&e));
+                let good = fix.is_some_and(|f| code.is_logically_trivial(&e.mul(&f)));
+                ok_codes &= good;
+            }
+        }
+        println!("{code}: weight-1 correction {}", if ok_codes { "ok" } else { "FAIL" });
+    }
+    if ok_adder && ok_codes {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

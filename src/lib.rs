@@ -1,0 +1,51 @@
+//! # cqla-repro
+//!
+//! A from-scratch Rust reproduction of *Quantum Memory Hierarchies:
+//! Efficient Designs to Match Available Parallelism in Quantum Computing*
+//! (Thaker, Metodi, Cross, Chuang, Chong — ISCA 2006): the CQLA
+//! architecture, its quantum memory hierarchy, and every substrate the
+//! study depends on.
+//!
+//! This facade re-exports the workspace crates under stable paths:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`units`] | `cqla-units` | typed time/area/probability quantities |
+//! | [`sim`] | `cqla-sim` | discrete-event kernel (queues, channels) |
+//! | [`stabilizer`] | `cqla-stabilizer` | Pauli algebra, tableau simulator, CSS codes |
+//! | [`iontrap`] | `cqla-iontrap` | Table 1 technology model, trap geometry |
+//! | [`ecc`] | `cqla-ecc` | concatenated-EC costs (Tables 2–3), Eq. 1 fidelity |
+//! | [`circuit`] | `cqla-circuit` | gate IR, DAGs, scheduling, reversible sim |
+//! | [`workloads`] | `cqla-workloads` | Draper/ripple adders, modexp, QFT, Shor |
+//! | [`network`] | `cqla-network` | EPR purification, mesh, bandwidth (Fig 6b) |
+//! | [`core`] | `cqla-core` | the CQLA itself + every table/figure generator |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cqla_repro::core::{CqlaConfig, SpecializationStudy};
+//! use cqla_repro::ecc::Code;
+//! use cqla_repro::iontrap::TechnologyParams;
+//!
+//! let tech = TechnologyParams::projected();
+//! let study = SpecializationStudy::new(&tech);
+//! let machine = study.evaluate(CqlaConfig::new(Code::BaconShor913, 1024, 100));
+//! println!(
+//!     "area reduced {:.1}x, speedup {:.2}x, gain product {:.1}",
+//!     machine.area_reduction, machine.speedup, machine.gain_product
+//! );
+//! # assert!(machine.gain_product > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cqla_circuit as circuit;
+pub use cqla_core as core;
+pub use cqla_ecc as ecc;
+pub use cqla_iontrap as iontrap;
+pub use cqla_network as network;
+pub use cqla_sim as sim;
+pub use cqla_stabilizer as stabilizer;
+pub use cqla_units as units;
+pub use cqla_workloads as workloads;

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the full pipeline from workload generation
+//! through scheduling and costing to the paper's reported quantities.
+
+use cqla_repro::circuit::{asm, DependencyDag, Gate, ListScheduler, Width};
+use cqla_repro::core::experiments::{fig6b, fig7, table2, table3, table4, table5};
+use cqla_repro::core::{CacheSim, CqlaConfig, FetchPolicy, QlaBaseline, SpecializationStudy};
+use cqla_repro::ecc::{Code, EccMetrics, Level};
+use cqla_repro::iontrap::TechnologyParams;
+use cqla_repro::workloads::{DraperAdder, ModExp, ShorInstance};
+
+fn tech() -> TechnologyParams {
+    TechnologyParams::projected()
+}
+
+#[test]
+fn workload_to_schedule_to_cost() {
+    // Generate a real adder, schedule it, and cost it at level 2.
+    let adder = DraperAdder::new(128);
+    let dag = DependencyDag::new(adder.circuit_ref());
+    let schedule =
+        ListScheduler::new(&dag).schedule(Width::Blocks(16), Gate::two_qubit_gate_equivalents);
+    let metrics = EccMetrics::compute(Code::Steane713, Level::TWO, &tech());
+    let wall = metrics.ec_time() * schedule.makespan() as f64;
+    // A 128-bit addition on 16 level-2 blocks takes minutes, not hours.
+    assert!(wall.as_secs() > 60.0, "{wall}");
+    assert!(wall.as_hours() < 1.0, "{wall}");
+}
+
+#[test]
+fn adder_circuit_round_trips_through_assembly() {
+    // The cache simulator's input language carries a full adder losslessly.
+    let adder = DraperAdder::new(32);
+    let circuit = adder.circuit();
+    let text = asm::emit(&circuit);
+    let parsed = asm::parse(&text).expect("emitted assembly parses");
+    assert_eq!(parsed, circuit);
+    // And the parsed circuit still adds.
+    let dag_a = DependencyDag::new(&circuit);
+    let dag_b = DependencyDag::new(&parsed);
+    assert_eq!(dag_a.depth(), dag_b.depth());
+}
+
+#[test]
+fn parsed_assembly_feeds_the_cache_simulator() {
+    let adder = DraperAdder::new(16);
+    let text = asm::emit(&adder.circuit());
+    let circuit = asm::parse(&text).unwrap();
+    let sim = CacheSim::new(32);
+    let run = sim.run(&circuit, FetchPolicy::OptimizedLookahead, &[], 1);
+    assert_eq!(run.order().len(), circuit.len());
+    assert!(run.hit_rate() > 0.0);
+}
+
+#[test]
+fn all_tables_render_without_panicking() {
+    let t = tech();
+    let (rows2, text2) = table2(&t);
+    assert_eq!(rows2.len(), 4);
+    assert!(!text2.is_empty());
+    let (_, text3) = table3(&t);
+    assert!(!text3.is_empty());
+    let (rows4, _) = table4(&t);
+    assert_eq!(rows4.len(), 12);
+    let (rows5, _) = table5(&t);
+    assert_eq!(rows5.len(), 12);
+}
+
+#[test]
+fn figure_generators_are_consistent_with_each_other() {
+    let t = tech();
+    // Fig 6b crossovers should be compatible with Table 4's block grid:
+    // the paper never provisions more blocks per superblock than the
+    // bandwidth crossover for its largest machines.
+    let (fig6b_data, _) = fig6b(&t);
+    for (_, crossover) in &fig6b_data.crossovers {
+        assert!(*crossover >= 9, "superblocks must fit at least a 3x3 group");
+    }
+    // Fig 7's optimized rates must dominate in-order everywhere.
+    let (fig7_rows, _) = fig7();
+    let opt_min = fig7_rows
+        .iter()
+        .filter(|r| r.policy == FetchPolicy::OptimizedLookahead)
+        .map(|r| r.hit_rate)
+        .fold(1.0f64, f64::min);
+    let inorder_max = fig7_rows
+        .iter()
+        .filter(|r| r.policy == FetchPolicy::InOrder)
+        .map(|r| r.hit_rate)
+        .fold(0.0f64, f64::max);
+    assert!(
+        opt_min > inorder_max - 0.05,
+        "optimized floor {opt_min:.2} vs in-order ceiling {inorder_max:.2}"
+    );
+}
+
+#[test]
+fn modexp_sizing_feeds_the_area_model() {
+    let me = ModExp::new(512);
+    let study = SpecializationStudy::new(&tech());
+    let result = study.evaluate(CqlaConfig::new(Code::BaconShor913, 512, 64));
+    assert_eq!(
+        CqlaConfig::new(Code::BaconShor913, 512, 64).memory_qubits(),
+        me.working_qubits()
+    );
+    assert!(result.area_reduction > 5.0);
+}
+
+#[test]
+fn qla_baseline_consistent_with_specialization_at_saturation() {
+    // With enough blocks the CQLA adder time equals the QLA adder time for
+    // the QLA's own code.
+    let study = SpecializationStudy::new(&tech());
+    let qla = QlaBaseline::new(&tech());
+    let r = study.evaluate(CqlaConfig::new(Code::Steane713, 64, 512));
+    let ratio = r.adder_time / qla.adder_time(64);
+    assert!((ratio - 1.0).abs() < 1e-9, "ratio {ratio}");
+}
+
+#[test]
+fn shor_app_size_consistent_with_fidelity_requirements() {
+    use cqla_repro::ecc::fidelity::{AppSize, FidelityBudget};
+    let shor = ShorInstance::new(1024);
+    let (k, q) = shor.app_size();
+    let app = AppSize::new(k, q);
+    let budget = FidelityBudget::new(Code::Steane713, &tech());
+    // Level 2 must be sufficient (the paper's machines work), level 1
+    // alone must not (otherwise the hierarchy would be pointless).
+    assert_eq!(budget.required_level(app), Some(Level::TWO));
+    assert!(budget.max_level1_share(app) < 0.5);
+}

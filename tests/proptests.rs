@@ -1,0 +1,255 @@
+//! Property-based tests spanning crates: the invariants the reproduction
+//! rests on, exercised over randomized inputs.
+
+use proptest::prelude::*;
+
+use cqla_repro::circuit::{Circuit, DependencyDag, Gate, ListScheduler, Width};
+use cqla_repro::core::{CacheSim, FetchPolicy};
+use cqla_repro::ecc::{Code, CodeLevel, Level, TransferNetwork};
+use cqla_repro::iontrap::TechnologyParams;
+use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
+use cqla_repro::units::{Probability, Seconds};
+use cqla_repro::workloads::{
+    Comparator, CuccaroAdder, DraperAdder, ModularAdder, RippleCarryAdder,
+};
+
+/// A random classical-reversible circuit on `n` qubits.
+fn classical_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0u32..n, 0u32..n, 0u32..n, 0u8..3), 1..max_gates).prop_map(
+        move |specs| {
+            let mut c = Circuit::new(n);
+            for (a, b, t, kind) in specs {
+                match kind {
+                    0 => c.x(a),
+                    1 => {
+                        if a != b {
+                            c.cnot(a, b);
+                        }
+                    }
+                    _ => {
+                        if a != b && b != t && a != t {
+                            c.toffoli(a, b, t);
+                        }
+                    }
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn draper_adds_correctly(n in 1u32..=64, a in any::<u64>(), b in any::<u64>()) {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let (a, b) = (u128::from(a & mask), u128::from(b & mask));
+        let adder = DraperAdder::new(n);
+        prop_assert_eq!(adder.compute_checked(a, b), a + b);
+    }
+
+    #[test]
+    fn adders_agree(n in 1u32..=32, a in any::<u32>(), b in any::<u32>()) {
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let (a, b) = (u128::from(a & mask), u128::from(b & mask));
+        let expect = DraperAdder::new(n).compute(a, b);
+        prop_assert_eq!(RippleCarryAdder::new(n).compute(a, b), expect);
+        prop_assert_eq!(CuccaroAdder::new(n).compute(a, b), expect);
+    }
+
+    #[test]
+    fn comparator_matches_integers(n in 1u32..=32, a in any::<u32>(), b in any::<u32>()) {
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let (a, b) = (u128::from(a & mask), u128::from(b & mask));
+        prop_assert_eq!(Comparator::new(n).compare(a, b), a < b);
+    }
+
+    #[test]
+    fn modular_adder_matches_integers(
+        n in 2u32..=16,
+        modulus_seed in any::<u32>(),
+        a_seed in any::<u32>(),
+        b_seed in any::<u32>(),
+    ) {
+        let modulus = 2 + u128::from(modulus_seed) % ((1u128 << n) - 1);
+        let a = u128::from(a_seed) % modulus;
+        let b = u128::from(b_seed) % modulus;
+        let adder = ModularAdder::new(n, modulus);
+        prop_assert_eq!(adder.compute(a, b), (a + b) % modulus);
+    }
+
+    #[test]
+    fn toffoli_decomposition_preserves_cost_and_structure(
+        circuit in classical_circuit(8, 30),
+    ) {
+        use cqla_repro::circuit::decompose_toffolis;
+        let lowered = decompose_toffolis(&circuit);
+        // No Toffolis remain; total gate count equals the cost model's
+        // two-qubit-gate equivalents.
+        prop_assert_eq!(lowered.counts().toffoli, 0);
+        prop_assert_eq!(lowered.len() as u64, circuit.total_gate_equivalents());
+        // Depth never decreases.
+        let d0 = DependencyDag::new(&circuit).depth();
+        let d1 = DependencyDag::new(&lowered).depth();
+        prop_assert!(d1 >= d0);
+    }
+
+    #[test]
+    fn makespan_monotone_in_width(circuit in classical_circuit(12, 60), w in 1usize..8) {
+        let dag = DependencyDag::new(&circuit);
+        let weight = Gate::two_qubit_gate_equivalents;
+        let narrow = ListScheduler::new(&dag).schedule(Width::Blocks(w), weight);
+        let wide = ListScheduler::new(&dag).schedule(Width::Blocks(w + 1), weight);
+        prop_assert!(wide.makespan() <= narrow.makespan());
+    }
+
+    #[test]
+    fn schedule_respects_bounds(circuit in classical_circuit(10, 40), w in 1usize..6) {
+        let dag = DependencyDag::new(&circuit);
+        let weight = Gate::two_qubit_gate_equivalents;
+        let s = ListScheduler::new(&dag).schedule(Width::Blocks(w), weight);
+        let cp = dag.critical_path(|g| weight(g));
+        let work = dag.total_work(|g| weight(g));
+        prop_assert!(s.makespan() >= cp);
+        prop_assert!(s.makespan() >= work.div_ceil(w as u64));
+        prop_assert!(s.makespan() <= work);
+        let util = s.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&util));
+        prop_assert!(s.occupancy().iter().all(|&o| o <= w));
+    }
+
+    #[test]
+    fn parallelism_profile_area_is_gate_count(circuit in classical_circuit(10, 50)) {
+        let dag = DependencyDag::new(&circuit);
+        let area: usize = dag.parallelism_profile().iter().sum();
+        prop_assert_eq!(area, circuit.len());
+    }
+
+    #[test]
+    fn cache_hit_rate_bounded_and_order_valid(
+        circuit in classical_circuit(16, 80),
+        capacity in 1usize..24,
+    ) {
+        let sim = CacheSim::new(capacity);
+        for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
+            let run = sim.run(&circuit, policy, &[], 1);
+            prop_assert!((0.0..=1.0).contains(&run.hit_rate()));
+            prop_assert_eq!(run.order().len(), circuit.len());
+            // Execution order respects dependencies.
+            let dag = DependencyDag::new(&circuit);
+            let mut pos = vec![usize::MAX; circuit.len()];
+            for (i, &g) in run.order().iter().enumerate() {
+                pos[g] = i;
+            }
+            for g in 0..circuit.len() {
+                for &p in dag.predecessors(g) {
+                    prop_assert!(pos[p] < pos[g]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_cache_never_hurts_in_order(
+        circuit in classical_circuit(16, 80),
+        capacity in 2usize..16,
+    ) {
+        // LRU with in-order execution has the inclusion property, so hit
+        // rate is monotone in capacity.
+        let small = CacheSim::new(capacity).run(&circuit, FetchPolicy::InOrder, &[], 1);
+        let large = CacheSim::new(capacity + 4).run(&circuit, FetchPolicy::InOrder, &[], 1);
+        prop_assert!(large.hits() >= small.hits());
+    }
+
+    #[test]
+    fn pauli_multiplication_group_laws(
+        ops_a in prop::collection::vec(0u8..4, 6),
+        ops_b in prop::collection::vec(0u8..4, 6),
+    ) {
+        let to_pauli = |ops: &[u8]| {
+            let mut p = PauliString::identity(6);
+            for (q, &o) in ops.iter().enumerate() {
+                p.set(q, PauliOp::ALL[o as usize]);
+            }
+            p
+        };
+        let a = to_pauli(&ops_a);
+        let b = to_pauli(&ops_b);
+        // (ab)(b^-1) == a, using b^-1 == b up to phase for Paulis.
+        let ab = a.mul(&b);
+        let back = ab.mul(&b);
+        prop_assert_eq!(back.weight(), a.weight());
+        for q in 0..6 {
+            prop_assert_eq!(back.op(q), a.op(q));
+        }
+        // Commutation is symmetric.
+        prop_assert_eq!(a.anticommutes_with(&b), b.anticommutes_with(&a));
+    }
+
+    #[test]
+    fn decoder_fixes_any_weight_one_error(qubit in 0usize..7, op_idx in 0usize..3) {
+        let code = CssCode::steane();
+        let decoder = LookupDecoder::for_code(&code);
+        let error = PauliString::single(7, qubit, PauliOp::ERRORS[op_idx]);
+        let fix = decoder.decode(&code.syndrome(&error)).unwrap();
+        prop_assert!(code.is_logically_trivial(&error.mul(&fix)));
+    }
+
+    #[test]
+    fn transfer_latencies_positive_and_asymmetric(seed in 0u8..4) {
+        let tech = TechnologyParams::projected();
+        let net = TransferNetwork::new(&tech);
+        let pts = CodeLevel::TABLE3_ORDER;
+        let src = pts[seed as usize % 4];
+        for dst in pts {
+            let lat = net.latency(src, dst);
+            if src == dst {
+                prop_assert_eq!(lat, Seconds::ZERO);
+            } else {
+                prop_assert!(lat.as_secs() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn probability_combinators_stay_bounded(p in 0.0f64..=1.0, n in 0u64..10_000) {
+        let prob = Probability::new(p).unwrap();
+        prop_assert!(prob.union_bound(n).value() <= 1.0);
+        prop_assert!(prob.any_of(n).value() <= 1.0);
+        prop_assert!(prob.any_of(n).value() <= prob.union_bound(n).value() + 1e-12);
+    }
+
+    #[test]
+    fn ideal_makespan_bounds_scheduled_makespan(n in 4u32..=64, blocks in 1u32..32) {
+        use cqla_repro::core::SpecializationStudy;
+        let study = SpecializationStudy::new(&TechnologyParams::projected());
+        let ideal = study.ideal_makespan_units(n, blocks);
+        let scheduled = study.schedule_adder(n, blocks).makespan();
+        prop_assert!(scheduled >= ideal);
+        // List scheduling is within 2x of the bound (Graham).
+        prop_assert!(scheduled <= 2 * ideal);
+    }
+}
+
+#[test]
+fn codes_distance_three_sanity() {
+    // Not a proptest (exhaustive), but lives with its peers: every
+    // weight-2 error on every code is either detected or degenerate.
+    for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
+        let n = code.num_qubits();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for opa in PauliOp::ERRORS {
+                    for opb in PauliOp::ERRORS {
+                        let e = PauliString::single(n, a, opa)
+                            .mul(&PauliString::single(n, b, opb));
+                        if code.syndrome(&e).is_zero() {
+                            assert!(code.is_logically_trivial(&e), "{code}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
