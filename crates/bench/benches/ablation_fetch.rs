@@ -39,7 +39,10 @@ fn bench(c: &mut Criterion) {
             format!("+{:.1}pp", (b - a) * 100.0),
         ]);
     }
-    cqla_bench::print_artifact("Ablation: fetch policy vs cache size (256-bit adder)", &t.to_string());
+    cqla_bench::print_artifact(
+        "Ablation: fetch policy vs cache size (256-bit adder)",
+        &t.to_string(),
+    );
 
     let sim = CacheSim::new(pe * 2);
     c.bench_function("ablation_fetch/optimized_2pe", |b| {

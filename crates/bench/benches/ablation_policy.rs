@@ -47,9 +47,7 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("ablation_policy/evaluate", |b| {
-        b.iter(|| {
-            black_box(study.evaluate(HierarchyConfig::new(Code::BaconShor913, 256, 10, 36)))
-        })
+        b.iter(|| black_box(study.evaluate(HierarchyConfig::new(Code::BaconShor913, 256, 10, 36))))
     });
 }
 

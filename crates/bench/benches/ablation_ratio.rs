@@ -27,8 +27,7 @@ fn bench(c: &mut Criterion) {
     ]);
     for ratio in [2u64, 4, 8, 16, 32] {
         let per = area.memory_area_per_data_qubit_with_ratio(Code::Steane713, ratio);
-        let total = per * qubits as f64
-            + area.compute_block_area(Code::Steane713) * 100.0;
+        let total = per * qubits as f64 + area.compute_block_area(Code::Steane713) * 100.0;
         let reduction = area.qla_area(Code::Steane713, qubits) / total;
         // One shared ancilla serves `ratio` qubits round-robin: the wait
         // between consecutive ECs of one qubit is ratio × EC time.
@@ -42,12 +41,13 @@ fn bench(c: &mut Criterion) {
             format!("{:.1}%", wait / tech.memory_time() * 100.0),
         ]);
     }
-    cqla_bench::print_artifact("Ablation: memory sharing ratio (1024-bit, Steane)", &t.to_string());
+    cqla_bench::print_artifact(
+        "Ablation: memory sharing ratio (1024-bit, Steane)",
+        &t.to_string(),
+    );
 
     c.bench_function("ablation_ratio/area_model", |b| {
-        b.iter(|| {
-            black_box(area.memory_area_per_data_qubit_with_ratio(Code::Steane713, 8))
-        })
+        b.iter(|| black_box(area.memory_area_per_data_qubit_with_ratio(Code::Steane713, 8)))
     });
 }
 

@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
 
     let study = HierarchyStudy::new(&tech);
     c.bench_function("table5/evaluate_one_point_256", |b| {
-        b.iter(|| {
-            black_box(study.evaluate(HierarchyConfig::new(Code::Steane713, 256, 10, 36)))
-        })
+        b.iter(|| black_box(study.evaluate(HierarchyConfig::new(Code::Steane713, 256, 10, 36))))
     });
 }
 

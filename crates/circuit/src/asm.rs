@@ -84,7 +84,7 @@ pub fn parse(text: &str) -> Result<Circuit, ParseAsmError> {
         }
         if let Some(comment) = line.strip_prefix('#') {
             if let Some(rest) = comment.trim().strip_prefix("circuit:") {
-                if let Some(n) = rest.trim().split_whitespace().next() {
+                if let Some(n) = rest.split_whitespace().next() {
                     if let Ok(n) = n.parse::<u32>() {
                         declared_qubits = Some(n);
                     }
@@ -99,7 +99,10 @@ pub fn parse(text: &str) -> Result<Circuit, ParseAsmError> {
         gates.push(gate);
     }
 
-    let num_qubits = declared_qubits.unwrap_or(max_qubit + 1).max(max_qubit + 1).max(1);
+    let num_qubits = declared_qubits
+        .unwrap_or(max_qubit + 1)
+        .max(max_qubit + 1)
+        .max(1);
     let mut circuit = Circuit::new(num_qubits);
     for g in gates {
         circuit.push(g);
@@ -223,9 +226,9 @@ fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
 }
 
 fn parse_qubit(token: &str, lineno: usize) -> Result<QubitId, ParseAsmError> {
-    let digits = token
-        .strip_prefix('q')
-        .ok_or_else(|| ParseAsmError::new(lineno, format!("operand {token:?} must look like q7")))?;
+    let digits = token.strip_prefix('q').ok_or_else(|| {
+        ParseAsmError::new(lineno, format!("operand {token:?} must look like q7"))
+    })?;
     let index: u32 = digits
         .parse()
         .map_err(|_| ParseAsmError::new(lineno, format!("invalid qubit index in {token:?}")))?;

@@ -171,7 +171,10 @@ impl Circuit {
     /// Total cost in two-qubit-gate equivalents (Toffoli = 15, paper §5.1).
     #[must_use]
     pub fn total_gate_equivalents(&self) -> u64 {
-        self.gates.iter().map(Gate::two_qubit_gate_equivalents).sum()
+        self.gates
+            .iter()
+            .map(Gate::two_qubit_gate_equivalents)
+            .sum()
     }
 
     /// Number of distinct qubits actually touched by gates.
@@ -189,7 +192,12 @@ impl Circuit {
 
 impl core::fmt::Display for Circuit {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "# circuit: {} qubits, {} gates", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "# circuit: {} qubits, {} gates",
+            self.num_qubits,
+            self.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "{g}")?;
         }

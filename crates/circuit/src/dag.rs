@@ -215,8 +215,8 @@ mod tests {
         let dag = DependencyDag::new(&c);
         let w = Gate::two_qubit_gate_equivalents;
         // The cnot depends on the toffoli via q0/q1: 15 + 1.
-        assert_eq!(dag.critical_path(|g| w(g)), 16);
-        assert_eq!(dag.total_work(|g| w(g)), 16);
+        assert_eq!(dag.critical_path(w), 16);
+        assert_eq!(dag.total_work(w), 16);
     }
 
     #[test]

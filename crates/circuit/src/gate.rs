@@ -132,7 +132,12 @@ impl Gate {
     #[must_use]
     pub fn qubits(&self) -> Vec<QubitId> {
         match *self {
-            Self::X(q) | Self::Y(q) | Self::Z(q) | Self::H(q) | Self::S(q) | Self::T(q)
+            Self::X(q)
+            | Self::Y(q)
+            | Self::Z(q)
+            | Self::H(q)
+            | Self::S(q)
+            | Self::T(q)
             | Self::Measure(q) => vec![q],
             Self::Cnot { control, target } => vec![control, target],
             Self::Cz { a, b } => vec![a, b],
@@ -257,7 +262,10 @@ mod tests {
     #[test]
     fn operand_lists() {
         assert_eq!(Gate::X(QubitId::new(0)).arity(), 1);
-        assert_eq!(Gate::cnot(1, 2).qubits(), vec![QubitId::new(1), QubitId::new(2)]);
+        assert_eq!(
+            Gate::cnot(1, 2).qubits(),
+            vec![QubitId::new(1), QubitId::new(2)]
+        );
         assert_eq!(Gate::toffoli(0, 1, 2).arity(), 3);
     }
 

@@ -45,7 +45,7 @@ mod schedule;
 
 pub use circuit::{Circuit, GateCounts};
 pub use classical::{ClassicalState, NonClassicalGate};
-pub use decompose::{decompose_toffolis, TOFFOLI_DECOMPOSITION_GATES};
 pub use dag::DependencyDag;
+pub use decompose::{decompose_toffolis, TOFFOLI_DECOMPOSITION_GATES};
 pub use gate::{Gate, QubitId};
 pub use schedule::{ListScheduler, Schedule, Width};

@@ -104,8 +104,7 @@ impl AreaModel {
         let pitch = self.tech.region_pitch();
         let region = (pitch * pitch).to_square_millimeters();
         let storage = region * code.data_qubits(Level::TWO) as f64;
-        let ancilla_share =
-            self.tile_area(code) * CQLA_CHANNEL_FACTOR / data_per_ancilla as f64;
+        let ancilla_share = self.tile_area(code) * CQLA_CHANNEL_FACTOR / data_per_ancilla as f64;
         storage + ancilla_share
     }
 
@@ -113,7 +112,8 @@ impl AreaModel {
     /// narrow channels.
     #[must_use]
     pub fn compute_block_area(&self, code: Code) -> SquareMillimeters {
-        self.tile_area(code) * (BLOCK_DATA_QUBITS + BLOCK_ANCILLA_QUBITS) as f64
+        self.tile_area(code)
+            * (BLOCK_DATA_QUBITS + BLOCK_ANCILLA_QUBITS) as f64
             * CQLA_CHANNEL_FACTOR
     }
 
@@ -173,8 +173,8 @@ mod tests {
     fn memory_is_an_order_denser_than_qla() {
         let m = model();
         for code in Code::ALL {
-            let ratio = m.qla_area_per_data_qubit(Code::Steane713)
-                / m.memory_area_per_data_qubit(code);
+            let ratio =
+                m.qla_area_per_data_qubit(Code::Steane713) / m.memory_area_per_data_qubit(code);
             assert!(ratio > 20.0, "{code}: only {ratio}x denser");
         }
     }

@@ -470,7 +470,10 @@ mod tests {
         }
         for i in 0..circuit.len() {
             for &p in dag.predecessors(i) {
-                assert!(position[p] < position[i], "instr {i} before predecessor {p}");
+                assert!(
+                    position[p] < position[i],
+                    "instr {i} before predecessor {p}"
+                );
             }
         }
     }

@@ -77,8 +77,7 @@ pub fn fig8a(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
         // per-operand channel service.
         let per_add_comm = per_qubit_service
             * (toffolis as f64 / blocks)
-            * (cqla_network::OPERANDS_PER_TOFFOLI
-                / f64::from(code.teleport_channels_required()));
+            * (cqla_network::OPERANDS_PER_TOFFOLI / f64::from(code.teleport_channels_required()));
         let communication = per_add_comm * me.additions() as f64 / blocks;
         rows.push(AppTimeRow {
             size: n,
@@ -176,7 +175,10 @@ mod tests {
         // Paper Fig 8a: hundreds of hours at 1024 bits.
         let last = rows.last().unwrap();
         let hours = last.computation.as_hours();
-        assert!((50.0..5_000.0).contains(&hours), "1024-bit modexp: {hours} h");
+        assert!(
+            (50.0..5_000.0).contains(&hours),
+            "1024-bit modexp: {hours} h"
+        );
     }
 
     #[test]

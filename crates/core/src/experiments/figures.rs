@@ -1,10 +1,10 @@
 //! Generators for the paper's Figures 2, 6a, 6b and 7.
 
+use cqla_circuit::QubitId;
 use cqla_circuit::{DependencyDag, ListScheduler, Width};
 use cqla_ecc::Code;
 use cqla_iontrap::TechnologyParams;
 use cqla_network::{BandwidthSample, SuperblockBandwidth};
-use cqla_circuit::QubitId;
 use cqla_workloads::DraperAdder;
 
 use crate::cache::{CacheSim, FetchPolicy};
@@ -49,8 +49,8 @@ pub fn fig2(adder_bits: u32, cap: usize) -> (Fig2Data, String) {
     let adder = DraperAdder::new(adder_bits);
     let dag = DependencyDag::new(adder.circuit_ref());
     let weight = Gate::two_qubit_gate_equivalents;
-    let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, |g| weight(g));
-    let capped = ListScheduler::new(&dag).schedule(Width::Blocks(cap), |g| weight(g));
+    let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, weight);
+    let capped = ListScheduler::new(&dag).schedule(Width::Blocks(cap), weight);
     let data = Fig2Data {
         unlimited_profile: unlimited.occupancy().to_vec(),
         capped_profile: capped.occupancy().to_vec(),
@@ -65,7 +65,11 @@ pub fn fig2(adder_bits: u32, cap: usize) -> (Fig2Data, String) {
     while i < len {
         t.push_row([
             (i / stride).to_string(),
-            data.unlimited_profile.get(i).copied().unwrap_or(0).to_string(),
+            data.unlimited_profile
+                .get(i)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             data.capped_profile.get(i).copied().unwrap_or(0).to_string(),
         ]);
         i += stride;
@@ -159,7 +163,11 @@ pub fn fig6b(tech: &TechnologyParams) -> (Fig6bData, String) {
     }
     let mut text = t.to_string();
     for (code, b) in &crossovers {
-        text.push_str(&format!("crossover {}: {} blocks/superblock\n", code.label(), b));
+        text.push_str(&format!(
+            "crossover {}: {} blocks/superblock\n",
+            code.label(),
+            b
+        ));
     }
     (
         Fig6bData {

@@ -10,9 +10,5 @@ mod figures;
 mod tables;
 
 pub use apps::{fig8a, fig8b, AppTimeRow};
-pub use figures::{
-    fig2, fig6a, fig6b, fig7, Fig2Data, Fig6aRow, Fig6bData, Fig7Row,
-};
-pub use tables::{
-    table2, table3, table4, table5, Table3Data, Table4Row, Table5Row,
-};
+pub use figures::{fig2, fig6a, fig6b, fig7, Fig2Data, Fig6aRow, Fig6bData, Fig7Row};
+pub use tables::{table2, table3, table4, table5, Table3Data, Table4Row, Table5Row};

@@ -226,7 +226,11 @@ mod tests {
         assert!(last.bacon_shor.gain_product > first.bacon_shor.gain_product * 1.3);
         // Bacon-Shor dominates Steane everywhere.
         for r in &rows {
-            assert!(r.bacon_shor.gain_product > r.steane.gain_product, "{}", r.input_bits);
+            assert!(
+                r.bacon_shor.gain_product > r.steane.gain_product,
+                "{}",
+                r.input_bits
+            );
         }
         assert!(text.contains("1024-bit"));
     }
@@ -243,7 +247,11 @@ mod tests {
         let (rows, text) = table5(&tech());
         assert_eq!(rows.len(), 2 * 2 * 3);
         for r in &rows {
-            assert!(r.result.l1_speedup > 1.0, "{:?}", (r.code, r.par_xfer, r.input_bits));
+            assert!(
+                r.result.l1_speedup > 1.0,
+                "{:?}",
+                (r.code, r.par_xfer, r.input_bits)
+            );
         }
         assert!(text.contains("L1 speedup"));
     }

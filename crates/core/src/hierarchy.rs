@@ -85,7 +85,10 @@ impl HierarchyConfig {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(code: Code, input_bits: u32, par_xfer: u32, blocks: u32) -> Self {
-        assert!(input_bits > 0 && par_xfer > 0 && blocks > 0, "parameters must be positive");
+        assert!(
+            input_bits > 0 && par_xfer > 0 && blocks > 0,
+            "parameters must be positive"
+        );
         Self {
             code,
             input_bits,
@@ -104,7 +107,9 @@ impl HierarchyConfig {
     /// Cache capacity in logical qubits.
     #[must_use]
     pub fn cache_capacity(&self) -> usize {
-        (self.cache_factor * self.compute_qubits() as f64).round().max(1.0) as usize
+        (self.cache_factor * self.compute_qubits() as f64)
+            .round()
+            .max(1.0) as usize
     }
 }
 
@@ -404,7 +409,11 @@ mod tests {
             36,
         );
         assert!(r.area_reduction < flat);
-        assert!(r.area_reduction > flat * 0.7, "hierarchy {} flat {flat}", r.area_reduction);
+        assert!(
+            r.area_reduction > flat * 0.7,
+            "hierarchy {} flat {flat}",
+            r.area_reduction
+        );
     }
 
     #[test]
@@ -418,7 +427,10 @@ mod tests {
             r.adder_speedup(MixPolicy::FidelityBudgeted),
             r.adder_speedup_budgeted
         );
-        assert_eq!(r.adder_speedup(MixPolicy::Balanced), r.adder_speedup_balanced);
+        assert_eq!(
+            r.adder_speedup(MixPolicy::Balanced),
+            r.adder_speedup_balanced
+        );
         // A heavier L1 share under interleave raises the speedup while the
         // L1 stream still fits in the window.
         let one_one = r.adder_speedup(MixPolicy::Interleave { l1: 1, l2: 1 });

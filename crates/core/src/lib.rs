@@ -53,6 +53,4 @@ pub use cache::{CacheRun, CacheSim, CacheTrace, FetchPolicy, TraceStep};
 pub use hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy, MixPolicy};
 pub use pipeline::{PipelineConfig, PipelineReport, PipelineSim};
 pub use qla::QlaBaseline;
-pub use specialize::{
-    CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID,
-};
+pub use specialize::{CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID};

@@ -251,8 +251,7 @@ mod tests {
         // Huge cache: no fetches; time should be within list-scheduling
         // reach of the ideal makespan.
         let adder = DraperAdder::new(32);
-        let config = PipelineConfig::new(Code::Steane713, 8, 10)
-            .with_cache_capacity(10_000);
+        let config = PipelineConfig::new(Code::Steane713, 8, 10).with_cache_capacity(10_000);
         let report = sim().run_adder(&adder, &config);
         assert_eq!(report.fetches, 0);
         assert_eq!(report.stall_time, Seconds::ZERO);
@@ -272,7 +271,11 @@ mod tests {
         let report = sim().run_adder(&adder, &config);
         assert!(report.fetches > 50, "fetches {}", report.fetches);
         assert!(report.transfer_busy > report.compute_busy);
-        assert!(report.channel_utilization > 0.9, "{}", report.channel_utilization);
+        assert!(
+            report.channel_utilization > 0.9,
+            "{}",
+            report.channel_utilization
+        );
         assert!(report.stall_time.as_secs() > 0.0);
     }
 
@@ -319,12 +322,14 @@ mod tests {
     fn agrees_with_analytic_hierarchy_model_within_factor_two() {
         let tech = TechnologyParams::projected();
         let adder = DraperAdder::new(256);
-        let config = PipelineConfig::new(Code::Steane713, 36, 10)
-            .with_cache_capacity(2 * 9 * 36);
+        let config = PipelineConfig::new(Code::Steane713, 36, 10).with_cache_capacity(2 * 9 * 36);
         let report = PipelineSim::new(&tech).run_adder(&adder, &config);
-        let analytic = crate::HierarchyStudy::new(&tech).evaluate(
-            crate::HierarchyConfig::new(Code::Steane713, 256, 10, 36),
-        );
+        let analytic = crate::HierarchyStudy::new(&tech).evaluate(crate::HierarchyConfig::new(
+            Code::Steane713,
+            256,
+            10,
+            36,
+        ));
         let ratio = report.total_time / analytic.l1_adder_time;
         assert!(
             (0.4..2.5).contains(&ratio),

@@ -149,8 +149,8 @@ impl SpecializationStudy {
         let adder = DraperAdder::new(n);
         let dag = DependencyDag::new(adder.circuit_ref());
         let weight = Gate::two_qubit_gate_equivalents;
-        let cp = dag.critical_path(|g| weight(g));
-        let work = dag.total_work(|g| weight(g));
+        let cp = dag.critical_path(weight);
+        let work = dag.total_work(weight);
         cp.max(work.div_ceil(u64::from(blocks)))
     }
 
@@ -250,7 +250,9 @@ mod tests {
         let s = study();
         for (n, b) in [(256, 49), (1024, 121)] {
             let st = s.evaluate(CqlaConfig::new(Code::Steane713, n, b)).speedup;
-            let bs = s.evaluate(CqlaConfig::new(Code::BaconShor913, n, b)).speedup;
+            let bs = s
+                .evaluate(CqlaConfig::new(Code::BaconShor913, n, b))
+                .speedup;
             let ratio = bs / st;
             assert!((2.5..=3.3).contains(&ratio), "n={n}, B={b}: ratio {ratio}");
         }
@@ -270,10 +272,7 @@ mod tests {
         // Paper Fig 6a: utilization falls as blocks are added.
         let sweep = study().utilization_sweep(128, &[4, 16, 36, 100]);
         for pair in sweep.windows(2) {
-            assert!(
-                pair[1].1 <= pair[0].1 + 1e-9,
-                "utilization rose: {pair:?}"
-            );
+            assert!(pair[1].1 <= pair[0].1 + 1e-9, "utilization rose: {pair:?}");
         }
     }
 
@@ -289,7 +288,10 @@ mod tests {
 
     #[test]
     fn memory_qubits_are_6n() {
-        assert_eq!(CqlaConfig::new(Code::Steane713, 256, 36).memory_qubits(), 1536);
+        assert_eq!(
+            CqlaConfig::new(Code::Steane713, 256, 36).memory_qubits(),
+            1536
+        );
     }
 
     #[test]

@@ -60,8 +60,8 @@ impl AncillaFactory {
     #[must_use]
     pub fn preparation_time(&self) -> Seconds {
         let schedule = SyndromeSchedule::level1(self.code);
-        let cycles = schedule.cycles_for(EcPhase::AncillaPrep)
-            + schedule.cycles_for(EcPhase::Verification);
+        let cycles =
+            schedule.cycles_for(EcPhase::AncillaPrep) + schedule.cycles_for(EcPhase::Verification);
         cycles.to_duration(self.tech.cycle_time())
     }
 
@@ -113,8 +113,7 @@ impl AncillaFactory {
     /// `data_qubits` logical qubits error-corrected per step).
     #[must_use]
     pub fn lines_for_compute_block(&self, data_qubits: u32) -> f64 {
-        let gate = EccMetrics::compute(self.code, Level::ONE, &self.tech)
-            .transversal_gate_time();
+        let gate = EccMetrics::compute(self.code, Level::ONE, &self.tech).transversal_gate_time();
         let demand = 2.0 * f64::from(data_qubits) / gate.as_secs();
         demand / self.throughput_per_line()
     }

@@ -93,7 +93,7 @@ impl Code {
     #[must_use]
     pub fn l1_tile_regions(self) -> u64 {
         match self {
-            Self::Steane713 => 81, // 9×9 regions ≈ 0.2 mm²
+            Self::Steane713 => 81,    // 9×9 regions ≈ 0.2 mm²
             Self::BaconShor913 => 42, // 6×7 regions ≈ 0.1 mm²
         }
     }
@@ -103,7 +103,7 @@ impl Code {
     #[must_use]
     pub fn l2_subtiles(self) -> u64 {
         match self {
-            Self::Steane713 => 14, // 7 data + 7 ancilla blocks
+            Self::Steane713 => 14,    // 7 data + 7 ancilla blocks
             Self::BaconShor913 => 18, // 9 data + 9 ancilla blocks
         }
     }

@@ -74,7 +74,10 @@ impl AppSize {
             timesteps.is_finite() && timesteps > 0.0,
             "timesteps must be positive"
         );
-        assert!(qubits.is_finite() && qubits > 0.0, "qubits must be positive");
+        assert!(
+            qubits.is_finite() && qubits > 0.0,
+            "qubits must be positive"
+        );
         Self { timesteps, qubits }
     }
 
@@ -245,7 +248,10 @@ mod tests {
     fn above_threshold_concatenation_fails() {
         let p0 = Probability::saturating(1e-3);
         let pth = Probability::saturating(7.5e-5);
-        assert_eq!(gottesman_failure_rate(p0, pth, Level::TWO), Probability::ONE);
+        assert_eq!(
+            gottesman_failure_rate(p0, pth, Level::TWO),
+            Probability::ONE
+        );
     }
 
     #[test]

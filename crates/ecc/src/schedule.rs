@@ -143,7 +143,12 @@ impl SyndromeSchedule {
 
 impl core::fmt::Display for SyndromeSchedule {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "{} level-1 syndrome ({}):", self.code, self.total_cycles())?;
+        writeln!(
+            f,
+            "{} level-1 syndrome ({}):",
+            self.code,
+            self.total_cycles()
+        )?;
         for (phase, cycles) in &self.phases {
             writeln!(f, "  {phase:<24} {cycles}")?;
         }
@@ -162,7 +167,11 @@ mod tests {
     fn totals_match_calibration_constants() {
         for code in Code::ALL {
             let s = SyndromeSchedule::level1(code);
-            assert_eq!(s.total_cycles().count(), code.l1_syndrome_cycles(), "{code}");
+            assert_eq!(
+                s.total_cycles().count(),
+                code.l1_syndrome_cycles(),
+                "{code}"
+            );
         }
     }
 
@@ -222,7 +231,12 @@ mod tests {
     #[test]
     fn display_lists_every_phase() {
         let text = SyndromeSchedule::level1(Code::Steane713).to_string();
-        for phase in ["ancilla preparation", "verification", "interaction", "measurement"] {
+        for phase in [
+            "ancilla preparation",
+            "verification",
+            "interaction",
+            "measurement",
+        ] {
             assert!(text.contains(phase), "missing {phase}");
         }
     }

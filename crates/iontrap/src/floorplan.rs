@@ -145,7 +145,10 @@ impl TileFloorplan {
     /// no ancilla.
     #[must_use]
     pub fn syndrome_shuttle_cycles(&self, weight: usize) -> Cycles {
-        assert!(weight <= self.data.len(), "stabilizer wider than the data block");
+        assert!(
+            weight <= self.data.len(),
+            "stabilizer wider than the data block"
+        );
         let start = *self.ancilla.first().expect("floorplan has ancilla");
         let mut pos = start;
         let mut remaining: Vec<RegionCoord> = self.data.clone();
@@ -185,9 +188,10 @@ impl TileFloorplan {
             return cqla_units::Seconds::ZERO;
         }
         // Route via an L-shaped path of that many hops.
-        let route = self
-            .grid
-            .route(RegionCoord::new(0, 0), RegionCoord::new(hops.min(self.grid.cols() - 1), 0));
+        let route = self.grid.route(
+            RegionCoord::new(0, 0),
+            RegionCoord::new(hops.min(self.grid.cols() - 1), 0),
+        );
         route.duration(tech) * (f64::from(hops) / f64::from(route.hops().max(1)))
     }
 }
@@ -225,7 +229,10 @@ mod tests {
 
     #[test]
     fn placements_are_disjoint_and_on_grid() {
-        for plan in [TileFloorplan::steane_level1(), TileFloorplan::bacon_shor_level1()] {
+        for plan in [
+            TileFloorplan::steane_level1(),
+            TileFloorplan::bacon_shor_level1(),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for c in plan.data_positions().iter().chain(plan.ancilla_positions()) {
                 assert!(plan.grid().contains(*c), "{c} off grid");
@@ -270,7 +277,10 @@ mod tests {
 
     #[test]
     fn interaction_distance_bounded_by_grid_diameter() {
-        for plan in [TileFloorplan::steane_level1(), TileFloorplan::bacon_shor_level1()] {
+        for plan in [
+            TileFloorplan::steane_level1(),
+            TileFloorplan::bacon_shor_level1(),
+        ] {
             let diameter = plan.grid().cols() - 1 + plan.grid().rows() - 1;
             assert!(plan.max_interaction_distance() <= diameter);
             assert!(plan.mean_nearest_distance() <= f64::from(diameter));
@@ -281,11 +291,8 @@ mod tests {
     fn extraction_cycles_scale_with_generator_count() {
         let plan = TileFloorplan::steane_level1();
         let one = plan.extraction_shuttle_cycles(&[vec![0, 1, 2, 3]]);
-        let three = plan.extraction_shuttle_cycles(&[
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2, 3],
-        ]);
+        let three =
+            plan.extraction_shuttle_cycles(&[vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
         assert_eq!(three.count(), 3 * one.count());
     }
 

@@ -267,8 +267,14 @@ mod tests {
     #[test]
     fn projected_matches_paper_table1() {
         let t = TechnologyParams::projected();
-        assert_eq!(t.duration(PhysicalOp::SingleGate), Seconds::from_micros(1.0));
-        assert_eq!(t.duration(PhysicalOp::DoubleGate), Seconds::from_micros(10.0));
+        assert_eq!(
+            t.duration(PhysicalOp::SingleGate),
+            Seconds::from_micros(1.0)
+        );
+        assert_eq!(
+            t.duration(PhysicalOp::DoubleGate),
+            Seconds::from_micros(10.0)
+        );
         assert_eq!(t.duration(PhysicalOp::Measure), Seconds::from_micros(10.0));
         assert_eq!(t.duration(PhysicalOp::Move), Seconds::from_micros(10.0));
         assert!((t.failure_rate(PhysicalOp::SingleGate).value() - 1e-8).abs() < 1e-20);
@@ -283,7 +289,12 @@ mod tests {
     fn current_is_uniformly_worse_than_projected() {
         let now = TechnologyParams::current();
         let fut = TechnologyParams::projected();
-        for op in [PhysicalOp::Measure, PhysicalOp::Move, PhysicalOp::Split, PhysicalOp::Cool] {
+        for op in [
+            PhysicalOp::Measure,
+            PhysicalOp::Move,
+            PhysicalOp::Split,
+            PhysicalOp::Cool,
+        ] {
             assert!(now.duration(op) > fut.duration(op), "{op}");
         }
         for op in [

@@ -215,7 +215,8 @@ mod tests {
         let m = model();
         for code in Code::ALL {
             let round = m.purification_round_time(code);
-            let ec = EccMetrics::compute(code, Level::ONE, &TechnologyParams::projected()).ec_time();
+            let ec =
+                EccMetrics::compute(code, Level::ONE, &TechnologyParams::projected()).ec_time();
             assert!(round >= ec * 2.0, "{code}");
             assert!(round < ec * 2.5, "{code}");
         }

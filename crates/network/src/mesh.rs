@@ -128,19 +128,19 @@ impl Mesh {
         let mut links = Vec::new();
         let mut cur = from;
         while cur.x != to.x {
-            let next = NodeCoord::new(
-                if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
-                cur.y,
-            );
-            links.push(Link { from: cur, to: next });
+            let next = NodeCoord::new(if to.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
+            links.push(Link {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         while cur.y != to.y {
-            let next = NodeCoord::new(
-                cur.x,
-                if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
-            );
-            links.push(Link { from: cur, to: next });
+            let next = NodeCoord::new(cur.x, if to.y > cur.y { cur.y + 1 } else { cur.y - 1 });
+            links.push(Link {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         links
@@ -173,7 +173,11 @@ impl Mesh {
     where
         I: IntoIterator<Item = (NodeCoord, NodeCoord, u64)>,
     {
-        self.link_loads(demands).values().copied().max().unwrap_or(0)
+        self.link_loads(demands)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -203,7 +207,9 @@ mod tests {
     #[test]
     fn self_route_is_empty() {
         let mesh = Mesh::new(3, 3);
-        assert!(mesh.xy_route(NodeCoord::new(1, 1), NodeCoord::new(1, 1)).is_empty());
+        assert!(mesh
+            .xy_route(NodeCoord::new(1, 1), NodeCoord::new(1, 1))
+            .is_empty());
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl RoutingSim {
     ///
     /// Panics if any endpoint is off the mesh.
     #[must_use]
-    pub fn run(&self, messages: &[(NodeCoord, NodeCoord)], config: &RoutingConfig) -> RoutingReport {
+    pub fn run(
+        &self,
+        messages: &[(NodeCoord, NodeCoord)],
+        config: &RoutingConfig,
+    ) -> RoutingReport {
         let mut pools: HashMap<Link, ChannelPool> = HashMap::new();
         let mut makespan = SimTime::ZERO;
         let mut total = Seconds::ZERO;
@@ -167,10 +171,7 @@ mod tests {
     #[test]
     fn shared_link_serializes() {
         let mesh = Mesh::new(2, 1);
-        let msgs = vec![
-            (NodeCoord::new(0, 0), NodeCoord::new(1, 0));
-            5
-        ];
+        let msgs = vec![(NodeCoord::new(0, 0), NodeCoord::new(1, 0)); 5];
         let report = RoutingSim::new(&mesh).run(&msgs, &cfg(1));
         assert!((report.makespan.as_secs() - 5.0).abs() < 1e-9);
         assert!((report.max_link_busy.as_secs() - 5.0).abs() < 1e-9);

@@ -44,7 +44,10 @@ impl SimTime {
             "simulation time must be finite and non-negative, got {secs}"
         );
         let nanos = secs * 1e9;
-        assert!(nanos <= u64::MAX as f64, "simulation time overflow: {secs} s");
+        assert!(
+            nanos <= u64::MAX as f64,
+            "simulation time overflow: {secs} s"
+        );
         Self(nanos.round() as u64)
     }
 

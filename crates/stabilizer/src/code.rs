@@ -415,8 +415,7 @@ impl CssCode {
         }
         for a in 0..self.n {
             for b in (a + 1)..self.n {
-                let p =
-                    PauliString::from_ops(self.n, [(a, PauliOp::Z), (b, PauliOp::Z)]);
+                let p = PauliString::from_ops(self.n, [(a, PauliOp::Z), (b, PauliOp::Z)]);
                 if self.x_syndrome_of(&p) == target {
                     return Some(p);
                 }
@@ -476,7 +475,10 @@ mod tests {
     #[test]
     fn logical_weight_equals_distance() {
         for code in all_codes() {
-            assert_eq!(code.logical_x().weight().min(code.logical_z().weight()), code.distance());
+            assert_eq!(
+                code.logical_x().weight().min(code.logical_z().weight()),
+                code.distance()
+            );
         }
     }
 
@@ -484,10 +486,13 @@ mod tests {
     fn generator_counts() {
         assert_eq!(CssCode::steane().num_generators(), 6); // n - k = 6
         assert_eq!(CssCode::shor9().num_generators(), 8); // n - k = 8
-        // Subsystem view trades generators for gauge freedom.
+                                                          // Subsystem view trades generators for gauge freedom.
         let bs = CssCode::bacon_shor();
         assert_eq!(bs.num_generators(), 4);
-        assert_eq!(bs.gauge_x_supports().len() + bs.gauge_z_supports().len(), 12);
+        assert_eq!(
+            bs.gauge_x_supports().len() + bs.gauge_z_supports().len(),
+            12
+        );
     }
 
     #[test]
@@ -504,8 +509,14 @@ mod tests {
             for stab in bs.generators() {
                 assert!(!stab.anticommutes_with(g), "gauge {g} vs stabilizer {stab}");
             }
-            assert!(!g.anticommutes_with(&bs.logical_x()), "gauge {g} vs logical X");
-            assert!(!g.anticommutes_with(&bs.logical_z()), "gauge {g} vs logical Z");
+            assert!(
+                !g.anticommutes_with(&bs.logical_x()),
+                "gauge {g} vs logical X"
+            );
+            assert!(
+                !g.anticommutes_with(&bs.logical_z()),
+                "gauge {g} vs logical Z"
+            );
             assert!(bs.is_logically_trivial(g), "gauge {g} must be trivial");
         }
         // Gauge generators do NOT all commute with each other (subsystem
@@ -606,7 +617,10 @@ mod tests {
                 for g in code.generators() {
                     assert!(t.is_stabilized_by(&g), "{code}: generator {g} not +1");
                 }
-                assert!(t.is_stabilized_by(&code.logical_z()), "{code}: logical Z not +1");
+                assert!(
+                    t.is_stabilized_by(&code.logical_z()),
+                    "{code}: logical Z not +1"
+                );
             }
         }
     }
@@ -621,7 +635,10 @@ mod tests {
                 for g in code.generators() {
                     assert!(t.is_stabilized_by(&g), "{code}: generator {g} not +1");
                 }
-                assert!(t.is_stabilized_by(&code.logical_x()), "{code}: logical X not +1");
+                assert!(
+                    t.is_stabilized_by(&code.logical_x()),
+                    "{code}: logical X not +1"
+                );
                 // Logical Z is maximally uncertain.
                 assert_eq!(t.deterministic_sign(&code.logical_z()), None, "{code}");
             }
@@ -681,7 +698,11 @@ mod tests {
         let z0 = code.logical_z().embedded(14, 0);
         let z1 = code.logical_z().embedded(14, 7);
         assert_eq!(t.deterministic_sign(&z0), Some(true), "control stays |1>");
-        assert_eq!(t.deterministic_sign(&z1), Some(true), "target flipped to |1>");
+        assert_eq!(
+            t.deterministic_sign(&z1),
+            Some(true),
+            "target flipped to |1>"
+        );
     }
 
     #[test]

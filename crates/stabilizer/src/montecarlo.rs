@@ -29,7 +29,10 @@ impl DepolarizingNoise {
     /// Panics if `p` is not in `[0, 1]`.
     #[must_use]
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "error probability {p} outside [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "error probability {p} outside [0,1]"
+        );
         Self { p }
     }
 

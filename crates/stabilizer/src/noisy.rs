@@ -43,8 +43,14 @@ impl NoisyEc {
     /// Panics unless both probabilities are in `[0, 1]`.
     #[must_use]
     pub fn with_rates(p_data: f64, p_meas: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_data), "p_data {p_data} out of range");
-        assert!((0.0..=1.0).contains(&p_meas), "p_meas {p_meas} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p_data),
+            "p_data {p_data} out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_meas),
+            "p_meas {p_meas} out of range"
+        );
         Self { p_data, p_meas }
     }
 
@@ -176,14 +182,7 @@ mod tests {
     #[test]
     fn noiseless_rounds_never_fail() {
         let (code, decoder, mut rng) = setup();
-        let est = estimate_memory_error_rate(
-            &code,
-            &decoder,
-            NoisyEc::new(0.0),
-            10,
-            200,
-            &mut rng,
-        );
+        let est = estimate_memory_error_rate(&code, &decoder, NoisyEc::new(0.0), 10, 200, &mut rng);
         assert_eq!(est.failures, 0);
     }
 
@@ -221,8 +220,7 @@ mod tests {
         let noise = NoisyEc::with_rates(0.02, 0.0);
         let rounds = 8;
         let trials = 3_000;
-        let with_ec =
-            estimate_memory_error_rate(&code, &decoder, noise, rounds, trials, &mut rng);
+        let with_ec = estimate_memory_error_rate(&code, &decoder, noise, rounds, trials, &mut rng);
         let without =
             estimate_uncorrected_error_rate(&code, &decoder, noise, rounds, trials, &mut rng);
         assert!(
@@ -236,22 +234,10 @@ mod tests {
     #[test]
     fn error_rate_monotone_in_noise() {
         let (code, decoder, mut rng) = setup();
-        let lo = estimate_memory_error_rate(
-            &code,
-            &decoder,
-            NoisyEc::new(0.002),
-            4,
-            4_000,
-            &mut rng,
-        );
-        let hi = estimate_memory_error_rate(
-            &code,
-            &decoder,
-            NoisyEc::new(0.05),
-            4,
-            4_000,
-            &mut rng,
-        );
+        let lo =
+            estimate_memory_error_rate(&code, &decoder, NoisyEc::new(0.002), 4, 4_000, &mut rng);
+        let hi =
+            estimate_memory_error_rate(&code, &decoder, NoisyEc::new(0.05), 4, 4_000, &mut rng);
         assert!(hi.rate() > lo.rate(), "lo {lo}, hi {hi}");
     }
 

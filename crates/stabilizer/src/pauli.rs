@@ -57,7 +57,7 @@ impl PauliOp {
     pub const fn anticommutes_with(self, other: Self) -> bool {
         let (x1, z1) = self.bits();
         let (x2, z2) = other.bits();
-        ((x1 & z2) ^ (z1 & x2)) != false
+        (x1 & z2) ^ (z1 & x2)
     }
 }
 
@@ -120,7 +120,10 @@ impl PauliString {
     /// Panics if `qubit >= num_qubits`.
     #[must_use]
     pub fn single(num_qubits: usize, qubit: usize, op: PauliOp) -> Self {
-        assert!(qubit < num_qubits, "qubit {qubit} out of range {num_qubits}");
+        assert!(
+            qubit < num_qubits,
+            "qubit {qubit} out of range {num_qubits}"
+        );
         let mut p = Self::identity(num_qubits);
         p.set(qubit, op);
         p

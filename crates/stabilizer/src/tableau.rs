@@ -168,9 +168,7 @@ impl Tableau {
         for row in &mut self.rows {
             row.r ^= row.xs[qubit] & row.zs[qubit];
             row.xs.swap(qubit, qubit); // no-op to appease symmetric style
-            let x = row.xs[qubit];
-            row.xs[qubit] = row.zs[qubit];
-            row.zs[qubit] = x;
+            std::mem::swap(&mut row.xs[qubit], &mut row.zs[qubit]);
         }
     }
 
@@ -294,10 +292,7 @@ impl Tableau {
             // would produce an (irrelevant) imaginary phase.
             let pivot = self.rows[p_idx].clone();
             for i in 0..2 * self.n {
-                if i != p_idx
-                    && i != p_idx - self.n
-                    && self.rows[i].anticommutes_with(pauli)
-                {
+                if i != p_idx && i != p_idx - self.n && self.rows[i].anticommutes_with(pauli) {
                     row_mul_into(&mut self.rows[i], &pivot);
                 }
             }
@@ -342,7 +337,8 @@ impl Tableau {
         );
         assert!(pauli.weight() > 0, "identity has no measurement value");
         let sign_flip = pauli.phase_exponent() == 2;
-        self.deterministic_sign_unsigned(pauli).map(|v| v ^ sign_flip)
+        self.deterministic_sign_unsigned(pauli)
+            .map(|v| v ^ sign_flip)
     }
 
     /// Deterministic eigenvalue bit of `+P` (ignoring `pauli`'s sign), or

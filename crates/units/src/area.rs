@@ -12,7 +12,9 @@
 /// let tile = region * 81.0;
 /// assert!((tile.to_square_millimeters().value() - 0.2025).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SquareMicrometers(f64);
 
 impl SquareMicrometers {
@@ -83,7 +85,9 @@ impl core::iter::Sum for SquareMicrometers {
 /// let qla_site = steane_l2 * 3.0; // one data + two ancilla tiles
 /// assert!((qla_site.value() - 10.2).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SquareMillimeters(f64);
 
 impl SquareMillimeters {
@@ -187,8 +191,7 @@ mod tests {
 
     #[test]
     fn area_sum() {
-        let total: SquareMillimeters =
-            (1..=3).map(|i| SquareMillimeters::new(f64::from(i))).sum();
+        let total: SquareMillimeters = (1..=3).map(|i| SquareMillimeters::new(f64::from(i))).sum();
         assert_eq!(total, SquareMillimeters::new(6.0));
     }
 

@@ -40,7 +40,9 @@ impl std::error::Error for ProbabilityError {}
 /// assert!((p_any.value() - 1e-5).abs() < 1e-9);
 /// # Ok::<(), cqla_units::ProbabilityError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Probability(f64);
 
 impl Probability {
@@ -160,7 +162,10 @@ mod tests {
     fn union_bound_scales_linearly() {
         let p = Probability::new(1e-8).unwrap();
         assert!((p.union_bound(1_000).value() - 1e-5).abs() < 1e-12);
-        assert_eq!(Probability::new(0.5).unwrap().union_bound(10), Probability::ONE);
+        assert_eq!(
+            Probability::new(0.5).unwrap().union_bound(10),
+            Probability::ONE
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@
 /// assert!(ec > gate);
 /// assert!((ec / gate - 30_000.0).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Seconds(f64);
 
 impl Seconds {

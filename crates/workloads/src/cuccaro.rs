@@ -42,7 +42,10 @@ impl CuccaroAdder {
     /// Panics if `n` is zero or exceeds 127 (verification uses `u128`).
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((1..=127).contains(&n), "adder width {n} out of range 1..=127");
+        assert!(
+            (1..=127).contains(&n),
+            "adder width {n} out of range 1..=127"
+        );
         let mut c = Circuit::new(2 * n + 2);
         let anc = 0u32;
         let a = |i: u32| 1 + i;

@@ -52,7 +52,10 @@ impl DraperAdder {
     /// Panics if `n` is zero or exceeds 4096.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((1..=4096).contains(&n), "adder width {n} out of range 1..=4096");
+        assert!(
+            (1..=4096).contains(&n),
+            "adder width {n} out of range 1..=4096"
+        );
         let mut builder = Builder::new(n);
         let circuit = builder.build();
         Self {
@@ -354,7 +357,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         for n in [8u32, 13, 16, 32, 64] {
             let adder = DraperAdder::new(n);
-            let mask = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+            let mask = if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            };
             for _ in 0..25 {
                 let a = rng.gen::<u128>() & mask;
                 let b = rng.gen::<u128>() & mask;
@@ -380,7 +387,10 @@ mod tests {
         let d8 = DependencyDag::new(&DraperAdder::new(8).circuit()).depth();
         let d64 = DependencyDag::new(&DraperAdder::new(64).circuit()).depth();
         assert!(d64 < 2 * d8, "8-bit depth {d8}, 64-bit depth {d64}");
-        assert!(d64 < 64, "64-bit adder depth {d64} should be far below linear");
+        assert!(
+            d64 < 64,
+            "64-bit adder depth {d64} should be far below linear"
+        );
     }
 
     #[test]
@@ -400,7 +410,10 @@ mod tests {
                 toffolis <= 5 * u64::from(n),
                 "n={n}: {toffolis} toffolis exceeds 5n"
             );
-            assert!(toffolis >= 4 * u64::from(n) - 16, "n={n}: {toffolis} too few");
+            assert!(
+                toffolis >= 4 * u64::from(n) - 16,
+                "n={n}: {toffolis} too few"
+            );
         }
     }
 
@@ -410,10 +423,7 @@ mod tests {
         assert_eq!(adder.a_register(), 0..16);
         assert_eq!(adder.b_register(), 16..32);
         assert_eq!(adder.z_register(), 32..49);
-        assert_eq!(
-            adder.total_qubits(),
-            3 * 16 + 1 + adder.num_ancilla()
-        );
+        assert_eq!(adder.total_qubits(), 3 * 16 + 1 + adder.num_ancilla());
         // Prefix-tree ancilla ≈ n - lg n - 1.
         assert!(adder.num_ancilla() <= 16);
     }

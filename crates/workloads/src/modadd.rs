@@ -86,7 +86,13 @@ impl ModularAdder {
             }
         };
         load_const(&mut circuit, modulus);
-        emit_less_than(&mut circuit, anc, &(0..m).map(z).collect::<Vec<_>>(), &(0..m).map(c).collect::<Vec<_>>(), flag);
+        emit_less_than(
+            &mut circuit,
+            anc,
+            &(0..m).map(z).collect::<Vec<_>>(),
+            &(0..m).map(c).collect::<Vec<_>>(),
+            flag,
+        );
         load_const(&mut circuit, modulus);
 
         // 3. flag = (z >= N).
@@ -103,14 +109,25 @@ impl ModularAdder {
             }
         };
         load_const_controlled(&mut circuit, neg_n);
-        emit_inplace_add(&mut circuit, anc, &(0..m).map(c).collect::<Vec<_>>(), &(0..m).map(z).collect::<Vec<_>>());
+        emit_inplace_add(
+            &mut circuit,
+            anc,
+            &(0..m).map(c).collect::<Vec<_>>(),
+            &(0..m).map(z).collect::<Vec<_>>(),
+        );
         load_const_controlled(&mut circuit, neg_n);
 
         // 5. Uncompute flag: for a, b < N, reduction happened iff z < a.
-        let a_ext: Vec<u32> = (0..n).map(|i| i).chain([c(m - 1)]).collect();
+        let a_ext: Vec<u32> = (0..n).chain([c(m - 1)]).collect();
         // Compare z (m bits) against a zero-extended to m bits; the spare
         // constant-register bit c(m-1) is zero and serves as the extension.
-        emit_less_than(&mut circuit, anc, &(0..m).map(z).collect::<Vec<_>>(), &a_ext, flag);
+        emit_less_than(
+            &mut circuit,
+            anc,
+            &(0..m).map(z).collect::<Vec<_>>(),
+            &a_ext,
+            flag,
+        );
 
         Self {
             n,

@@ -102,8 +102,8 @@ impl ModExp {
         let circuit = adder.circuit();
         let dag = DependencyDag::new(&circuit);
         let weight = cqla_circuit::Gate::two_qubit_gate_equivalents;
-        let mut depth = dag.critical_path(|g| weight(g));
-        let mut work = dag.total_work(|g| weight(g));
+        let mut depth = dag.critical_path(weight);
+        let mut work = dag.total_work(weight);
         // Extrapolation for n > 128: depth grows by 4 Toffoli rounds
         // (4×15 units) per doubling; work grows linearly.
         let mut w = gen_width;
@@ -155,7 +155,10 @@ mod tests {
     fn adder_kernel_is_correct_width() {
         let me = ModExp::new(16);
         assert_eq!(me.adder().width(), 16);
-        assert_eq!(me.addition_circuit().num_qubits(), me.adder().total_qubits());
+        assert_eq!(
+            me.addition_circuit().num_qubits(),
+            me.adder().total_qubits()
+        );
     }
 
     #[test]

@@ -99,8 +99,14 @@ mod tests {
         let qft = Qft::new(10);
         let mut pairs = std::collections::HashSet::new();
         for g in qft.circuit_ref().gates() {
-            if let Gate::ControlledPhase { control, target, .. } = g {
-                let key = (control.index().min(target.index()), control.index().max(target.index()));
+            if let Gate::ControlledPhase {
+                control, target, ..
+            } = g
+            {
+                let key = (
+                    control.index().min(target.index()),
+                    control.index().max(target.index()),
+                );
                 assert!(pairs.insert(key), "pair {key:?} repeated");
             }
         }
@@ -111,7 +117,12 @@ mod tests {
     fn rotation_orders_decay_with_distance() {
         let qft = Qft::new(6);
         for g in qft.circuit_ref().gates() {
-            if let Gate::ControlledPhase { control, target, order } = g {
+            if let Gate::ControlledPhase {
+                control,
+                target,
+                order,
+            } = g
+            {
                 let dist = control.index().abs_diff(target.index());
                 assert_eq!(u32::from(*order), dist + 1);
             }

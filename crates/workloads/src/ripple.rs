@@ -36,7 +36,10 @@ impl RippleCarryAdder {
     /// Panics if `n` is zero or exceeds 128.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((1..=128).contains(&n), "adder width {n} out of range 1..=128");
+        assert!(
+            (1..=128).contains(&n),
+            "adder width {n} out of range 1..=128"
+        );
         let mut c = Circuit::new(3 * n + 1);
         let a = |i: u32| i;
         let b = |i: u32| n + i;
@@ -147,8 +150,14 @@ mod tests {
         // Slope ~1 layer per bit on both spans.
         let slope_lo = (d32 - d8) as f64 / 24.0;
         let slope_hi = (d64 - d32) as f64 / 32.0;
-        assert!((slope_lo - 1.0).abs() < 0.25, "low slope {slope_lo}: {d8}, {d32}");
-        assert!((slope_hi - 1.0).abs() < 0.25, "high slope {slope_hi}: {d32}, {d64}");
+        assert!(
+            (slope_lo - 1.0).abs() < 0.25,
+            "low slope {slope_lo}: {d8}, {d32}"
+        );
+        assert!(
+            (slope_hi - 1.0).abs() < 0.25,
+            "high slope {slope_hi}: {d32}, {d64}"
+        );
         // Draper's tree is far shallower and far more parallel at the same
         // width.
         let ripple = DependencyDag::new(&RippleCarryAdder::new(32).circuit());

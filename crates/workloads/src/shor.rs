@@ -114,6 +114,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(ShorInstance::new(1024).to_string(), "Shor-1024 (factor a 1024-bit number)");
+        assert_eq!(
+            ShorInstance::new(1024).to_string(),
+            "Shor-1024 (factor a 1024-bit number)"
+        );
     }
 }

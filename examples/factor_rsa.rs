@@ -38,7 +38,10 @@ fn main() {
             .cqla_area(Code::BaconShor913, config.memory_qubits(), blocks)
             .value()
             / 100.0;
-        let qla_cm2 = area.qla_area(Code::Steane713, config.memory_qubits()).value() / 100.0;
+        let qla_cm2 = area
+            .qla_area(Code::Steane713, config.memory_qubits())
+            .value()
+            / 100.0;
         t.push_row([
             bits.to_string(),
             blocks.to_string(),

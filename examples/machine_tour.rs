@@ -48,8 +48,7 @@ fn main() {
     let sim = PipelineSim::new(&tech);
     let adder = DraperAdder::new(64);
     for par_xfer in [10u32, 5, 2] {
-        let config = PipelineConfig::new(Code::BaconShor913, 16, par_xfer)
-            .with_cache_capacity(128);
+        let config = PipelineConfig::new(Code::BaconShor913, 16, par_xfer).with_cache_capacity(128);
         let r = sim.run_adder(&adder, &config);
         println!(
             "{par_xfer:>2} transfer channels: total {}, {} fetches, stall {}, blocks {:.0}% busy",

@@ -17,10 +17,7 @@ fn main() {
     let draper = DraperAdder::new(64);
     let ripple = RippleCarryAdder::new(64);
 
-    for (name, circuit) in [
-        ("draper", draper.circuit()),
-        ("ripple", ripple.circuit()),
-    ] {
+    for (name, circuit) in [("draper", draper.circuit()), ("ripple", ripple.circuit())] {
         let dag = DependencyDag::new(&circuit);
         let weight = Gate::two_qubit_gate_equivalents;
         println!("{name}:");
@@ -30,7 +27,7 @@ fn main() {
         println!("  avg parallelism     {:.1}", dag.average_parallelism());
         println!(
             "  weighted work/CP    {:.1} (blocks needed to saturate)",
-            dag.total_work(|g| weight(g)) as f64 / dag.critical_path(|g| weight(g)) as f64
+            dag.total_work(weight) as f64 / dag.critical_path(weight) as f64
         );
         println!();
     }

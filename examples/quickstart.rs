@@ -33,7 +33,10 @@ fn main() {
         println!("  adder speedup       {:.2}x", result.speedup);
         println!("  block utilization   {:.0}%", result.utilization * 100.0);
         println!("  adder time          {}", result.adder_time);
-        println!("  gain product        {:.1} (QLA = 1.0)\n", result.gain_product);
+        println!(
+            "  gain product        {:.1} (QLA = 1.0)\n",
+            result.gain_product
+        );
     }
 
     println!("Paper headline (Table 4): up to 13.4x area reduction with the");

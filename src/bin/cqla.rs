@@ -43,7 +43,11 @@ fn main() -> ExitCode {
 fn table(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
     match which {
         Some("1") => {
-            println!("{}\n\n{}", TechnologyParams::current(), TechnologyParams::projected());
+            println!(
+                "{}\n\n{}",
+                TechnologyParams::current(),
+                TechnologyParams::projected()
+            );
         }
         Some("2") => println!("{}", exp::table2(tech).1),
         Some("3") => println!("{}", exp::table3(tech).1),
@@ -90,6 +94,10 @@ fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
         eprintln!("usage: cqla machine BITS BLOCKS [steane|bacon-shor]");
         return ExitCode::FAILURE;
     };
+    if bits == 0 || blocks == 0 {
+        eprintln!("BITS and BLOCKS must be positive (got {bits} and {blocks})");
+        return ExitCode::FAILURE;
+    }
     let code = match args.get(2).map(String::as_str) {
         Some("steane") => Code::Steane713,
         Some("bacon-shor") | None => Code::BaconShor913,
@@ -103,7 +111,10 @@ fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
     println!("CQLA: {code}, {bits}-bit input, {blocks} compute blocks");
     println!("  memory qubits     {}", r.config.memory_qubits());
     println!("  area reduction    {:.2}x vs QLA", r.area_reduction);
-    println!("  adder speedup     {:.2}x vs maximally parallel QLA", r.speedup);
+    println!(
+        "  adder speedup     {:.2}x vs maximally parallel QLA",
+        r.speedup
+    );
     println!("  block utilization {:.0}%", r.utilization * 100.0);
     println!("  adder time        {}", r.adder_time);
     println!("  gain product      {:.1}", r.gain_product);
@@ -122,7 +133,10 @@ fn verify() -> ExitCode {
     // Adder correctness spot-check.
     let adder = DraperAdder::new(32);
     let ok_adder = adder.compute_checked(0xDEAD_BEEF, 0x1234_5678) == 0xDEAD_BEEF + 0x1234_5678;
-    println!("draper adder 32-bit: {}", if ok_adder { "ok" } else { "FAIL" });
+    println!(
+        "draper adder 32-bit: {}",
+        if ok_adder { "ok" } else { "FAIL" }
+    );
     // Code distance spot-check.
     let mut ok_codes = true;
     for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
@@ -135,7 +149,10 @@ fn verify() -> ExitCode {
                 ok_codes &= good;
             }
         }
-        println!("{code}: weight-1 correction {}", if ok_codes { "ok" } else { "FAIL" });
+        println!(
+            "{code}: weight-1 correction {}",
+            if ok_codes { "ok" } else { "FAIL" }
+        );
     }
     if ok_adder && ok_codes {
         ExitCode::SUCCESS

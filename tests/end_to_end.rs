@@ -128,3 +128,75 @@ fn shor_app_size_consistent_with_fidelity_requirements() {
     assert_eq!(budget.required_level(app), Some(Level::TWO));
     assert!(budget.max_level1_share(app) < 0.5);
 }
+
+// ---------------------------------------------------------------------------
+// CLI smoke tests: shell the `cqla` binary the way a user would, so the
+// front end (argument parsing, table/figure dispatch, exit codes) is
+// exercised by tier-1 and can never silently break.
+
+mod cli {
+    use std::process::{Command, Output};
+
+    /// Runs the compiled `cqla` binary with `args`.
+    fn cqla(args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_cqla"))
+            .args(args)
+            .output()
+            .expect("cqla binary spawns")
+    }
+
+    #[test]
+    fn verify_exits_zero_and_reports_ok() {
+        let out = cqla(&["verify"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("draper adder 32-bit: ok"), "{stdout}");
+        assert!(!stdout.contains("FAIL"), "{stdout}");
+    }
+
+    #[test]
+    fn table_4_prints_the_specialization_grid() {
+        let out = cqla(&["table", "4"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        for needle in ["input", "blocks", "32-bit", "128-bit"] {
+            assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+        }
+    }
+
+    #[test]
+    fn every_table_and_figure_renders() {
+        for table in ["1", "2", "3", "4", "5"] {
+            let out = cqla(&["table", table]);
+            assert!(out.status.success(), "table {table}: {:?}", out.status);
+            assert!(!out.stdout.is_empty(), "table {table} printed nothing");
+        }
+        for figure in ["2", "6a", "6b", "7", "8a", "8b"] {
+            let out = cqla(&["figure", figure]);
+            assert!(out.status.success(), "figure {figure}: {:?}", out.status);
+            assert!(!out.stdout.is_empty(), "figure {figure} printed nothing");
+        }
+    }
+
+    #[test]
+    fn machine_prices_a_configuration() {
+        let out = cqla(&["machine", "128", "16", "bacon-shor"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("area reduction"), "{stdout}");
+        assert!(stdout.contains("gain product"), "{stdout}");
+    }
+
+    #[test]
+    fn bad_usage_exits_nonzero() {
+        for args in [
+            &[][..],
+            &["frobnicate"][..],
+            &["table", "9"][..],
+            &["machine", "0", "0"][..],
+        ] {
+            let out = cqla(args);
+            assert!(!out.status.success(), "args {args:?} should fail");
+        }
+    }
+}

@@ -42,7 +42,10 @@ fn claim_memory_hierarchy_speedup_band() {
             bracket_contains_8 = true;
         }
     }
-    assert!(bracket_contains_8, "no Bacon-Shor row brackets the paper's 8x");
+    assert!(
+        bracket_contains_8,
+        "no Bacon-Shor row brackets the paper's 8x"
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use cqla_repro::circuit::{Circuit, DependencyDag, Gate, ListScheduler, Width};
 use cqla_repro::core::{CacheSim, FetchPolicy};
-use cqla_repro::ecc::{Code, CodeLevel, Level, TransferNetwork};
+use cqla_repro::ecc::{CodeLevel, TransferNetwork};
 use cqla_repro::iontrap::TechnologyParams;
 use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
 use cqla_repro::units::{Probability, Seconds};
@@ -109,8 +109,8 @@ proptest! {
         let dag = DependencyDag::new(&circuit);
         let weight = Gate::two_qubit_gate_equivalents;
         let s = ListScheduler::new(&dag).schedule(Width::Blocks(w), weight);
-        let cp = dag.critical_path(|g| weight(g));
-        let work = dag.total_work(|g| weight(g));
+        let cp = dag.critical_path(weight);
+        let work = dag.total_work(weight);
         prop_assert!(s.makespan() >= cp);
         prop_assert!(s.makespan() >= work.div_ceil(w as u64));
         prop_assert!(s.makespan() <= work);
@@ -242,8 +242,7 @@ fn codes_distance_three_sanity() {
             for b in (a + 1)..n {
                 for opa in PauliOp::ERRORS {
                     for opb in PauliOp::ERRORS {
-                        let e = PauliString::single(n, a, opa)
-                            .mul(&PauliString::single(n, b, opb));
+                        let e = PauliString::single(n, a, opa).mul(&PauliString::single(n, b, opb));
                         if code.syndrome(&e).is_zero() {
                             assert!(code.is_logically_trivial(&e), "{code}: {e}");
                         }

@@ -1,0 +1,243 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this in-tree crate
+//! implements the subset of criterion the bench targets use —
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`] — as a simple wall-clock harness: warm up briefly,
+//! time batches until a measurement budget is spent, and report the
+//! per-iteration mean, minimum, and maximum. No statistics engine, plots,
+//! or baselines; repointing the dependency at real criterion later needs
+//! no changes to the bench sources.
+//!
+//! Command-line compatibility with `cargo bench`: ignores the harness
+//! flags cargo passes (`--bench`, `--test`, etc.) and treats the first
+//! free argument as a substring filter on benchmark names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// The benchmark manager: registers, filters, runs, and reports benchmarks.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from `cargo bench` command-line arguments:
+    /// harness flags are ignored, the first free argument becomes a
+    /// substring filter on benchmark names.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags cargo's bench harness protocol may pass.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        c.warm_up_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        c.measurement_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                other if other.starts_with("--") => {
+                    // Unknown flag: treat as boolean and skip only the flag
+                    // itself — consuming the next argument too would swallow
+                    // a name filter after e.g. `--verbose`. Flags written as
+                    // `--flag=value` carry their value in the same argument.
+                }
+                free => c.filter = Some(free.to_owned()),
+            }
+        }
+        c
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark if it matches the active filter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.ran += 1;
+        report(id, &b.samples);
+        self
+    }
+
+    /// Prints a closing line; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("\ncompleted {} benchmark(s)", self.ran);
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Per-iteration durations (one entry per timed batch, averaged).
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding a warm-up period and then sampling
+    /// batches until the measurement budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Batch size targeting ~10ms per sample so Instant overhead is
+        // negligible even for nanosecond-scale routines. Run at least one
+        // warm-up iteration so a zero warm-up budget cannot divide by zero.
+        if warm_iters == 0 {
+            black_box(routine());
+            warm_iters = 1;
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters).unwrap_or(u32::MAX);
+        let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < self.measurement_time {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let sum: Duration = samples.iter().sum();
+    let mean = sum / u32::try_from(samples.len()).unwrap_or(u32::MAX);
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `fn main()` that runs the given groups, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| calls += 1));
+        assert_eq!(c.ran, 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+            ..Criterion::default()
+        };
+        c.bench_function("smoke/add", |b| b.iter(|| ()));
+        assert_eq!(c.ran, 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.000 s");
+    }
+}

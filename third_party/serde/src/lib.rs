@@ -1,0 +1,19 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates its data types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` but performs no actual
+//! serialization, and the build environment has no crates.io access. This
+//! crate supplies marker traits and re-exports the no-op derives from the
+//! in-tree `serde_derive`, so the annotations compile as written and the
+//! dependency can later be repointed at the real serde without source edits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

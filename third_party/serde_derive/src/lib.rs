@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (as forward-looking
+//! annotations on its data types); nothing serializes yet, and the build
+//! environment cannot fetch the real serde from crates.io. These derives
+//! therefore expand to empty marker-trait impls, keeping every
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attribute in the source
+//! compiling unchanged. When real serialization lands, swapping the path
+//! dependency back to crates.io `serde` requires no source edits.
+
+use proc_macro::{Ident, TokenStream, TokenTree};
+
+/// Extracts the type name a `derive` input declares, skipping attributes,
+/// visibility, and the `struct`/`enum` keyword.
+fn derived_type_name(input: TokenStream) -> Option<Ident> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let text = ident.to_string();
+            if text == "struct" || text == "enum" || text == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name);
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Emits `impl serde::TraitName for Type {}` for non-generic types.
+///
+/// Every serde-derived type in this workspace is a plain (non-generic)
+/// struct or enum, so a blanket-free marker impl suffices. Generic types
+/// would need bound propagation, which the real serde_derive provides.
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    match derived_type_name(input) {
+        Some(name) => format!("impl serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op `#[derive(Serialize)]`: emits an empty `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// No-op `#[derive(Deserialize)]`: emits an empty `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
