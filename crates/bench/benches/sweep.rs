@@ -1,0 +1,46 @@
+//! Sweep engine: the multi-technology `grid` spec through the
+//! work-stealing pool, serial vs parallel, plus JSON serialization.
+//!
+//! Besides the criterion timings, this bench seeds the performance
+//! trajectory: it executes the grid once and writes its timing document
+//! to `BENCH_sweep.json` (override the path with `CQLA_BENCH_JSON`) —
+//! the artifact CI uploads as the perf baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_sweep::{pool, Sweep, SweepRun};
+
+fn bench(c: &mut Criterion) {
+    let grid = Sweep::builtin("grid").expect("grid spec exists");
+    let quick = Sweep::builtin("quick").expect("quick spec exists");
+    let threads = pool::default_threads();
+
+    // Baseline artifact: one full grid run, timing stats to JSON.
+    let baseline = SweepRun::execute(&grid, threads);
+    cqla_bench::print_artifact(
+        &format!("Sweep: {} points on {} thread(s)", grid.len(), threads),
+        &baseline.render_text(),
+    );
+    let path = std::env::var("CQLA_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_owned());
+    match std::fs::write(&path, baseline.timing_json().to_pretty() + "\n") {
+        Ok(()) => println!("wrote baseline timing document to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    c.bench_function("sweep/quick_serial", |b| {
+        b.iter(|| black_box(SweepRun::execute(&quick, 1)))
+    });
+    c.bench_function("sweep/quick_parallel", |b| {
+        b.iter(|| black_box(SweepRun::execute(&quick, threads)))
+    });
+    c.bench_function("sweep/grid_parallel", |b| {
+        b.iter(|| black_box(SweepRun::execute(&grid, threads)))
+    });
+    c.bench_function("sweep/grid_to_json", |b| {
+        b.iter(|| black_box(baseline.to_json().to_pretty()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

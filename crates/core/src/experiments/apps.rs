@@ -46,8 +46,8 @@ fn transport_time(code: Code, tech: &TechnologyParams) -> Seconds {
     m.teleport_time(tech) + m.ec_time() * 1.5
 }
 
-/// Figure 8a: modular exponentiation computation vs communication time
-/// over adder sizes 32…1024 (Bacon-Shor).
+/// One Figure 8a sample: modular-exponentiation computation and
+/// communication time at one adder size (Bacon-Shor).
 ///
 /// Computation: each addition costs its block-constrained makespan; the
 /// compute region pipelines `blocks` addition streams, so the aggregate is
@@ -55,66 +55,83 @@ fn transport_time(code: Code, tech: &TechnologyParams) -> Seconds {
 /// operand qubits are fed through the block's teleport channels, each
 /// costing the EPR channel service of one logical qubit (two purification
 /// rounds — short intra-processor hauls).
+///
+/// Exposed per size (not only as the full sweep) so the parallel
+/// experiment engine can fan one job out per size and still produce rows
+/// bitwise-identical to [`fig8a`].
 #[must_use]
-pub fn fig8a(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
+pub fn fig8a_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
     let code = Code::BaconShor913;
     let study = SpecializationStudy::new(tech);
     let epr = cqla_network::EprModel::new(tech).with_purification_rounds(2);
     // EPR channel service per logical operand qubit.
     let per_qubit_service = epr.logical_service_time(code);
-    let sizes = [32u32, 64, 128, 256, 512, 1024];
-    let mut rows = Vec::new();
-    for &n in &sizes {
-        let blocks = f64::from(primary_blocks(n));
-        let me = ModExp::new(n);
-        let makespan = study.ideal_makespan_units(n, primary_blocks(n));
-        let adder_time = study.gate_step_time(code) * makespan as f64;
-        let computation = adder_time * me.additions() as f64 / blocks;
-        let toffolis = DraperAdder::new(n).circuit_ref().counts().toffoli;
-        // Each block feeds its own Toffolis through its own channel group
-        // (3 operands over `channels_required` channels), so the per-
-        // addition communication is the per-block Toffoli share times the
-        // per-operand channel service.
-        let per_add_comm = per_qubit_service
-            * (toffolis as f64 / blocks)
-            * (cqla_network::OPERANDS_PER_TOFFOLI / f64::from(code.teleport_channels_required()));
-        let communication = per_add_comm * me.additions() as f64 / blocks;
-        rows.push(AppTimeRow {
-            size: n,
-            computation,
-            communication,
-        });
+    let blocks = f64::from(primary_blocks(n));
+    let me = ModExp::new(n);
+    let makespan = study.ideal_makespan_units(n, primary_blocks(n));
+    let adder_time = study.gate_step_time(code) * makespan as f64;
+    let computation = adder_time * me.additions() as f64 / blocks;
+    let toffolis = DraperAdder::new(n).circuit_ref().counts().toffoli;
+    // Each block feeds its own Toffolis through its own channel group
+    // (3 operands over `channels_required` channels), so the per-
+    // addition communication is the per-block Toffoli share times the
+    // per-operand channel service.
+    let per_add_comm = per_qubit_service
+        * (toffolis as f64 / blocks)
+        * (cqla_network::OPERANDS_PER_TOFFOLI / f64::from(code.teleport_channels_required()));
+    let communication = per_add_comm * me.additions() as f64 / blocks;
+    AppTimeRow {
+        size: n,
+        computation,
+        communication,
     }
+}
+
+/// The adder sizes Figure 8a sweeps.
+pub const FIG8A_SIZES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
+
+/// Figure 8a: modular exponentiation computation vs communication time
+/// over adder sizes 32…1024 (Bacon-Shor).
+#[must_use]
+pub fn fig8a(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
+    let rows: Vec<AppTimeRow> = FIG8A_SIZES.iter().map(|&n| fig8a_row(tech, n)).collect();
     let text = render(&rows, "adder size", true);
     (rows, text)
 }
+
+/// One Figure 8b sample: QFT computation and communication time at one
+/// problem size (Bacon-Shor). Per-size twin of [`fig8b`], for the
+/// parallel engine.
+#[must_use]
+pub fn fig8b_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
+    let code = Code::BaconShor913;
+    let gate = EccMetrics::compute(code, Level::TWO, tech).transversal_gate_time()
+        + tech.duration(PhysicalOp::DoubleGate);
+    let transport = transport_time(code, tech);
+    let qft = Qft::new(n);
+    let computation = gate * qft.total_gates() as f64;
+    // Every pair interaction between qubits in different compute
+    // blocks moves one operand; blocks hold 9 qubits, so all but a
+    // vanishing fraction of pairs cross blocks.
+    let blocks = (f64::from(n) / 9.0).ceil();
+    let within = blocks * (9.0 * 8.0 / 2.0);
+    let crossing = qft.pair_interactions() as f64 - within;
+    let communication = transport * crossing.max(0.0);
+    AppTimeRow {
+        size: n,
+        computation,
+        communication,
+    }
+}
+
+/// The problem sizes Figure 8b sweeps.
+pub const FIG8B_SIZES: [u32; 10] = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
 
 /// Figure 8b: QFT computation vs communication time over problem sizes
 /// 100…1000 (Bacon-Shor).
 #[must_use]
 pub fn fig8b(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
-    let code = Code::BaconShor913;
-    let gate = EccMetrics::compute(code, Level::TWO, tech).transversal_gate_time()
-        + tech.duration(PhysicalOp::DoubleGate);
-    let transport = transport_time(code, tech);
-    let sizes = [100u32, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
-    let mut rows = Vec::new();
-    for &n in &sizes {
-        let qft = Qft::new(n);
-        let computation = gate * qft.total_gates() as f64;
-        // Every pair interaction between qubits in different compute
-        // blocks moves one operand; blocks hold 9 qubits, so all but a
-        // vanishing fraction of pairs cross blocks.
-        let blocks = (f64::from(n) / 9.0).ceil();
-        let within = blocks * (9.0 * 8.0 / 2.0);
-        let crossing = qft.pair_interactions() as f64 - within;
-        let communication = transport * crossing.max(0.0);
-        rows.push(AppTimeRow {
-            size: n,
-            computation,
-            communication,
-        });
-    }
+    let rows: Vec<AppTimeRow> = FIG8B_SIZES.iter().map(|&n| fig8b_row(tech, n)).collect();
     let text = render(&rows, "problem size", false);
     (rows, text)
 }

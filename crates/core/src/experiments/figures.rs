@@ -89,26 +89,39 @@ pub struct Fig6aRow {
     pub utilization: f64,
 }
 
+/// The adder sizes Figure 6a sweeps.
+pub const FIG6A_SIZES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
+
+/// The block counts Figure 6a sweeps.
+pub const FIG6A_BLOCKS: [u32; 7] = [4, 16, 36, 64, 100, 144, 196];
+
+/// Computes one Figure 6a cell: utilization of `blocks` compute blocks
+/// on the `adder_bits`-bit adder. Per-cell twin of [`fig6a`], for the
+/// parallel experiment engine.
+#[must_use]
+pub fn fig6a_cell(tech: &TechnologyParams, adder_bits: u32, blocks: u32) -> Fig6aRow {
+    Fig6aRow {
+        adder_bits,
+        blocks,
+        utilization: SpecializationStudy::new(tech)
+            .schedule_adder(adder_bits, blocks)
+            .utilization(),
+    }
+}
+
 /// Generates Figure 6a: utilization vs block count for each adder size.
 #[must_use]
 pub fn fig6a(tech: &TechnologyParams) -> (Vec<Fig6aRow>, String) {
-    let study = SpecializationStudy::new(tech);
-    let sizes = [32u32, 64, 128, 256, 512, 1024];
-    let blocks = [4u32, 16, 36, 64, 100, 144, 196];
     let mut rows = Vec::new();
-    for &bits in &sizes {
-        for (b, utilization) in study.utilization_sweep(bits, &blocks) {
-            rows.push(Fig6aRow {
-                adder_bits: bits,
-                blocks: b,
-                utilization,
-            });
+    for &bits in &FIG6A_SIZES {
+        for &b in &FIG6A_BLOCKS {
+            rows.push(fig6a_cell(tech, bits, b));
         }
     }
     let mut t = TextTable::new(["blocks", "32", "64", "128", "256", "512", "1024"]);
-    for &b in &blocks {
+    for &b in &FIG6A_BLOCKS {
         let mut cells = vec![b.to_string()];
-        for &bits in &sizes {
+        for &bits in &FIG6A_SIZES {
             let u = rows
                 .iter()
                 .find(|r| r.adder_bits == bits && r.blocks == b)
@@ -130,16 +143,30 @@ pub struct Fig6bData {
     pub crossovers: Vec<(Code, u32)>,
 }
 
+/// The superblock sizes (in blocks) Figure 6b sweeps.
+pub const FIG6B_BLOCKS: [u32; 9] = [9, 18, 27, 36, 45, 54, 63, 72, 81];
+
+/// Computes one code's Figure 6b series: the bandwidth samples over the
+/// block sweep plus the crossover point. Per-code twin of [`fig6b`], for
+/// the parallel experiment engine.
+#[must_use]
+pub fn fig6b_series(tech: &TechnologyParams, code: Code) -> (Vec<BandwidthSample>, u32) {
+    let model = SuperblockBandwidth::new(code, tech);
+    (
+        FIG6B_BLOCKS.iter().map(|&b| model.sample(b)).collect(),
+        model.crossover_blocks(),
+    )
+}
+
 /// Generates Figure 6b (blocks swept 4…81 as in the paper's x-axis).
 #[must_use]
 pub fn fig6b(tech: &TechnologyParams) -> (Fig6bData, String) {
-    let sweep: Vec<u32> = (1..=9).map(|i| i * 9).collect();
     let mut samples: Vec<(Code, Vec<BandwidthSample>)> = Vec::new();
     let mut crossovers = Vec::new();
     for code in Code::ALL {
-        let model = SuperblockBandwidth::new(code, tech);
-        samples.push((code, sweep.iter().map(|&b| model.sample(b)).collect()));
-        crossovers.push((code, model.crossover_blocks()));
+        let (series, crossover) = fig6b_series(tech, code);
+        samples.push((code, series));
+        crossovers.push((code, crossover));
     }
     let mut t = TextTable::new([
         "blocks",
@@ -149,7 +176,7 @@ pub fn fig6b(tech: &TechnologyParams) -> (Fig6bData, String) {
         "avail(BSr)",
         "worst case",
     ]);
-    for (i, &b) in sweep.iter().enumerate() {
+    for (i, &b) in FIG6B_BLOCKS.iter().enumerate() {
         let st = samples[0].1[i];
         let bs = samples[1].1[i];
         t.push_row([
@@ -191,6 +218,35 @@ pub struct Fig7Row {
     pub hit_rate: f64,
 }
 
+/// The adder sizes Figure 7 sweeps.
+pub const FIG7_SIZES: [u32; 5] = [64, 128, 256, 512, 1024];
+
+/// The cache-capacity factors Figure 7 sweeps.
+pub const FIG7_FACTORS: [f64; 3] = [1.0, 1.5, 2.0];
+
+/// Computes one Figure 7 cell: the hit rate of one
+/// `(adder, cache size, policy)` simulation. Per-cell twin of [`fig7`],
+/// for the parallel experiment engine.
+#[must_use]
+pub fn fig7_cell(adder_bits: u32, cache_factor: f64, policy: FetchPolicy) -> Fig7Row {
+    let adder = DraperAdder::new(adder_bits);
+    let circuit = adder.circuit();
+    let inputs: Vec<QubitId> = adder
+        .a_register()
+        .chain(adder.b_register())
+        .map(QubitId::new)
+        .collect();
+    let pe = 9 * primary_blocks(adder_bits) as usize;
+    let capacity = ((pe as f64) * cache_factor).round() as usize;
+    let run = CacheSim::new(capacity.max(1)).run(&circuit, policy, &inputs, 2);
+    Fig7Row {
+        adder_bits,
+        cache_factor,
+        policy,
+        hit_rate: run.hit_rate(),
+    }
+}
+
 /// Generates Figure 7: cache hit rates for adders of 64…1024 bits, cache
 /// sizes {1, 1.5, 2}×PE, both fetch policies.
 ///
@@ -199,29 +255,11 @@ pub struct Fig7Row {
 /// in the repeated additions of a modular exponentiation.
 #[must_use]
 pub fn fig7() -> (Vec<Fig7Row>, String) {
-    let sizes = [64u32, 128, 256, 512, 1024];
-    let factors = [1.0f64, 1.5, 2.0];
     let mut rows = Vec::new();
-    for &bits in &sizes {
-        let adder = DraperAdder::new(bits);
-        let circuit = adder.circuit();
-        let inputs: Vec<QubitId> = adder
-            .a_register()
-            .chain(adder.b_register())
-            .map(QubitId::new)
-            .collect();
-        let pe = 9 * primary_blocks(bits) as usize;
-        for &factor in &factors {
-            let capacity = ((pe as f64) * factor).round() as usize;
-            let sim = CacheSim::new(capacity.max(1));
+    for &bits in &FIG7_SIZES {
+        for &factor in &FIG7_FACTORS {
             for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
-                let run = sim.run(&circuit, policy, &inputs, 2);
-                rows.push(Fig7Row {
-                    adder_bits: bits,
-                    cache_factor: factor,
-                    policy,
-                    hit_rate: run.hit_rate(),
-                });
+                rows.push(fig7_cell(bits, factor, policy));
             }
         }
     }
@@ -234,7 +272,7 @@ pub fn fig7() -> (Vec<Fig7Row>, String) {
         "cache=2PE",
         "opt 2PE",
     ]);
-    for &bits in &sizes {
+    for &bits in &FIG7_SIZES {
         let get = |factor: f64, policy: FetchPolicy| {
             rows.iter()
                 .find(|r| {

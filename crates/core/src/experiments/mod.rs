@@ -9,6 +9,12 @@ mod apps;
 mod figures;
 mod tables;
 
-pub use apps::{fig8a, fig8b, AppTimeRow};
-pub use figures::{fig2, fig6a, fig6b, fig7, Fig2Data, Fig6aRow, Fig6bData, Fig7Row};
-pub use tables::{table2, table3, table4, table5, Table3Data, Table4Row, Table5Row};
+pub use apps::{fig8a, fig8a_row, fig8b, fig8b_row, AppTimeRow, FIG8A_SIZES, FIG8B_SIZES};
+pub use figures::{
+    fig2, fig6a, fig6a_cell, fig6b, fig6b_series, fig7, fig7_cell, Fig2Data, Fig6aRow, Fig6bData,
+    Fig7Row, FIG6A_BLOCKS, FIG6A_SIZES, FIG6B_BLOCKS, FIG7_FACTORS, FIG7_SIZES,
+};
+pub use tables::{
+    primary_blocks, table2, table3, table4, table4_row, table5, table5_row, Table3Data, Table4Row,
+    Table5Row, TABLE5_PAR_XFER, TABLE5_SIZES,
+};

@@ -73,19 +73,27 @@ pub struct Table4Row {
     pub bacon_shor: SpecializationResult,
 }
 
+/// Computes one Table 4 row: the `(input size, block count)` cell under
+/// both codes. Exposed per cell so the parallel experiment engine can fan
+/// one job out per grid point and still match [`table4`] bitwise.
+#[must_use]
+pub fn table4_row(tech: &TechnologyParams, input_bits: u32, blocks: u32) -> Table4Row {
+    let study = SpecializationStudy::new(tech);
+    Table4Row {
+        input_bits,
+        blocks,
+        steane: study.evaluate(CqlaConfig::new(Code::Steane713, input_bits, blocks)),
+        bacon_shor: study.evaluate(CqlaConfig::new(Code::BaconShor913, input_bits, blocks)),
+    }
+}
+
 /// Generates Table 4 over the paper's grid.
 #[must_use]
 pub fn table4(tech: &TechnologyParams) -> (Vec<Table4Row>, String) {
-    let study = SpecializationStudy::new(tech);
     let mut rows = Vec::new();
     for (bits, blocks) in TABLE4_GRID {
         for b in blocks {
-            rows.push(Table4Row {
-                input_bits: bits,
-                blocks: b,
-                steane: study.evaluate(CqlaConfig::new(Code::Steane713, bits, b)),
-                bacon_shor: study.evaluate(CqlaConfig::new(Code::BaconShor913, bits, b)),
-            });
+            rows.push(table4_row(tech, bits, b));
         }
     }
     let mut t = TextTable::new([
@@ -139,22 +147,40 @@ pub fn primary_blocks(input_bits: u32) -> u32 {
         )
 }
 
+/// The parallel-transfer budgets Table 5 sweeps.
+pub const TABLE5_PAR_XFER: [u32; 2] = [10, 5];
+
+/// The adder sizes Table 5 sweeps.
+pub const TABLE5_SIZES: [u32; 3] = [256, 512, 1024];
+
+/// Computes one Table 5 row: a `(code, par-xfer, size)` cell on its
+/// Table 4 primary block count. Per-cell twin of [`table5`], for the
+/// parallel experiment engine.
+#[must_use]
+pub fn table5_row(
+    tech: &TechnologyParams,
+    code: Code,
+    par_xfer: u32,
+    input_bits: u32,
+) -> Table5Row {
+    let config = HierarchyConfig::new(code, input_bits, par_xfer, primary_blocks(input_bits));
+    Table5Row {
+        par_xfer,
+        input_bits,
+        code,
+        result: HierarchyStudy::new(tech).evaluate(config),
+    }
+}
+
 /// Generates Table 5 over the paper's grid (both codes, par-xfer ∈ {10, 5},
 /// sizes {256, 512, 1024}).
 #[must_use]
 pub fn table5(tech: &TechnologyParams) -> (Vec<Table5Row>, String) {
-    let study = HierarchyStudy::new(tech);
     let mut rows = Vec::new();
     for code in Code::ALL {
-        for par_xfer in [10u32, 5] {
-            for bits in [256u32, 512, 1024] {
-                let config = HierarchyConfig::new(code, bits, par_xfer, primary_blocks(bits));
-                rows.push(Table5Row {
-                    par_xfer,
-                    input_bits: bits,
-                    code,
-                    result: study.evaluate(config),
-                });
+        for par_xfer in TABLE5_PAR_XFER {
+            for bits in TABLE5_SIZES {
+                rows.push(table5_row(tech, code, par_xfer, bits));
             }
         }
     }

@@ -123,6 +123,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Scales a release-grade trial count down 20× in debug builds
+    /// (400k → 20k): unoptimized Monte Carlo dominated tier-1 test time.
+    /// Release (and CI's release test job) keeps the full statistics.
+    fn trials(release: u64) -> u64 {
+        if cfg!(debug_assertions) {
+            release / 20
+        } else {
+            release
+        }
+    }
+
     #[test]
     fn zero_noise_never_fails() {
         let code = CssCode::steane();
@@ -149,7 +160,7 @@ mod tests {
                 &code,
                 &decoder,
                 DepolarizingNoise::new(p),
-                200_000,
+                trials(200_000),
                 &mut rng,
             );
             assert!(
@@ -169,14 +180,14 @@ mod tests {
             &code,
             &decoder,
             DepolarizingNoise::new(0.01),
-            400_000,
+            trials(400_000),
             &mut rng,
         );
         let hi = estimate_logical_error_rate(
             &code,
             &decoder,
             DepolarizingNoise::new(0.04),
-            400_000,
+            trials(400_000),
             &mut rng,
         );
         // 4x the physical rate should give ~16x the logical rate; allow a

@@ -1,0 +1,187 @@
+//! Parallel ports of the embarrassingly parallel paper grids.
+//!
+//! Each function reproduces the *exact* row list of its serial
+//! counterpart in `cqla_core::experiments` — same types, same order,
+//! bitwise-equal floats — but fans the grid out over the work-stealing
+//! pool. Both paths share the per-cell functions and grid constants
+//! exported by `cqla-core` (`table4_row`, `fig7_cell`, `FIG6A_SIZES`, …),
+//! so a grid change lands in one place; the byte-identity tests below
+//! then only guard the fan-out itself. The serial generators stay
+//! canonical; these are the fast paths the CLI and bench harness call.
+
+use cqla_core::experiments as exp;
+use cqla_core::experiments::{AppTimeRow, Fig6aRow, Fig6bData, Fig7Row, Table4Row, Table5Row};
+use cqla_core::{FetchPolicy, TABLE4_GRID};
+use cqla_ecc::Code;
+use cqla_iontrap::TechnologyParams;
+
+use crate::pool;
+
+/// Table 4 rows (identical to `cqla_core::experiments::table4().0`),
+/// computed in parallel over the size×blocks grid.
+#[must_use]
+pub fn table4_rows(tech: &TechnologyParams, threads: usize) -> Vec<Table4Row> {
+    let jobs: Vec<(u32, u32)> = TABLE4_GRID
+        .iter()
+        .flat_map(|&(bits, blocks)| blocks.into_iter().map(move |b| (bits, b)))
+        .collect();
+    pool::map(&jobs, threads, |_, &(bits, b)| {
+        exp::table4_row(tech, bits, b)
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .collect()
+}
+
+/// Table 5 rows (identical to `cqla_core::experiments::table5().0`),
+/// computed in parallel over the code×transfer×size cube.
+#[must_use]
+pub fn table5_rows(tech: &TechnologyParams, threads: usize) -> Vec<Table5Row> {
+    let mut jobs = Vec::new();
+    for code in Code::ALL {
+        for par_xfer in exp::TABLE5_PAR_XFER {
+            for bits in exp::TABLE5_SIZES {
+                jobs.push((code, par_xfer, bits));
+            }
+        }
+    }
+    pool::map(&jobs, threads, |_, &(code, par_xfer, bits)| {
+        exp::table5_row(tech, code, par_xfer, bits)
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .collect()
+}
+
+/// Figure 6a rows (identical to `cqla_core::experiments::fig6a().0`),
+/// one scheduling job per (adder size, block count) cell.
+#[must_use]
+pub fn fig6a_rows(tech: &TechnologyParams, threads: usize) -> Vec<Fig6aRow> {
+    let jobs: Vec<(u32, u32)> = exp::FIG6A_SIZES
+        .iter()
+        .flat_map(|&bits| exp::FIG6A_BLOCKS.iter().map(move |&b| (bits, b)))
+        .collect();
+    pool::map(&jobs, threads, |_, &(bits, b)| {
+        exp::fig6a_cell(tech, bits, b)
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .collect()
+}
+
+/// Figure 6b data (identical to `cqla_core::experiments::fig6b().0`),
+/// one bandwidth model per code in parallel.
+#[must_use]
+pub fn fig6b_data(tech: &TechnologyParams, threads: usize) -> Fig6bData {
+    let per_code = pool::map(&Code::ALL, threads, |_, &code| {
+        (code, exp::fig6b_series(tech, code))
+    });
+    let mut samples = Vec::new();
+    let mut crossovers = Vec::new();
+    for t in per_code {
+        let (code, (series, crossover)) = t.value;
+        samples.push((code, series));
+        crossovers.push((code, crossover));
+    }
+    Fig6bData {
+        samples,
+        crossovers,
+    }
+}
+
+/// Figure 7 rows (identical to `cqla_core::experiments::fig7().0`), one
+/// cache simulation per (adder, cache size, policy) cell.
+#[must_use]
+pub fn fig7_rows(threads: usize) -> Vec<Fig7Row> {
+    let mut jobs: Vec<(u32, f64, FetchPolicy)> = Vec::new();
+    for &bits in &exp::FIG7_SIZES {
+        for &factor in &exp::FIG7_FACTORS {
+            for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
+                jobs.push((bits, factor, policy));
+            }
+        }
+    }
+    pool::map(&jobs, threads, |_, &(bits, factor, policy)| {
+        exp::fig7_cell(bits, factor, policy)
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .collect()
+}
+
+/// Figure 8a rows (identical to `cqla_core::experiments::fig8a().0`),
+/// one modular-exponentiation costing per adder size.
+#[must_use]
+pub fn fig8a_rows(tech: &TechnologyParams, threads: usize) -> Vec<AppTimeRow> {
+    pool::map(&exp::FIG8A_SIZES, threads, |_, &n| exp::fig8a_row(tech, n))
+        .into_iter()
+        .map(|t| t.value)
+        .collect()
+}
+
+/// Figure 8b rows (identical to `cqla_core::experiments::fig8b().0`).
+#[must_use]
+pub fn fig8b_rows(tech: &TechnologyParams, threads: usize) -> Vec<AppTimeRow> {
+    pool::map(&exp::FIG8B_SIZES, threads, |_, &n| exp::fig8b_row(tech, n))
+        .into_iter()
+        .map(|t| t.value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::projected()
+    }
+
+    #[test]
+    fn table4_parallel_is_byte_identical_to_serial() {
+        let serial = cqla_core::experiments::table4(&tech()).0;
+        let parallel = table4_rows(&tech(), 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_json().to_compact(),
+            parallel.to_json().to_compact()
+        );
+    }
+
+    #[test]
+    fn table5_parallel_is_byte_identical_to_serial() {
+        let serial = cqla_core::experiments::table5(&tech()).0;
+        let parallel = table5_rows(&tech(), 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_json().to_compact(),
+            parallel.to_json().to_compact()
+        );
+    }
+
+    #[test]
+    fn fig6a_parallel_matches_serial() {
+        let serial = cqla_core::experiments::fig6a(&tech()).0;
+        assert_eq!(serial, fig6a_rows(&tech(), 4));
+    }
+
+    #[test]
+    fn fig6b_parallel_matches_serial() {
+        let serial = cqla_core::experiments::fig6b(&tech()).0;
+        assert_eq!(serial, fig6b_data(&tech(), 2));
+    }
+
+    #[test]
+    fn fig7_parallel_matches_serial() {
+        let serial = cqla_core::experiments::fig7().0;
+        assert_eq!(serial, fig7_rows(4));
+    }
+
+    #[test]
+    fn fig8_parallel_matches_serial() {
+        let (a, _) = cqla_core::experiments::fig8a(&tech());
+        let (b, _) = cqla_core::experiments::fig8b(&tech());
+        assert_eq!(a, fig8a_rows(&tech(), 3));
+        assert_eq!(b, fig8b_rows(&tech(), 3));
+    }
+}

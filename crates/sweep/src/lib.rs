@@ -1,0 +1,63 @@
+//! # cqla-sweep
+//!
+//! The parallel experiment engine for the CQLA reproduction: sweep an
+//! architecture-space grid (technology parameters, codes, adder widths,
+//! cache ratios, transfer channels) across all available cores and emit
+//! real JSON.
+//!
+//! The paper's central exercise is exactly this kind of multi-point
+//! design-space exploration — Tables 4–5 and Figures 6–8 are grids of
+//! independent evaluations. This crate turns that shape into
+//! infrastructure:
+//!
+//! * [`spec`] — [`Sweep`] descriptions: named axes over design
+//!   parameters, cartesian products, explicit point lists, and the
+//!   built-in specs `cqla sweep <spec>` accepts;
+//! * [`pool`] — a scoped-thread work-stealing executor
+//!   ([`std::thread::scope`], zero dependencies) with per-job timing and
+//!   deterministic result ordering;
+//! * [`engine`] — [`SweepRun`]: execute a sweep, render text, serialize
+//!   deterministic results and (separately) timing stats;
+//! * [`json`] — a hand-rolled JSON layer ([`json::Json`] value tree,
+//!   escaping, compact/pretty printers, parser) plus the [`json::ToJson`]
+//!   trait, since the workspace's vendored `serde` derives are no-ops;
+//! * [`convert`] — `ToJson` for every existing result type
+//!   (`EccMetrics`, `Table4Row`, `HierarchyResult`, figure rows, …);
+//! * [`experiments`] — parallel ports of the paper's own grids that are
+//!   bitwise-identical to the serial generators in
+//!   `cqla_core::experiments`.
+//!
+//! # Determinism
+//!
+//! [`SweepRun::to_json`] is byte-identical across runs and thread
+//! counts: jobs are pure functions of their design point, the pool
+//! restores submission order, objects keep insertion order, and floats
+//! use Rust's shortest round-trip formatting. Timing is quarantined in
+//! [`SweepRun::timing_json`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cqla_sweep::{pool, Sweep, SweepRun};
+//!
+//! let sweep = Sweep::builtin("quick").unwrap();
+//! let run = SweepRun::execute(&sweep, pool::default_threads());
+//! let doc = run.to_json().to_pretty();
+//! assert!(doc.contains("\"sweep\": \"quick\""));
+//! // Byte-identical no matter the worker count.
+//! assert_eq!(doc, SweepRun::execute(&sweep, 1).to_json().to_pretty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod engine;
+pub mod experiments;
+pub mod json;
+pub mod pool;
+pub mod spec;
+
+pub use engine::{JobResult, PointOutcome, SweepRun};
+pub use json::{Json, ToJson};
+pub use spec::{Axis, DesignPoint, Sweep, TechPoint};

@@ -1,0 +1,506 @@
+//! Sweep descriptions: named axes over the CQLA design space.
+//!
+//! A [`Sweep`] is a list of [`DesignPoint`]s — fully specified
+//! architecture evaluations. Points come from either an explicit list or
+//! a cartesian product of [`Axis`] values over a base point, which is
+//! how the paper's own grids (Table 4's size×blocks sweep, Table 5's
+//! code×transfer×size cube) and the multi-technology grids beyond them
+//! are written down.
+
+use cqla_core::experiments::primary_blocks;
+use cqla_ecc::Code;
+use cqla_iontrap::TechnologyParams;
+
+use crate::json::{Json, ToJson};
+
+/// One of the Table 1 technology operating points.
+///
+/// Naming a preset (rather than embedding raw parameters) keeps sweep
+/// descriptions small and serializable; the engine resolves the preset
+/// to full [`TechnologyParams`] at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechPoint {
+    /// Experimentally demonstrated parameters (Table 1 "now").
+    Current,
+    /// The projected 10–15-year parameters the paper evaluates with.
+    Projected,
+}
+
+impl TechPoint {
+    /// Both presets, current first.
+    pub const ALL: [Self; 2] = [Self::Current, Self::Projected];
+
+    /// Short machine-readable label used in specs and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Current => "current",
+            Self::Projected => "projected",
+        }
+    }
+
+    /// Resolves the preset to its full parameter set.
+    #[must_use]
+    pub fn params(self) -> TechnologyParams {
+        match self {
+            Self::Current => TechnologyParams::current(),
+            Self::Projected => TechnologyParams::projected(),
+        }
+    }
+
+    /// Parses a label produced by [`TechPoint::label`].
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "current" => Some(Self::Current),
+            "projected" => Some(Self::Projected),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for TechPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ToJson for TechPoint {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+/// A fully specified design point: everything the engine needs to price
+/// one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Technology operating point.
+    pub tech: TechPoint,
+    /// Error-correcting code.
+    pub code: Code,
+    /// Adder width in bits.
+    pub input_bits: u32,
+    /// Compute blocks.
+    pub blocks: u32,
+    /// Parallel memory↔cache transfers; `None` evaluates the flat CQLA
+    /// only (no memory hierarchy).
+    pub par_xfer: Option<u32>,
+    /// Cache capacity as a multiple of the compute-region qubits.
+    pub cache_factor: f64,
+}
+
+impl DesignPoint {
+    /// The paper's default starting point: projected technology,
+    /// Bacon-Shor code, 64-bit adder on its Table 4 primary block count,
+    /// flat CQLA, cache at 2×PE when a hierarchy is requested.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
+            code: Code::BaconShor913,
+            input_bits: 64,
+            blocks: primary_blocks(64),
+            par_xfer: None,
+            cache_factor: 2.0,
+        }
+    }
+
+    /// A short stable label, used in text output and JSON.
+    ///
+    /// Non-default cache ratios are spelled out so that points differing
+    /// only in cache factor stay distinguishable.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let hierarchy = match self.par_xfer {
+            Some(x) => format!("/x{x}"),
+            None => String::new(),
+        };
+        let cache = if (self.cache_factor - 2.0).abs() > 1e-12 {
+            format!("/c{}", self.cache_factor)
+        } else {
+            String::new()
+        };
+        format!(
+            "{}/{}/{}b/{}blk{}{}",
+            self.tech.label(),
+            self.code.label(),
+            self.input_bits,
+            self.blocks,
+            hierarchy,
+            cache
+        )
+    }
+}
+
+impl ToJson for DesignPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tech", self.tech.to_json()),
+            ("code", self.code.to_json()),
+            ("input_bits", self.input_bits.to_json()),
+            ("blocks", self.blocks.to_json()),
+            ("par_xfer", self.par_xfer.to_json()),
+            ("cache_factor", Json::Num(self.cache_factor)),
+        ])
+    }
+}
+
+/// One named axis of a cartesian sweep. Applying an axis value to a
+/// [`DesignPoint`] overrides the corresponding field(s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Axis {
+    /// Sweep the technology preset.
+    Tech(Vec<TechPoint>),
+    /// Sweep the error-correcting code.
+    Code(Vec<Code>),
+    /// Sweep the adder width, leaving the block count untouched.
+    InputBits(Vec<u32>),
+    /// Sweep the adder width, provisioning each size with its Table 4
+    /// primary block count (the paper's coupling of size to machine).
+    InputBitsPrimaryBlocks(Vec<u32>),
+    /// Sweep the compute-block count.
+    Blocks(Vec<u32>),
+    /// Sweep the parallel transfer channels (turns on the hierarchy).
+    ParXfer(Vec<u32>),
+    /// Sweep the cache ratio.
+    CacheFactor(Vec<f64>),
+}
+
+impl Axis {
+    /// The axis name as it appears in JSON and `cqla sweep` output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Tech(_) => "tech",
+            Self::Code(_) => "code",
+            Self::InputBits(_) => "input_bits",
+            Self::InputBitsPrimaryBlocks(_) => "input_bits(primary blocks)",
+            Self::Blocks(_) => "blocks",
+            Self::ParXfer(_) => "par_xfer",
+            Self::CacheFactor(_) => "cache_factor",
+        }
+    }
+
+    /// Number of values on the axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Tech(v) => v.len(),
+            Self::Code(v) => v.len(),
+            Self::InputBits(v)
+            | Self::InputBitsPrimaryBlocks(v)
+            | Self::Blocks(v)
+            | Self::ParXfer(v) => v.len(),
+            Self::CacheFactor(v) => v.len(),
+        }
+    }
+
+    /// Whether the axis has no values (its cartesian product is empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies value `i` of this axis to a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    fn apply(&self, mut point: DesignPoint, i: usize) -> DesignPoint {
+        match self {
+            Self::Tech(v) => point.tech = v[i],
+            Self::Code(v) => point.code = v[i],
+            Self::InputBits(v) => point.input_bits = v[i],
+            Self::InputBitsPrimaryBlocks(v) => {
+                point.input_bits = v[i];
+                point.blocks = primary_blocks(v[i]);
+            }
+            Self::Blocks(v) => point.blocks = v[i],
+            Self::ParXfer(v) => point.par_xfer = Some(v[i]),
+            Self::CacheFactor(v) => point.cache_factor = v[i],
+        }
+        point
+    }
+}
+
+/// A named experiment sweep: the job list the engine executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    name: String,
+    points: Vec<DesignPoint>,
+}
+
+impl Sweep {
+    /// Builds a sweep from an explicit point list.
+    #[must_use]
+    pub fn from_points(name: impl Into<String>, points: Vec<DesignPoint>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Builds the cartesian product of `axes` over `base`, later axes
+    /// varying fastest (row-major, like nested for-loops in axis order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cqla_sweep::{Axis, DesignPoint, Sweep, TechPoint};
+    /// use cqla_ecc::Code;
+    ///
+    /// let sweep = Sweep::cartesian(
+    ///     "demo",
+    ///     DesignPoint::paper_default(),
+    ///     &[
+    ///         Axis::Tech(TechPoint::ALL.to_vec()),
+    ///         Axis::Code(Code::ALL.to_vec()),
+    ///         Axis::InputBitsPrimaryBlocks(vec![32, 64, 128]),
+    ///     ],
+    /// );
+    /// assert_eq!(sweep.len(), 2 * 2 * 3);
+    /// ```
+    #[must_use]
+    pub fn cartesian(name: impl Into<String>, base: DesignPoint, axes: &[Axis]) -> Self {
+        let mut points = vec![base];
+        for axis in axes {
+            points = points
+                .into_iter()
+                .flat_map(|p| (0..axis.len()).map(move |i| axis.apply(p, i)))
+                .collect();
+        }
+        // A zero-length axis nulls the product, mirroring an empty
+        // nested loop.
+        if axes.iter().any(Axis::is_empty) {
+            points.clear();
+        }
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The sweep's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The design points in execution (submission) order.
+    #[must_use]
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Number of design points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The built-in sweep specs `cqla sweep <spec>` accepts, with a
+    /// one-line description each.
+    pub const BUILTIN: [(&'static str, &'static str); 5] = [
+        (
+            "grid",
+            "both technologies x both codes x six adder sizes, full hierarchy (24 points)",
+        ),
+        (
+            "quick",
+            "both technologies x both codes x {32,64} bits (8 cheap points)",
+        ),
+        (
+            "cache",
+            "cache ratio {1,1.5,2} x both codes x {64,128,256} bits (18 points)",
+        ),
+        (
+            "table4",
+            "the paper's Table 4 grid as an explicit point list",
+        ),
+        (
+            "table5",
+            "the paper's Table 5 cube (codes x par-xfer x sizes)",
+        ),
+    ];
+
+    /// Resolves a built-in spec by name.
+    #[must_use]
+    pub fn builtin(name: &str) -> Option<Self> {
+        let base = DesignPoint::paper_default();
+        match name {
+            // The flagship multi-technology grid: every Table 4 size at
+            // its primary block count, under both codes and both
+            // technology columns, with the full memory hierarchy.
+            "grid" => Some(Self::cartesian(
+                "grid",
+                DesignPoint {
+                    par_xfer: Some(10),
+                    ..base
+                },
+                &[
+                    Axis::Tech(TechPoint::ALL.to_vec()),
+                    Axis::Code(Code::ALL.to_vec()),
+                    Axis::InputBitsPrimaryBlocks(vec![32, 64, 128, 256, 512, 1024]),
+                ],
+            )),
+            "quick" => Some(Self::cartesian(
+                "quick",
+                base,
+                &[
+                    Axis::Tech(TechPoint::ALL.to_vec()),
+                    Axis::Code(Code::ALL.to_vec()),
+                    Axis::InputBitsPrimaryBlocks(vec![32, 64]),
+                ],
+            )),
+            "cache" => Some(Self::cartesian(
+                "cache",
+                DesignPoint {
+                    par_xfer: Some(10),
+                    ..base
+                },
+                &[
+                    Axis::CacheFactor(vec![1.0, 1.5, 2.0]),
+                    Axis::Code(Code::ALL.to_vec()),
+                    Axis::InputBitsPrimaryBlocks(vec![64, 128, 256]),
+                ],
+            )),
+            "table4" => {
+                let mut points = Vec::new();
+                for (bits, blocks) in cqla_core::TABLE4_GRID {
+                    for b in blocks {
+                        for code in Code::ALL {
+                            points.push(DesignPoint {
+                                code,
+                                input_bits: bits,
+                                blocks: b,
+                                par_xfer: None,
+                                ..base
+                            });
+                        }
+                    }
+                }
+                Some(Self::from_points("table4", points))
+            }
+            "table5" => {
+                let mut points = Vec::new();
+                for code in Code::ALL {
+                    for par_xfer in cqla_core::experiments::TABLE5_PAR_XFER {
+                        for bits in cqla_core::experiments::TABLE5_SIZES {
+                            points.push(DesignPoint {
+                                code,
+                                input_bits: bits,
+                                blocks: primary_blocks(bits),
+                                par_xfer: Some(par_xfer),
+                                ..base
+                            });
+                        }
+                    }
+                }
+                Some(Self::from_points("table5", points))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_order_is_row_major() {
+        let sweep = Sweep::cartesian(
+            "t",
+            DesignPoint::paper_default(),
+            &[
+                Axis::Code(Code::ALL.to_vec()),
+                Axis::InputBits(vec![32, 64]),
+            ],
+        );
+        let points = sweep.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            (points[0].code, points[0].input_bits),
+            (Code::Steane713, 32)
+        );
+        assert_eq!(
+            (points[1].code, points[1].input_bits),
+            (Code::Steane713, 64)
+        );
+        assert_eq!(
+            (points[2].code, points[2].input_bits),
+            (Code::BaconShor913, 32)
+        );
+    }
+
+    #[test]
+    fn primary_blocks_axis_couples_size_to_machine() {
+        let sweep = Sweep::cartesian(
+            "t",
+            DesignPoint::paper_default(),
+            &[Axis::InputBitsPrimaryBlocks(vec![256, 1024])],
+        );
+        assert_eq!(sweep.points()[0].blocks, 36);
+        assert_eq!(sweep.points()[1].blocks, 100);
+    }
+
+    #[test]
+    fn empty_axis_produces_empty_sweep() {
+        let sweep = Sweep::cartesian(
+            "t",
+            DesignPoint::paper_default(),
+            &[Axis::Code(Code::ALL.to_vec()), Axis::Blocks(Vec::new())],
+        );
+        assert!(sweep.is_empty());
+    }
+
+    #[test]
+    fn grid_builtin_is_a_24_point_multi_technology_grid() {
+        let sweep = Sweep::builtin("grid").unwrap();
+        assert!(sweep.len() >= 24, "grid has {} points", sweep.len());
+        let techs: std::collections::HashSet<&str> =
+            sweep.points().iter().map(|p| p.tech.label()).collect();
+        assert_eq!(techs.len(), 2, "grid must span both technology columns");
+        assert!(sweep.points().iter().all(|p| p.par_xfer == Some(10)));
+    }
+
+    #[test]
+    fn every_builtin_resolves_and_unknown_does_not() {
+        for (name, _) in Sweep::BUILTIN {
+            let sweep = Sweep::builtin(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!sweep.is_empty(), "{name} is empty");
+            assert_eq!(sweep.name(), name);
+        }
+        assert!(Sweep::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn table_builtins_match_the_paper_grids() {
+        assert_eq!(Sweep::builtin("table4").unwrap().len(), 24); // 12 rows x 2 codes
+        assert_eq!(Sweep::builtin("table5").unwrap().len(), 12);
+    }
+
+    #[test]
+    fn tech_point_labels_round_trip() {
+        for t in TechPoint::ALL {
+            assert_eq!(TechPoint::parse(t.label()), Some(t));
+        }
+        assert_eq!(TechPoint::parse("weird"), None);
+    }
+
+    #[test]
+    fn design_point_label_mentions_everything() {
+        let mut p = DesignPoint::paper_default();
+        p.par_xfer = Some(10);
+        let label = p.label();
+        assert!(label.contains("projected") && label.contains("64b"));
+        assert!(label.contains("/x10"));
+    }
+}

@@ -35,10 +35,10 @@ impl Comparator {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or exceeds 127.
+    /// Panics if `n` is zero or exceeds 128.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!((1..=127).contains(&n), "comparator width {n} out of range");
+        crate::width::validate_width("comparator", n, crate::width::MAX_VERIFIED_WIDTH);
         let mut c = Circuit::new(2 * n + 2);
         let a = |i: u32| 1 + i;
         let b = |i: u32| 1 + n + i;

@@ -12,6 +12,8 @@
 
 use cqla_circuit::{Circuit, ClassicalState};
 
+use crate::width::{combine_carry, validate_width, MAX_VERIFIED_WIDTH};
+
 /// Generator for CDKM in-place ripple adders.
 ///
 /// Register layout: qubit 0 is the borrowed ancilla (restored to its input
@@ -39,13 +41,10 @@ impl CuccaroAdder {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero or exceeds 127 (verification uses `u128`).
+    /// Panics if `n` is zero or exceeds 128 (verification uses `u128`).
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!(
-            (1..=127).contains(&n),
-            "adder width {n} out of range 1..=127"
-        );
+        validate_width("adder", n, MAX_VERIFIED_WIDTH);
         let mut c = Circuit::new(2 * n + 2);
         let anc = 0u32;
         let a = |i: u32| 1 + i;
@@ -96,7 +95,8 @@ impl CuccaroAdder {
     ///
     /// # Panics
     ///
-    /// Panics if inputs do not fit in `n` bits or an invariant fails.
+    /// Panics if inputs do not fit in `n` bits, an invariant fails, or a
+    /// 128-bit sum carries out of `u128`.
     #[must_use]
     pub fn compute(&self, a: u128, b: u128) -> u128 {
         let n = self.n as usize;
@@ -109,8 +109,7 @@ impl CuccaroAdder {
         assert!(!state.bit(0), "ancilla not restored");
         assert_eq!(state.read_uint(1, n), a, "a clobbered");
         let sum = state.read_uint(1 + n, n);
-        let carry = u128::from(state.bit(2 * n + 1));
-        (carry << n) | sum
+        combine_carry(sum, state.bit(2 * n + 1), self.n)
     }
 }
 

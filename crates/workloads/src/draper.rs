@@ -20,6 +20,8 @@ use std::collections::HashMap;
 
 use cqla_circuit::{Circuit, ClassicalState};
 
+use crate::width::{combine_carry, validate_width, MAX_VERIFIED_WIDTH};
+
 /// Generator for Draper carry-lookahead adders.
 ///
 /// # Examples
@@ -52,10 +54,7 @@ impl DraperAdder {
     /// Panics if `n` is zero or exceeds 4096.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!(
-            (1..=4096).contains(&n),
-            "adder width {n} out of range 1..=4096"
-        );
+        validate_width("adder", n, 4096);
         let mut builder = Builder::new(n);
         let circuit = builder.build();
         Self {
@@ -123,7 +122,10 @@ impl DraperAdder {
     /// Panics if the inputs do not fit in `n` bits or `n` exceeds 128.
     #[must_use]
     pub fn compute(&self, a: u128, b: u128) -> u128 {
-        assert!(self.n <= 128, "classical verification limited to 128 bits");
+        assert!(
+            self.n <= MAX_VERIFIED_WIDTH,
+            "classical verification limited to {MAX_VERIFIED_WIDTH} bits"
+        );
         let mut state = ClassicalState::zeros(self.total_qubits() as usize);
         state.load_uint(0, self.n as usize, a);
         state.load_uint(self.n as usize, self.n as usize, b);
@@ -138,7 +140,8 @@ impl DraperAdder {
             b,
             "b clobbered"
         );
-        state.read_uint(2 * self.n as usize, self.n as usize + 1)
+        let sum = state.read_uint(2 * self.n as usize, self.n as usize);
+        combine_carry(sum, state.bit(3 * self.n as usize), self.n)
     }
 
     /// Verifies that every ancilla returns to zero and inputs are preserved
@@ -167,7 +170,8 @@ impl DraperAdder {
                 "ancilla {i} not returned to zero"
             );
         }
-        state.read_uint(2 * self.n as usize, self.n as usize + 1)
+        let sum = state.read_uint(2 * self.n as usize, self.n as usize);
+        combine_carry(sum, state.bit(3 * self.n as usize), self.n)
     }
 }
 

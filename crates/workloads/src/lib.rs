@@ -38,6 +38,7 @@ mod modexp;
 mod qft;
 mod ripple;
 mod shor;
+pub mod width;
 
 pub use comparator::Comparator;
 pub use cuccaro::CuccaroAdder;

@@ -58,7 +58,7 @@ impl ModularAdder {
     /// `2..=2^n`.
     #[must_use]
     pub fn new(n: u32, modulus: u128) -> Self {
-        assert!((1..=64).contains(&n), "width {n} out of range 1..=64");
+        crate::width::validate_width("modular adder", n, 64);
         assert!(
             modulus >= 2 && modulus <= (1u128 << n),
             "modulus {modulus} not in 2..=2^{n}"

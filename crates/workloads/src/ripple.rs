@@ -9,6 +9,8 @@
 
 use cqla_circuit::{Circuit, ClassicalState};
 
+use crate::width::{combine_carry, validate_width, MAX_VERIFIED_WIDTH};
+
 /// Generator for ripple-carry adders.
 ///
 /// # Examples
@@ -36,10 +38,7 @@ impl RippleCarryAdder {
     /// Panics if `n` is zero or exceeds 128.
     #[must_use]
     pub fn new(n: u32) -> Self {
-        assert!(
-            (1..=128).contains(&n),
-            "adder width {n} out of range 1..=128"
-        );
+        validate_width("adder", n, MAX_VERIFIED_WIDTH);
         let mut c = Circuit::new(3 * n + 1);
         let a = |i: u32| i;
         let b = |i: u32| n + i;
@@ -99,7 +98,10 @@ impl RippleCarryAdder {
             b,
             "b clobbered"
         );
-        state.read_uint(2 * self.n as usize, self.n as usize + 1)
+        // Read the n sum bits and the carry-out separately so width-128
+        // results stay within u128.
+        let sum = state.read_uint(2 * self.n as usize, self.n as usize);
+        combine_carry(sum, state.bit(3 * self.n as usize), self.n)
     }
 }
 

@@ -1,0 +1,85 @@
+//! Sweep tour: drive the parallel experiment engine end to end —
+//! describe a custom architecture-space sweep, execute it on all cores,
+//! and serialize the results as JSON.
+//!
+//! ```text
+//! cargo run --release --example sweep_tour
+//! ```
+
+use cqla_repro::ecc::Code;
+use cqla_repro::sweep::{pool, Axis, DesignPoint, Sweep, SweepRun, TechPoint, ToJson};
+
+fn main() {
+    // 1. A built-in spec: the multi-technology grid behind `cqla sweep`.
+    let grid = Sweep::builtin("grid").expect("built-in spec");
+    println!(
+        "built-in 'grid': {} points spanning {} technologies\n",
+        grid.len(),
+        TechPoint::ALL.len()
+    );
+
+    // 2. A custom sweep: how does the cache ratio trade against the
+    //    transfer-channel budget for a 256-bit machine, per code?
+    let sweep = Sweep::cartesian(
+        "cache-vs-channels",
+        DesignPoint {
+            input_bits: 256,
+            blocks: 36,
+            ..DesignPoint::paper_default()
+        },
+        &[
+            Axis::Code(Code::ALL.to_vec()),
+            Axis::ParXfer(vec![5, 10]),
+            Axis::CacheFactor(vec![1.0, 2.0]),
+        ],
+    );
+    println!("custom sweep '{}': {} points", sweep.name(), sweep.len());
+
+    // 3. Execute on every available core. Result order is submission
+    //    order no matter how jobs land on workers.
+    let threads = pool::default_threads();
+    let run = SweepRun::execute(&sweep, threads);
+    println!("{}", run.render_text());
+
+    // 4. The headline: pick the best gain product in the swept space.
+    let best = run
+        .results()
+        .iter()
+        .filter_map(|r| {
+            r.outcome
+                .hierarchy
+                .as_ref()
+                .map(|h| (r, h.gain_product_conservative))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("hierarchy points exist");
+    println!(
+        "best design point: {} (gain product {:.1})\n",
+        best.0.point.label(),
+        best.1
+    );
+
+    // 5. Serialize. The result document is deterministic (byte-identical
+    //    across runs and thread counts); timings live in a separate
+    //    document because they are not.
+    let doc = run.to_json();
+    println!(
+        "JSON result document: {} bytes pretty, {} bytes compact",
+        doc.to_pretty().len(),
+        doc.to_compact().len()
+    );
+    let serial = SweepRun::execute(&sweep, 1);
+    assert_eq!(
+        doc.to_pretty(),
+        serial.to_json().to_pretty(),
+        "parallel and serial runs serialize identically"
+    );
+    println!("determinism check: parallel output == serial output ✔");
+
+    // 6. Individual results serialize too — print one row.
+    let first = &run.results()[0];
+    println!(
+        "\nfirst point as JSON:\n{}",
+        first.outcome.specialization.to_json().to_pretty()
+    );
+}

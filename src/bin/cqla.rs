@@ -3,10 +3,16 @@
 //! ```text
 //! cqla table <1|2|3|4|5>        print one of the paper's tables
 //! cqla figure <2|6a|6b|7|8a|8b> print one of the paper's figure datasets
+//! cqla sweep [SPEC]             run a parallel architecture-space sweep
+//!                               (specs: grid, quick, cache, table4, table5)
 //! cqla machine <bits> <blocks> [steane|bacon-shor]
 //!                               price a CQLA configuration
 //! cqla floorplan                draw the level-1 tile floorplans
 //! cqla verify                   run the built-in self-checks
+//!
+//! global flags:
+//!   --format <text|json>        output format (default text)
+//!   --threads N                 worker threads for sweeps (default: all cores)
 //! ```
 
 use std::process::ExitCode;
@@ -16,15 +22,80 @@ use cqla_repro::core::{CqlaConfig, HierarchyConfig, HierarchyStudy, Specializati
 use cqla_repro::ecc::Code;
 use cqla_repro::iontrap::{TechnologyParams, TileFloorplan};
 use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
+use cqla_repro::sweep::{pool, Json, Sweep, SweepRun, ToJson};
 use cqla_repro::workloads::DraperAdder;
 
+/// Output format selected by the global `--format` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Global options plus the remaining positional arguments.
+struct Cli {
+    format: Format,
+    threads: usize,
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Extracts `--format` / `--threads` from anywhere in the argument
+    /// list; everything else stays positional.
+    fn parse() -> Result<Self, String> {
+        let mut format = Format::Text;
+        let mut threads = pool::default_threads();
+        let mut args = Vec::new();
+        let mut raw = std::env::args().skip(1);
+        while let Some(arg) = raw.next() {
+            match arg.as_str() {
+                "--format" => {
+                    format = match raw.next().as_deref() {
+                        Some("text") => Format::Text,
+                        Some("json") => Format::Json,
+                        other => return Err(format!("--format expects text|json, got {other:?}")),
+                    };
+                }
+                "--threads" => {
+                    threads = raw
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or("--threads expects a positive integer")?;
+                }
+                _ => args.push(arg),
+            }
+        }
+        Ok(Self {
+            format,
+            threads,
+            args,
+        })
+    }
+
+    /// Prints either the rendered text or the pretty JSON document.
+    fn emit(&self, text: impl FnOnce() -> String, json: impl FnOnce() -> Json) {
+        match self.format {
+            Format::Text => println!("{}", text()),
+            Format::Json => println!("{}", json().to_pretty()),
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let tech = TechnologyParams::projected();
-    match args.first().map(String::as_str) {
-        Some("table") => table(&tech, args.get(1).map(String::as_str)),
-        Some("figure") => figure(&tech, args.get(1).map(String::as_str)),
-        Some("machine") => machine(&tech, &args[1..]),
+    match cli.args.first().map(String::as_str) {
+        Some("table") => table(&cli, &tech),
+        Some("figure") => figure(&cli, &tech),
+        Some("sweep") => sweep(&cli),
+        Some("machine") => machine(&cli, &tech),
         Some("floorplan") => {
             println!("{}", TileFloorplan::steane_level1());
             println!("{}", TileFloorplan::bacon_shor_level1());
@@ -33,26 +104,53 @@ fn main() -> ExitCode {
         Some("verify") => verify(),
         _ => {
             eprintln!(
-                "usage: cqla <table N | figure N | machine BITS BLOCKS [CODE] | floorplan | verify>"
+                "usage: cqla [--format text|json] [--threads N] \
+                 <table N | figure N | sweep [SPEC] | machine BITS BLOCKS [CODE] | floorplan | verify>"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-fn table(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
-    match which {
-        Some("1") => {
-            println!(
-                "{}\n\n{}",
-                TechnologyParams::current(),
-                TechnologyParams::projected()
-            );
-        }
-        Some("2") => println!("{}", exp::table2(tech).1),
-        Some("3") => println!("{}", exp::table3(tech).1),
-        Some("4") => println!("{}", exp::table4(tech).1),
-        Some("5") => println!("{}", exp::table5(tech).1),
+/// Wraps a serialized artifact with its name, so every JSON document is
+/// self-describing.
+fn artifact(name: &str, body: Json) -> Json {
+    Json::obj([("artifact", Json::from(name)), ("data", body)])
+}
+
+fn table(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
+    match cli.args.get(1).map(String::as_str) {
+        Some("1") => cli.emit(
+            || {
+                format!(
+                    "{}\n\n{}",
+                    TechnologyParams::current(),
+                    TechnologyParams::projected()
+                )
+            },
+            || {
+                artifact(
+                    "table1",
+                    Json::arr([TechnologyParams::current(), TechnologyParams::projected()]),
+                )
+            },
+        ),
+        Some("2") => cli.emit(
+            || exp::table2(tech).1,
+            || artifact("table2", exp::table2(tech).0.to_json()),
+        ),
+        Some("3") => cli.emit(
+            || exp::table3(tech).1,
+            || artifact("table3", exp::table3(tech).0.to_json()),
+        ),
+        Some("4") => cli.emit(
+            || exp::table4(tech).1,
+            || artifact("table4", exp::table4(tech).0.to_json()),
+        ),
+        Some("5") => cli.emit(
+            || exp::table5(tech).1,
+            || artifact("table5", exp::table5(tech).0.to_json()),
+        ),
         other => {
             eprintln!("unknown table {other:?}; expected 1-5");
             return ExitCode::FAILURE;
@@ -61,23 +159,42 @@ fn table(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn figure(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
-    match which {
+fn figure(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
+    match cli.args.get(1).map(String::as_str) {
         Some("2") => {
             let (data, text) = exp::fig2(64, 15);
-            println!("{text}");
-            println!(
-                "makespans: unlimited {}, capped {} ({:.2}x)",
-                data.unlimited_makespan,
-                data.capped_makespan,
-                data.relative_stretch()
+            cli.emit(
+                || {
+                    format!(
+                        "{text}\nmakespans: unlimited {}, capped {} ({:.2}x)",
+                        data.unlimited_makespan,
+                        data.capped_makespan,
+                        data.relative_stretch()
+                    )
+                },
+                || artifact("fig2", data.to_json()),
             );
         }
-        Some("6a") => println!("{}", exp::fig6a(tech).1),
-        Some("6b") => println!("{}", exp::fig6b(tech).1),
-        Some("7") => println!("{}", exp::fig7().1),
-        Some("8a") => println!("{}", exp::fig8a(tech).1),
-        Some("8b") => println!("{}", exp::fig8b(tech).1),
+        Some("6a") => cli.emit(
+            || exp::fig6a(tech).1,
+            || artifact("fig6a", exp::fig6a(tech).0.to_json()),
+        ),
+        Some("6b") => cli.emit(
+            || exp::fig6b(tech).1,
+            || artifact("fig6b", exp::fig6b(tech).0.to_json()),
+        ),
+        Some("7") => cli.emit(
+            || exp::fig7().1,
+            || artifact("fig7", exp::fig7().0.to_json()),
+        ),
+        Some("8a") => cli.emit(
+            || exp::fig8a(tech).1,
+            || artifact("fig8a", exp::fig8a(tech).0.to_json()),
+        ),
+        Some("8b") => cli.emit(
+            || exp::fig8b(tech).1,
+            || artifact("fig8b", exp::fig8b(tech).0.to_json()),
+        ),
         other => {
             eprintln!("unknown figure {other:?}; expected 2, 6a, 6b, 7, 8a, 8b");
             return ExitCode::FAILURE;
@@ -86,10 +203,24 @@ fn figure(tech: &TechnologyParams, which: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
+fn sweep(cli: &Cli) -> ExitCode {
+    let spec = cli.args.get(1).map_or("grid", String::as_str);
+    let Some(sweep) = Sweep::builtin(spec) else {
+        eprintln!("unknown sweep spec {spec:?}; available:");
+        for (name, what) in Sweep::BUILTIN {
+            eprintln!("  {name:<8} {what}");
+        }
+        return ExitCode::FAILURE;
+    };
+    let run = SweepRun::execute(&sweep, cli.threads);
+    cli.emit(|| run.render_text(), || run.to_json());
+    ExitCode::SUCCESS
+}
+
+fn machine(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
     let (Some(bits), Some(blocks)) = (
-        args.first().and_then(|s| s.parse::<u32>().ok()),
-        args.get(1).and_then(|s| s.parse::<u32>().ok()),
+        cli.args.get(1).and_then(|s| s.parse::<u32>().ok()),
+        cli.args.get(2).and_then(|s| s.parse::<u32>().ok()),
     ) else {
         eprintln!("usage: cqla machine BITS BLOCKS [steane|bacon-shor]");
         return ExitCode::FAILURE;
@@ -98,7 +229,7 @@ fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
         eprintln!("BITS and BLOCKS must be positive (got {bits} and {blocks})");
         return ExitCode::FAILURE;
     }
-    let code = match args.get(2).map(String::as_str) {
+    let code = match cli.args.get(3).map(String::as_str) {
         Some("steane") => Code::Steane713,
         Some("bacon-shor") | None => Code::BaconShor913,
         Some(other) => {
@@ -108,23 +239,44 @@ fn machine(tech: &TechnologyParams, args: &[String]) -> ExitCode {
     };
     let study = SpecializationStudy::new(tech);
     let r = study.evaluate(CqlaConfig::new(code, bits, blocks));
-    println!("CQLA: {code}, {bits}-bit input, {blocks} compute blocks");
-    println!("  memory qubits     {}", r.config.memory_qubits());
-    println!("  area reduction    {:.2}x vs QLA", r.area_reduction);
-    println!(
-        "  adder speedup     {:.2}x vs maximally parallel QLA",
-        r.speedup
-    );
-    println!("  block utilization {:.0}%", r.utilization * 100.0);
-    println!("  adder time        {}", r.adder_time);
-    println!("  gain product      {:.1}", r.gain_product);
     let h = HierarchyStudy::new(tech).evaluate(HierarchyConfig::new(code, bits, 10, blocks));
-    println!("with a level-1 cache + compute region (10 parallel transfers):");
-    println!("  cache hit rate    {:.0}%", h.cache_hit_rate * 100.0);
-    println!("  L1 region speedup {:.1}x over L2", h.l1_speedup);
-    println!(
-        "  adder speedup     {:.2}x … {:.2}x (policy bracket)",
-        h.adder_speedup_interleave, h.adder_speedup_balanced
+    cli.emit(
+        || {
+            let mut out = String::new();
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "CQLA: {code}, {bits}-bit input, {blocks} compute blocks"
+            );
+            let _ = writeln!(out, "  memory qubits     {}", r.config.memory_qubits());
+            let _ = writeln!(out, "  area reduction    {:.2}x vs QLA", r.area_reduction);
+            let _ = writeln!(
+                out,
+                "  adder speedup     {:.2}x vs maximally parallel QLA",
+                r.speedup
+            );
+            let _ = writeln!(out, "  block utilization {:.0}%", r.utilization * 100.0);
+            let _ = writeln!(out, "  adder time        {}", r.adder_time);
+            let _ = writeln!(out, "  gain product      {:.1}", r.gain_product);
+            let _ = writeln!(
+                out,
+                "with a level-1 cache + compute region (10 parallel transfers):"
+            );
+            let _ = writeln!(out, "  cache hit rate    {:.0}%", h.cache_hit_rate * 100.0);
+            let _ = writeln!(out, "  L1 region speedup {:.1}x over L2", h.l1_speedup);
+            let _ = write!(
+                out,
+                "  adder speedup     {:.2}x … {:.2}x (policy bracket)",
+                h.adder_speedup_interleave, h.adder_speedup_balanced
+            );
+            out
+        },
+        || {
+            artifact(
+                "machine",
+                Json::obj([("specialization", r.to_json()), ("hierarchy", h.to_json())]),
+            )
+        },
     );
     ExitCode::SUCCESS
 }

@@ -19,6 +19,7 @@
 //! | [`workloads`] | `cqla-workloads` | Draper/ripple adders, modexp, QFT, Shor |
 //! | [`network`] | `cqla-network` | EPR purification, mesh, bandwidth (Fig 6b) |
 //! | [`core`] | `cqla-core` | the CQLA itself + every table/figure generator |
+//! | [`sweep`] | `cqla-sweep` | parallel experiment engine + JSON serialization |
 //!
 //! # Quickstart
 //!
@@ -47,5 +48,6 @@ pub use cqla_iontrap as iontrap;
 pub use cqla_network as network;
 pub use cqla_sim as sim;
 pub use cqla_stabilizer as stabilizer;
+pub use cqla_sweep as sweep;
 pub use cqla_units as units;
 pub use cqla_workloads as workloads;

@@ -194,9 +194,84 @@ mod cli {
             &["frobnicate"][..],
             &["table", "9"][..],
             &["machine", "0", "0"][..],
+            &["sweep", "frobnicate"][..],
+            &["--format", "yaml", "table", "4"][..],
+            &["--threads", "0", "sweep", "quick"][..],
         ] {
             let out = cqla(args);
             assert!(!out.status.success(), "args {args:?} should fail");
         }
+    }
+
+    #[test]
+    fn table_4_json_matches_the_golden_file() {
+        // Golden output contract: `cqla table 4 --format json` is stable
+        // byte-for-byte. Regenerate tests/golden/table4.json deliberately
+        // (cargo run --release --bin cqla -- table 4 --format json) when
+        // the model changes.
+        let out = cqla(&["table", "4", "--format", "json"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let golden = include_str!("golden/table4.json");
+        assert_eq!(stdout, golden, "table 4 JSON drifted from the golden file");
+    }
+
+    #[test]
+    fn every_table_and_figure_emits_parseable_json() {
+        for (kind, ids) in [
+            ("table", &["1", "2", "3", "4", "5"][..]),
+            ("figure", &["2", "6a", "6b", "7", "8a", "8b"][..]),
+        ] {
+            for id in ids {
+                let out = cqla(&["--format", "json", kind, id]);
+                assert!(out.status.success(), "{kind} {id}: {:?}", out.status);
+                let stdout = String::from_utf8(out.stdout).unwrap();
+                let doc = cqla_repro::sweep::json::parse(&stdout)
+                    .unwrap_or_else(|e| panic!("{kind} {id}: {e}"));
+                assert_eq!(
+                    doc.get("artifact").and_then(|a| a.as_str()),
+                    Some(format!("{kind}{id}").replace("figure", "fig").as_str()),
+                    "{kind} {id} artifact tag"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_emits_json_with_both_studies() {
+        let out = cqla(&["--format", "json", "machine", "64", "9", "steane"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let doc = cqla_repro::sweep::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        let data = doc.get("data").unwrap();
+        assert!(data.get("specialization").is_some());
+        assert!(data.get("hierarchy").is_some());
+    }
+
+    #[test]
+    fn sweep_json_is_deterministic_across_runs_and_thread_counts() {
+        // The acceptance contract for the sweep engine: byte-identical
+        // JSON no matter the worker count, and across repeated runs.
+        let one = cqla(&["sweep", "quick", "--format", "json", "--threads", "1"]);
+        let four = cqla(&["sweep", "quick", "--format", "json", "--threads", "4"]);
+        let again = cqla(&["sweep", "quick", "--format", "json", "--threads", "4"]);
+        for out in [&one, &four, &again] {
+            assert!(out.status.success(), "exit: {:?}", out.status);
+        }
+        assert_eq!(one.stdout, four.stdout, "1 vs 4 threads");
+        assert_eq!(four.stdout, again.stdout, "repeated runs");
+        let doc = cqla_repro::sweep::json::parse(&String::from_utf8(one.stdout).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("results").unwrap().as_arr().unwrap().len(),
+            doc.get("points").unwrap().as_f64().unwrap() as usize
+        );
+    }
+
+    #[test]
+    fn sweep_text_mode_lists_the_spec_points() {
+        let out = cqla(&["sweep", "quick", "--threads", "2"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("sweep quick: 8 points"), "{stdout}");
+        assert!(stdout.contains("projected/[[9,1,3]]/64b"), "{stdout}");
     }
 }
