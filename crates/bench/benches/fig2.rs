@@ -4,19 +4,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig2;
+use cqla_core::experiments::Fig2;
 
 fn bench(c: &mut Criterion) {
-    let (data, body) = fig2(64, 15);
-    let summary = format!(
-        "{body}\nmakespans (gate-steps): unlimited {}, 15 blocks {} (stretch {:.2}x)\n",
-        data.unlimited_makespan,
-        data.capped_makespan,
-        data.relative_stretch()
-    );
-    cqla_bench::print_artifact("Figure 2: 64-qubit adder parallelism", &summary);
+    cqla_bench::registry_artifact("fig2");
+    let fig = Fig2::default();
     c.bench_function("fig2/schedule_both_profiles", |b| {
-        b.iter(|| black_box(fig2(64, 15)))
+        b.iter(|| black_box(fig.data()))
     });
 }
 

@@ -4,14 +4,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig6a;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Fig6a;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = fig6a(&tech);
-    cqla_bench::print_artifact("Figure 6a: utilization vs compute blocks", &body);
-    c.bench_function("fig6a/sweep", |b| b.iter(|| black_box(fig6a(&tech))));
+    cqla_bench::registry_artifact("fig6a");
+    let fig = Fig6a::default();
+    c.bench_function("fig6a/sweep", |b| {
+        b.iter(|| {
+            let rows = fig.rows();
+            black_box(Fig6a::render(&rows))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

@@ -4,14 +4,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig6b;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Fig6b;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = fig6b(&tech);
-    cqla_bench::print_artifact("Figure 6b: superblock bandwidth", &body);
-    c.bench_function("fig6b/sweep", |b| b.iter(|| black_box(fig6b(&tech))));
+    cqla_bench::registry_artifact("fig6b");
+    let fig = Fig6b::default();
+    c.bench_function("fig6b/sweep", |b| {
+        b.iter(|| {
+            let data = fig.data();
+            black_box(Fig6b::render(&data))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

@@ -4,13 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig7;
 use cqla_core::{CacheSim, FetchPolicy};
 use cqla_workloads::DraperAdder;
 
 fn bench(c: &mut Criterion) {
-    let (_, body) = fig7();
-    cqla_bench::print_artifact("Figure 7: cache hit rates", &body);
+    cqla_bench::registry_artifact("fig7");
 
     let adder = DraperAdder::new(256);
     let circuit = adder.circuit();

@@ -4,14 +4,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig8a;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Fig8a;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = fig8a(&tech);
-    cqla_bench::print_artifact("Figure 8a: modular exponentiation comm vs comp", &body);
-    c.bench_function("fig8a/sweep", |b| b.iter(|| black_box(fig8a(&tech))));
+    cqla_bench::registry_artifact("fig8a");
+    let fig = Fig8a::default();
+    c.bench_function("fig8a/sweep", |b| {
+        b.iter(|| {
+            let rows = fig.rows();
+            black_box(Fig8a::render(&rows))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

@@ -3,14 +3,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::fig8b;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Fig8b;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = fig8b(&tech);
-    cqla_bench::print_artifact("Figure 8b: QFT comm vs comp", &body);
-    c.bench_function("fig8b/sweep", |b| b.iter(|| black_box(fig8b(&tech))));
+    cqla_bench::registry_artifact("fig8b");
+    let fig = Fig8b::default();
+    c.bench_function("fig8b/sweep", |b| {
+        b.iter(|| {
+            let rows = fig.rows();
+            black_box(Fig8b::render(&rows))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

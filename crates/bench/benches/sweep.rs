@@ -40,6 +40,15 @@ fn bench(c: &mut Criterion) {
     c.bench_function("sweep/grid_to_json", |b| {
         b.iter(|| black_box(baseline.to_json().to_pretty()))
     });
+    // The spec expression language sits on the CLI hot path; keep its
+    // cost visible (it should stay microseconds).
+    c.bench_function("sweep/parse_spec_expression", |b| {
+        b.iter(|| {
+            black_box(Sweep::parse(
+                "tech=current,projected code=steane,bacon-shor width=32..=1024:*2 xfer=10",
+            ))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

@@ -6,12 +6,7 @@ use std::hint::black_box;
 use cqla_iontrap::TechnologyParams;
 
 fn bench(c: &mut Criterion) {
-    let body = format!(
-        "{}\n\n{}",
-        TechnologyParams::current(),
-        TechnologyParams::projected()
-    );
-    cqla_bench::print_artifact("Table 1: physical operation parameters", &body);
+    cqla_bench::registry_artifact("table1");
     c.bench_function("table1/build_parameter_sets", |b| {
         b.iter(|| {
             let now = TechnologyParams::current();

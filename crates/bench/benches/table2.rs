@@ -4,15 +4,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::table2;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Table2;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = table2(&tech);
-    cqla_bench::print_artifact("Table 2: error correction metric summary", &body);
+    cqla_bench::registry_artifact("table2");
+    // Time the typed computation + render (what the old tuple generator
+    // did), not `run()`, so the series stays comparable across PRs.
+    let t2 = Table2::default();
     c.bench_function("table2/compute_metrics", |b| {
-        b.iter(|| black_box(table2(&tech)))
+        b.iter(|| {
+            let rows = t2.rows();
+            black_box(Table2::render(&rows))
+        })
     });
 }
 

@@ -3,15 +3,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::table3;
-use cqla_iontrap::TechnologyParams;
+use cqla_core::experiments::Table3;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = table3(&tech);
-    cqla_bench::print_artifact("Table 3: transfer network latency", &body);
+    cqla_bench::registry_artifact("table3");
+    let t3 = Table3::default();
     c.bench_function("table3/compute_matrix", |b| {
-        b.iter(|| black_box(table3(&tech)))
+        b.iter(|| {
+            let data = t3.data();
+            black_box(Table3::render(&data))
+        })
     });
 }
 

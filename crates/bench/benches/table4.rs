@@ -4,21 +4,27 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::table4;
 use cqla_core::{CqlaConfig, SpecializationStudy};
 use cqla_ecc::Code;
 use cqla_iontrap::TechnologyParams;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = table4(&tech);
-    cqla_bench::print_artifact("Table 4: CQLA modular exponentiation", &body);
+    cqla_bench::registry_artifact("table4");
 
+    let tech = TechnologyParams::projected();
     let study = SpecializationStudy::new(&tech);
     c.bench_function("table4/evaluate_one_point_256", |b| {
         b.iter(|| black_box(study.evaluate(CqlaConfig::new(Code::BaconShor913, 256, 36))))
     });
-    c.bench_function("table4/full_grid", |b| b.iter(|| black_box(table4(&tech))));
+    // Time the typed computation + render (what the old tuple generator
+    // did), not `run()`, so the series stays comparable across PRs.
+    let t4 = cqla_core::experiments::Table4::default();
+    c.bench_function("table4/full_grid", |b| {
+        b.iter(|| {
+            let rows = t4.rows();
+            black_box(cqla_core::experiments::Table4::render(&rows))
+        })
+    });
 }
 
 criterion_group!(benches, bench);

@@ -4,16 +4,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_core::experiments::table5;
 use cqla_core::{HierarchyConfig, HierarchyStudy};
 use cqla_ecc::Code;
 use cqla_iontrap::TechnologyParams;
 
 fn bench(c: &mut Criterion) {
-    let tech = TechnologyParams::projected();
-    let (_, body) = table5(&tech);
-    cqla_bench::print_artifact("Table 5: memory hierarchy results", &body);
+    cqla_bench::registry_artifact("table5");
 
+    let tech = TechnologyParams::projected();
     let study = HierarchyStudy::new(&tech);
     c.bench_function("table5/evaluate_one_point_256", |b| {
         b.iter(|| black_box(study.evaluate(HierarchyConfig::new(Code::Steane713, 256, 10, 36))))

@@ -16,3 +16,20 @@ pub fn print_artifact(title: &str, body: &str) {
         println!("{body}");
     });
 }
+
+/// Looks `id` up in the experiment registry, prints its banner and body
+/// once, and hands the experiment back for the bench closures to re-run.
+///
+/// Every artifact bench target goes through this instead of naming a
+/// generator: the registry is the single source of what an artifact
+/// computes, so a bench can never drift from what `cqla run <id>` emits.
+///
+/// # Panics
+///
+/// Panics when `id` is not a registered artifact.
+pub fn registry_artifact(id: &str) -> Box<dyn cqla_core::experiments::Experiment> {
+    let exp = cqla_core::experiments::find(id)
+        .unwrap_or_else(|| panic!("`{id}` is not in the experiment registry"));
+    print_artifact(exp.title(), &exp.run().text);
+    exp
+}

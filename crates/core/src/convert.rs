@@ -7,11 +7,11 @@
 //! rates and ratios as plain numbers — the same units the paper's tables
 //! print.
 
-use cqla_core::experiments::{AppTimeRow, Fig2Data, Fig6aRow, Fig6bData, Fig7Row};
-use cqla_core::experiments::{Table3Data, Table4Row, Table5Row};
-use cqla_core::{CqlaConfig, FetchPolicy, HierarchyConfig, HierarchyResult, SpecializationResult};
+use crate::experiments::{AppTimeRow, Fig2Data, Fig6aRow, Fig6bData, Fig7Row};
+use crate::experiments::{Table3Data, Table4Row, Table5Row};
+use crate::{CqlaConfig, FetchPolicy, HierarchyConfig, HierarchyResult, SpecializationResult};
 use cqla_ecc::{Code, EccMetrics, Level};
-use cqla_iontrap::{PhysicalOp, TechnologyParams};
+use cqla_iontrap::{PhysicalOp, TechPoint, TechnologyParams};
 use cqla_network::BandwidthSample;
 use cqla_units::Seconds;
 
@@ -24,6 +24,12 @@ impl ToJson for Seconds {
 }
 
 impl ToJson for Code {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+impl ToJson for TechPoint {
     fn to_json(&self) -> Json {
         Json::from(self.label())
     }
@@ -284,7 +290,7 @@ impl ToJson for AppTimeRow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cqla_core::{HierarchyStudy, SpecializationStudy};
+    use crate::{HierarchyStudy, SpecializationStudy};
 
     fn tech() -> TechnologyParams {
         TechnologyParams::projected()

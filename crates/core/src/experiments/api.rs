@@ -1,0 +1,346 @@
+//! The experiment API: one trait for every paper artifact, plus the
+//! registry that enumerates them.
+//!
+//! Every table, figure and utility artifact of the paper's evaluation is
+//! an [`Experiment`]: a typed parameter struct with paper defaults, a
+//! stable [`Experiment::id`], and a [`Experiment::run`] that produces
+//! both the text rendering and the JSON value. The [`registry`] is the
+//! single enumeration every consumer — the `cqla` CLI, the benchmark
+//! harness, the end-to-end tests, the examples — iterates instead of
+//! naming generators one by one.
+//!
+//! # Examples
+//!
+//! ```
+//! use cqla_core::experiments::{find, registry};
+//!
+//! // Every paper artifact is enumerable…
+//! assert!(registry().len() >= 11);
+//! // …addressable by id…
+//! let mut table4 = find("table4").expect("table4 is registered");
+//! // …and parameterizable without knowing its concrete type.
+//! table4.set("tech", "current").unwrap();
+//! let output = table4.run();
+//! assert!(output.text.contains("1024-bit"));
+//! ```
+
+use cqla_ecc::Code;
+use cqla_iontrap::TechPoint;
+
+use crate::json::Json;
+
+/// What running an experiment produces: the paper-style text rendering
+/// and the structured JSON value, plus a pass/fail verdict (only the
+/// `verify` artifact ever fails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutput {
+    /// The rendered table/series, as the paper prints it.
+    pub text: String,
+    /// The structured result (what `--format json` emits as `data`).
+    pub data: Json,
+    /// Whether the experiment's self-checks passed. `true` for every
+    /// artifact except a failing `verify`.
+    pub passed: bool,
+}
+
+impl ExperimentOutput {
+    /// Wraps a rendering and its JSON value as a passing output.
+    #[must_use]
+    pub fn new(text: impl Into<String>, data: Json) -> Self {
+        Self {
+            text: text.into(),
+            data,
+            passed: true,
+        }
+    }
+
+    /// The self-describing artifact document `{"artifact": id, "data": …}`
+    /// that `cqla run <id> --format json` prints.
+    #[must_use]
+    pub fn document(&self, id: &str) -> Json {
+        Json::obj([("artifact", Json::from(id)), ("data", self.data.clone())])
+    }
+}
+
+/// One declared parameter of an experiment: key, current value, and what
+/// it accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The `key` in `cqla run <id> key=value`.
+    pub key: &'static str,
+    /// The current (or default) value, rendered.
+    pub value: String,
+    /// Accepted values, for usage messages (e.g. `current|projected`).
+    pub accepts: &'static str,
+}
+
+impl Param {
+    /// Builds a parameter row.
+    #[must_use]
+    pub fn new(key: &'static str, value: impl ToString, accepts: &'static str) -> Self {
+        Self {
+            key,
+            value: value.to_string(),
+            accepts,
+        }
+    }
+}
+
+/// Why a `key=value` override was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// The experiment has no such parameter.
+    UnknownKey {
+        /// The rejected key.
+        key: String,
+        /// The keys the experiment does accept.
+        valid: Vec<&'static str>,
+        /// The closest valid key, when one is close enough to suggest.
+        suggestion: Option<&'static str>,
+    },
+    /// The key exists but the value does not parse.
+    BadValue {
+        /// The parameter the value was for.
+        key: &'static str,
+        /// The rejected value.
+        value: String,
+        /// What the parameter accepts.
+        accepts: &'static str,
+    },
+}
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownKey {
+                key,
+                valid,
+                suggestion,
+            } => {
+                write!(f, "unknown parameter `{key}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                if valid.is_empty() {
+                    write!(f, "; this experiment takes no parameters")
+                } else {
+                    write!(f, "; valid: {}", valid.join(", "))
+                }
+            }
+            Self::BadValue {
+                key,
+                value,
+                accepts,
+            } => {
+                write!(f, "bad value `{value}` for `{key}`; expected {accepts}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// One paper artifact: identity, typed parameters, execution.
+///
+/// Implementations are small structs whose public fields are the paper
+/// defaults (`Table4 { tech }`, `Fig2 { bits, cap }`, …); the trait adds
+/// the uniform string-keyed surface the CLI and other front ends drive.
+pub trait Experiment {
+    /// Stable machine-readable identifier (`table4`, `fig6a`, `verify`).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title, as the artifact banner prints it.
+    fn title(&self) -> &'static str;
+
+    /// The declared parameters with their current values. Empty when the
+    /// experiment takes none.
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    /// Applies one `key=value` override.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::UnknownKey`] when the experiment has no such
+    /// parameter, [`ParamError::BadValue`] when the value does not parse.
+    fn set(&mut self, key: &str, value: &str) -> Result<(), ParamError> {
+        let _ = value;
+        Err(unknown_key(key, &self.params()))
+    }
+
+    /// Runs the experiment under its current parameters.
+    fn run(&self) -> ExperimentOutput;
+}
+
+/// Builds the [`ParamError::UnknownKey`] for `key` against an
+/// experiment's declared parameters, with a did-you-mean suggestion.
+#[must_use]
+pub fn unknown_key(key: &str, params: &[Param]) -> ParamError {
+    let valid: Vec<&'static str> = params.iter().map(|p| p.key).collect();
+    ParamError::UnknownKey {
+        key: key.to_owned(),
+        suggestion: suggest(key, valid.iter().copied()),
+        valid,
+    }
+}
+
+/// Parses a [`TechPoint`] parameter value.
+///
+/// # Errors
+///
+/// [`ParamError::BadValue`] when the value is neither preset label.
+pub fn parse_tech(key: &'static str, value: &str) -> Result<TechPoint, ParamError> {
+    TechPoint::parse(value).ok_or(ParamError::BadValue {
+        key,
+        value: value.to_owned(),
+        accepts: TECH_ACCEPTS,
+    })
+}
+
+/// Parses a [`Code`] parameter value.
+///
+/// # Errors
+///
+/// [`ParamError::BadValue`] when the value names neither code.
+pub fn parse_code(key: &'static str, value: &str) -> Result<Code, ParamError> {
+    Code::parse(value).ok_or(ParamError::BadValue {
+        key,
+        value: value.to_owned(),
+        accepts: CODE_ACCEPTS,
+    })
+}
+
+/// Parses a positive integer parameter value.
+///
+/// # Errors
+///
+/// [`ParamError::BadValue`] when the value is not an integer ≥ 1.
+pub fn parse_positive(key: &'static str, value: &str) -> Result<u32, ParamError> {
+    value
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or(ParamError::BadValue {
+            key,
+            value: value.to_owned(),
+            accepts: "a positive integer",
+        })
+}
+
+/// The `accepts` string for technology-preset parameters.
+pub const TECH_ACCEPTS: &str = "current|projected";
+
+/// The `accepts` string for code parameters.
+pub const CODE_ACCEPTS: &str = "steane|bacon-shor";
+
+/// Every paper artifact, in the paper's presentation order: Tables 1–5,
+/// Figures 2/6a/6b/7/8a/8b, then the `verify` self-checks and the
+/// `machine` configuration pricer.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    use super::{
+        Fig2, Fig6a, Fig6b, Fig7, Fig8a, Fig8b, Machine, Table1, Table2, Table3, Table4, Table5,
+        Verify,
+    };
+    vec![
+        Box::new(Table1),
+        Box::new(Table2::default()),
+        Box::new(Table3::default()),
+        Box::new(Table4::default()),
+        Box::new(Table5::default()),
+        Box::new(Fig2::default()),
+        Box::new(Fig6a::default()),
+        Box::new(Fig6b::default()),
+        Box::new(Fig7),
+        Box::new(Fig8a::default()),
+        Box::new(Fig8b::default()),
+        Box::new(Verify),
+        Box::new(Machine::default()),
+    ]
+}
+
+/// Looks an artifact up by its stable id.
+#[must_use]
+pub fn find(id: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|e| e.id() == id)
+}
+
+/// The ids of every registered artifact, in registry order.
+#[must_use]
+pub fn ids() -> Vec<&'static str> {
+    registry().iter().map(|e| e.id()).collect()
+}
+
+/// Levenshtein edit distance, for did-you-mean suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `input`, when close enough to plausibly be a
+/// typo (edit distance ≤ 2, or ≤ ⌈len/3⌉ for longer inputs).
+pub fn suggest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let budget = 2.max(input.chars().count().div_ceil(3));
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(input, c), c))
+        .filter(|&(d, _)| d <= budget)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let expected = [
+            "table1", "table2", "table3", "table4", "table5", "fig2", "fig6a", "fig6b", "fig7",
+            "fig8a", "fig8b", "verify", "machine",
+        ];
+        assert_eq!(ids(), expected);
+    }
+
+    #[test]
+    fn find_is_id_addressed() {
+        let title = find("fig6b").map(|e| e.title().to_owned());
+        assert_eq!(title.as_deref(), Some("Figure 6b: superblock bandwidth"));
+        assert!(find("fig9").is_none());
+    }
+
+    #[test]
+    fn unknown_key_suggests_the_near_miss() {
+        let mut t4 = find("table4").unwrap();
+        let err = t4.set("tehc", "current").unwrap_err();
+        match err {
+            ParamError::UnknownKey { suggestion, .. } => assert_eq!(suggestion, Some("tech")),
+            other => panic!("expected UnknownKey, got {other}"),
+        }
+    }
+
+    #[test]
+    fn suggest_rejects_distant_strings() {
+        assert_eq!(suggest("table4", ["table4", "fig2"]), Some("table4"));
+        assert_eq!(suggest("tabel4", ["table4", "fig2"]), Some("table4"));
+        assert_eq!(suggest("zzzzzz", ["table4", "fig2"]), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+    }
+}

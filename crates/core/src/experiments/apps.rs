@@ -9,13 +9,15 @@
 //! why the CQLA's interconnect can hide it.
 
 use cqla_ecc::{Code, EccMetrics, Level};
-use cqla_iontrap::{PhysicalOp, TechnologyParams};
+use cqla_iontrap::{PhysicalOp, TechPoint, TechnologyParams};
 use cqla_units::Seconds;
 use cqla_workloads::{DraperAdder, ModExp, Qft};
 
+use crate::json::ToJson;
 use crate::report::{fmt3, TextTable};
 use crate::specialize::SpecializationStudy;
 
+use super::api::{parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS};
 use super::tables::primary_blocks;
 
 /// One Figure 8 sample: total computation and communication time at one
@@ -58,7 +60,7 @@ fn transport_time(code: Code, tech: &TechnologyParams) -> Seconds {
 ///
 /// Exposed per size (not only as the full sweep) so the parallel
 /// experiment engine can fan one job out per size and still produce rows
-/// bitwise-identical to [`fig8a`].
+/// bitwise-identical to [`Fig8a`].
 #[must_use]
 pub fn fig8a_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
     let code = Code::BaconShor913;
@@ -90,17 +92,66 @@ pub fn fig8a_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
 /// The adder sizes Figure 8a sweeps.
 pub const FIG8A_SIZES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 
-/// Figure 8a: modular exponentiation computation vs communication time
-/// over adder sizes 32…1024 (Bacon-Shor).
-#[must_use]
-pub fn fig8a(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
-    let rows: Vec<AppTimeRow> = FIG8A_SIZES.iter().map(|&n| fig8a_row(tech, n)).collect();
-    let text = render(&rows, "adder size", true);
-    (rows, text)
+/// Figure 8a as an experiment: modular exponentiation computation vs
+/// communication time over adder sizes 32…1024 (Bacon-Shor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig8a {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Fig8a {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
+        }
+    }
+}
+
+impl Fig8a {
+    /// One sample per adder size, in sweep order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<AppTimeRow> {
+        let tech = self.tech.params();
+        FIG8A_SIZES.iter().map(|&n| fig8a_row(&tech, n)).collect()
+    }
+
+    /// Renders the paper-style series (hours) for `rows`.
+    #[must_use]
+    pub fn render(rows: &[AppTimeRow]) -> String {
+        render(rows, "adder size", true)
+    }
+}
+
+impl Experiment for Fig8a {
+    fn id(&self) -> &'static str {
+        "fig8a"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 8a: modular exponentiation comm vs comp"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 /// One Figure 8b sample: QFT computation and communication time at one
-/// problem size (Bacon-Shor). Per-size twin of [`fig8b`], for the
+/// problem size (Bacon-Shor). Per-size twin of [`Fig8b`], for the
 /// parallel engine.
 #[must_use]
 pub fn fig8b_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
@@ -127,13 +178,62 @@ pub fn fig8b_row(tech: &TechnologyParams, n: u32) -> AppTimeRow {
 /// The problem sizes Figure 8b sweeps.
 pub const FIG8B_SIZES: [u32; 10] = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
 
-/// Figure 8b: QFT computation vs communication time over problem sizes
-/// 100…1000 (Bacon-Shor).
-#[must_use]
-pub fn fig8b(tech: &TechnologyParams) -> (Vec<AppTimeRow>, String) {
-    let rows: Vec<AppTimeRow> = FIG8B_SIZES.iter().map(|&n| fig8b_row(tech, n)).collect();
-    let text = render(&rows, "problem size", false);
-    (rows, text)
+/// Figure 8b as an experiment: QFT computation vs communication time over
+/// problem sizes 100…1000 (Bacon-Shor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig8b {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Fig8b {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
+        }
+    }
+}
+
+impl Fig8b {
+    /// One sample per problem size, in sweep order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<AppTimeRow> {
+        let tech = self.tech.params();
+        FIG8B_SIZES.iter().map(|&n| fig8b_row(&tech, n)).collect()
+    }
+
+    /// Renders the paper-style series (seconds) for `rows`.
+    #[must_use]
+    pub fn render(rows: &[AppTimeRow]) -> String {
+        render(rows, "problem size", false)
+    }
+}
+
+impl Experiment for Fig8b {
+    fn id(&self) -> &'static str {
+        "fig8b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 8b: QFT comm vs comp"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 fn render(rows: &[AppTimeRow], label: &str, hours: bool) -> String {
@@ -164,13 +264,9 @@ fn render(rows: &[AppTimeRow], label: &str, hours: bool) -> String {
 mod tests {
     use super::*;
 
-    fn tech() -> TechnologyParams {
-        TechnologyParams::projected()
-    }
-
     #[test]
     fn fig8a_communication_tracks_but_never_exceeds_computation() {
-        let (rows, text) = fig8a(&tech());
+        let rows = Fig8a::default().rows();
         assert_eq!(rows.len(), 6);
         for r in &rows {
             let frac = r.comm_fraction();
@@ -180,12 +276,12 @@ mod tests {
                 r.size
             );
         }
-        assert!(text.contains("hours"));
+        assert!(Fig8a::render(&rows).contains("hours"));
     }
 
     #[test]
     fn fig8a_times_grow_with_size_and_land_in_paper_scale() {
-        let (rows, _) = fig8a(&tech());
+        let rows = Fig8a::default().rows();
         for pair in rows.windows(2) {
             assert!(pair[1].computation > pair[0].computation);
         }
@@ -200,7 +296,7 @@ mod tests {
 
     #[test]
     fn fig8b_scale_matches_paper() {
-        let (rows, text) = fig8b(&tech());
+        let rows = Fig8b::default().rows();
         // Paper Fig 8b: ~1e5 seconds at size 1000.
         let last = rows.last().unwrap();
         assert!(
@@ -212,12 +308,12 @@ mod tests {
             let frac = r.comm_fraction();
             assert!((0.3..1.0).contains(&frac), "size {}: {frac}", r.size);
         }
-        assert!(text.contains("seconds"));
+        assert!(Fig8b::render(&rows).contains("seconds"));
     }
 
     #[test]
     fn fig8b_grows_quadratically() {
-        let (rows, _) = fig8b(&tech());
+        let rows = Fig8b::default().rows();
         let c100 = rows[0].computation.as_secs();
         let c1000 = rows[9].computation.as_secs();
         let ratio = c1000 / c100;

@@ -1,16 +1,20 @@
-//! Generators for the paper's Figures 2, 6a, 6b and 7.
+//! The paper's Figures 2, 6a, 6b and 7 as [`Experiment`]s.
 
 use cqla_circuit::QubitId;
 use cqla_circuit::{DependencyDag, ListScheduler, Width};
 use cqla_ecc::Code;
-use cqla_iontrap::TechnologyParams;
+use cqla_iontrap::{TechPoint, TechnologyParams};
 use cqla_network::{BandwidthSample, SuperblockBandwidth};
 use cqla_workloads::DraperAdder;
 
 use crate::cache::{CacheSim, FetchPolicy};
+use crate::json::ToJson;
 use crate::report::{fmt3, TextTable};
 use crate::specialize::SpecializationStudy;
 
+use super::api::{
+    parse_positive, parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS,
+};
 use super::tables::primary_blocks;
 
 /// Figure 2: parallelism over time for the 64-qubit adder, with unlimited
@@ -36,45 +40,104 @@ impl Fig2Data {
     }
 }
 
-/// Generates Figure 2 (adder width and cap are parameters; the paper uses
-/// 64 and 15).
+/// Figure 2 as an experiment (adder width and cap are parameters; the
+/// paper uses 64 and 15).
 ///
 /// Gates carry their fault-tolerant durations (Toffoli = 15 gate+EC
 /// steps); this is what makes the paper's observation true — a Toffoli
 /// occupies its block long enough that 15 blocks keep up with unlimited
 /// hardware.
-#[must_use]
-pub fn fig2(adder_bits: u32, cap: usize) -> (Fig2Data, String) {
-    use cqla_circuit::Gate;
-    let adder = DraperAdder::new(adder_bits);
-    let dag = DependencyDag::new(adder.circuit_ref());
-    let weight = Gate::two_qubit_gate_equivalents;
-    let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, weight);
-    let capped = ListScheduler::new(&dag).schedule(Width::Blocks(cap), weight);
-    let data = Fig2Data {
-        unlimited_profile: unlimited.occupancy().to_vec(),
-        capped_profile: capped.occupancy().to_vec(),
-        unlimited_makespan: unlimited.makespan(),
-        capped_makespan: capped.makespan(),
-    };
-    // Sample the profiles at Toffoli granularity for display.
-    let stride = 15;
-    let mut t = TextTable::new(["time", "unlimited", &format!("{cap} blocks")]);
-    let len = data.unlimited_profile.len().max(data.capped_profile.len());
-    let mut i = 0;
-    while i < len {
-        t.push_row([
-            (i / stride).to_string(),
-            data.unlimited_profile
-                .get(i)
-                .copied()
-                .unwrap_or(0)
-                .to_string(),
-            data.capped_profile.get(i).copied().unwrap_or(0).to_string(),
-        ]);
-        i += stride;
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig2 {
+    /// Adder width in bits.
+    pub bits: u32,
+    /// Compute-block cap for the constrained schedule.
+    pub cap: u32,
+}
+
+impl Default for Fig2 {
+    fn default() -> Self {
+        Self { bits: 64, cap: 15 }
     }
-    (data, t.to_string())
+}
+
+impl Fig2 {
+    /// Schedules both profiles.
+    #[must_use]
+    pub fn data(&self) -> Fig2Data {
+        use cqla_circuit::Gate;
+        let adder = DraperAdder::new(self.bits);
+        let dag = DependencyDag::new(adder.circuit_ref());
+        let weight = Gate::two_qubit_gate_equivalents;
+        let unlimited = ListScheduler::new(&dag).schedule(Width::Unlimited, weight);
+        let capped = ListScheduler::new(&dag).schedule(Width::Blocks(self.cap as usize), weight);
+        Fig2Data {
+            unlimited_profile: unlimited.occupancy().to_vec(),
+            capped_profile: capped.occupancy().to_vec(),
+            unlimited_makespan: unlimited.makespan(),
+            capped_makespan: capped.makespan(),
+        }
+    }
+
+    /// Renders the profile table plus the makespan summary line.
+    #[must_use]
+    pub fn render(&self, data: &Fig2Data) -> String {
+        // Sample the profiles at Toffoli granularity for display.
+        let stride = 15;
+        let mut t = TextTable::new(["time", "unlimited", &format!("{} blocks", self.cap)]);
+        let len = data.unlimited_profile.len().max(data.capped_profile.len());
+        let mut i = 0;
+        while i < len {
+            t.push_row([
+                (i / stride).to_string(),
+                data.unlimited_profile
+                    .get(i)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                data.capped_profile.get(i).copied().unwrap_or(0).to_string(),
+            ]);
+            i += stride;
+        }
+        format!(
+            "{}\nmakespans: unlimited {}, capped {} ({:.2}x)",
+            t,
+            data.unlimited_makespan,
+            data.capped_makespan,
+            data.relative_stretch()
+        )
+    }
+}
+
+impl Experiment for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 2: adder parallelism profile"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![
+            Param::new("bits", self.bits, "a positive integer"),
+            Param::new("cap", self.cap, "a positive integer"),
+        ]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "bits" => self.bits = parse_positive("bits", value)?,
+            "cap" => self.cap = parse_positive("cap", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let data = self.data();
+        ExperimentOutput::new(self.render(&data), data.to_json())
+    }
 }
 
 /// One Figure 6a sample: utilization of `blocks` compute blocks on one
@@ -96,7 +159,7 @@ pub const FIG6A_SIZES: [u32; 6] = [32, 64, 128, 256, 512, 1024];
 pub const FIG6A_BLOCKS: [u32; 7] = [4, 16, 36, 64, 100, 144, 196];
 
 /// Computes one Figure 6a cell: utilization of `blocks` compute blocks
-/// on the `adder_bits`-bit adder. Per-cell twin of [`fig6a`], for the
+/// on the `adder_bits`-bit adder. Per-cell twin of [`Fig6a`], for the
 /// parallel experiment engine.
 #[must_use]
 pub fn fig6a_cell(tech: &TechnologyParams, adder_bits: u32, blocks: u32) -> Fig6aRow {
@@ -109,28 +172,80 @@ pub fn fig6a_cell(tech: &TechnologyParams, adder_bits: u32, blocks: u32) -> Fig6
     }
 }
 
-/// Generates Figure 6a: utilization vs block count for each adder size.
-#[must_use]
-pub fn fig6a(tech: &TechnologyParams) -> (Vec<Fig6aRow>, String) {
-    let mut rows = Vec::new();
-    for &bits in &FIG6A_SIZES {
-        for &b in &FIG6A_BLOCKS {
-            rows.push(fig6a_cell(tech, bits, b));
+/// Figure 6a as an experiment: utilization vs block count for each adder
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig6a {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Fig6a {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
         }
     }
-    let mut t = TextTable::new(["blocks", "32", "64", "128", "256", "512", "1024"]);
-    for &b in &FIG6A_BLOCKS {
-        let mut cells = vec![b.to_string()];
+}
+
+impl Fig6a {
+    /// The full size×blocks grid, sizes outer.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Fig6aRow> {
+        let tech = self.tech.params();
+        let mut rows = Vec::new();
         for &bits in &FIG6A_SIZES {
-            let u = rows
-                .iter()
-                .find(|r| r.adder_bits == bits && r.blocks == b)
-                .map_or(0.0, |r| r.utilization);
-            cells.push(fmt3(u));
+            for &b in &FIG6A_BLOCKS {
+                rows.push(fig6a_cell(&tech, bits, b));
+            }
         }
-        t.push_row(cells);
+        rows
     }
-    (rows, t.to_string())
+
+    /// Renders the paper-style matrix for `rows`.
+    #[must_use]
+    pub fn render(rows: &[Fig6aRow]) -> String {
+        let mut t = TextTable::new(["blocks", "32", "64", "128", "256", "512", "1024"]);
+        for &b in &FIG6A_BLOCKS {
+            let mut cells = vec![b.to_string()];
+            for &bits in &FIG6A_SIZES {
+                let u = rows
+                    .iter()
+                    .find(|r| r.adder_bits == bits && r.blocks == b)
+                    .map_or(0.0, |r| r.utilization);
+                cells.push(fmt3(u));
+            }
+            t.push_row(cells);
+        }
+        t.to_string()
+    }
+}
+
+impl Experiment for Fig6a {
+    fn id(&self) -> &'static str {
+        "fig6a"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 6a: block utilization"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 /// Figure 6b: required vs available perimeter bandwidth and the superblock
@@ -147,7 +262,7 @@ pub struct Fig6bData {
 pub const FIG6B_BLOCKS: [u32; 9] = [9, 18, 27, 36, 45, 54, 63, 72, 81];
 
 /// Computes one code's Figure 6b series: the bandwidth samples over the
-/// block sweep plus the crossover point. Per-code twin of [`fig6b`], for
+/// block sweep plus the crossover point. Per-code twin of [`Fig6b`], for
 /// the parallel experiment engine.
 #[must_use]
 pub fn fig6b_series(tech: &TechnologyParams, code: Code) -> (Vec<BandwidthSample>, u32) {
@@ -158,51 +273,100 @@ pub fn fig6b_series(tech: &TechnologyParams, code: Code) -> (Vec<BandwidthSample
     )
 }
 
-/// Generates Figure 6b (blocks swept 4…81 as in the paper's x-axis).
-#[must_use]
-pub fn fig6b(tech: &TechnologyParams) -> (Fig6bData, String) {
-    let mut samples: Vec<(Code, Vec<BandwidthSample>)> = Vec::new();
-    let mut crossovers = Vec::new();
-    for code in Code::ALL {
-        let (series, crossover) = fig6b_series(tech, code);
-        samples.push((code, series));
-        crossovers.push((code, crossover));
+/// Figure 6b as an experiment (blocks swept 4…81 as in the paper's
+/// x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig6b {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Fig6b {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
+        }
     }
-    let mut t = TextTable::new([
-        "blocks",
-        "req draper(St)",
-        "avail(St)",
-        "req draper(BSr)",
-        "avail(BSr)",
-        "worst case",
-    ]);
-    for (i, &b) in FIG6B_BLOCKS.iter().enumerate() {
-        let st = samples[0].1[i];
-        let bs = samples[1].1[i];
-        t.push_row([
-            b.to_string(),
-            fmt3(st.required_draper),
-            fmt3(st.available),
-            fmt3(bs.required_draper),
-            fmt3(bs.available),
-            fmt3(st.required_worst),
-        ]);
-    }
-    let mut text = t.to_string();
-    for (code, b) in &crossovers {
-        text.push_str(&format!(
-            "crossover {}: {} blocks/superblock\n",
-            code.label(),
-            b
-        ));
-    }
-    (
+}
+
+impl Fig6b {
+    /// Both codes' bandwidth series and crossovers.
+    #[must_use]
+    pub fn data(&self) -> Fig6bData {
+        let tech = self.tech.params();
+        let mut samples: Vec<(Code, Vec<BandwidthSample>)> = Vec::new();
+        let mut crossovers = Vec::new();
+        for code in Code::ALL {
+            let (series, crossover) = fig6b_series(&tech, code);
+            samples.push((code, series));
+            crossovers.push((code, crossover));
+        }
         Fig6bData {
             samples,
             crossovers,
-        },
-        text,
-    )
+        }
+    }
+
+    /// Renders the bandwidth table plus the crossover lines.
+    #[must_use]
+    pub fn render(data: &Fig6bData) -> String {
+        let mut t = TextTable::new([
+            "blocks",
+            "req draper(St)",
+            "avail(St)",
+            "req draper(BSr)",
+            "avail(BSr)",
+            "worst case",
+        ]);
+        for (i, &b) in FIG6B_BLOCKS.iter().enumerate() {
+            let st = data.samples[0].1[i];
+            let bs = data.samples[1].1[i];
+            t.push_row([
+                b.to_string(),
+                fmt3(st.required_draper),
+                fmt3(st.available),
+                fmt3(bs.required_draper),
+                fmt3(bs.available),
+                fmt3(st.required_worst),
+            ]);
+        }
+        let mut text = t.to_string();
+        for (code, b) in &data.crossovers {
+            text.push_str(&format!(
+                "crossover {}: {} blocks/superblock\n",
+                code.label(),
+                b
+            ));
+        }
+        text
+    }
+}
+
+impl Experiment for Fig6b {
+    fn id(&self) -> &'static str {
+        "fig6b"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 6b: superblock bandwidth"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let data = self.data();
+        ExperimentOutput::new(Self::render(&data), data.to_json())
+    }
 }
 
 /// One Figure 7 sample: hit rate of one (adder, cache size, policy) cell.
@@ -225,7 +389,7 @@ pub const FIG7_SIZES: [u32; 5] = [64, 128, 256, 512, 1024];
 pub const FIG7_FACTORS: [f64; 3] = [1.0, 1.5, 2.0];
 
 /// Computes one Figure 7 cell: the hit rate of one
-/// `(adder, cache size, policy)` simulation. Per-cell twin of [`fig7`],
+/// `(adder, cache size, policy)` simulation. Per-cell twin of [`Fig7`],
 /// for the parallel experiment engine.
 #[must_use]
 pub fn fig7_cell(adder_bits: u32, cache_factor: f64, policy: FetchPolicy) -> Fig7Row {
@@ -247,52 +411,79 @@ pub fn fig7_cell(adder_bits: u32, cache_factor: f64, policy: FetchPolicy) -> Fig
     }
 }
 
-/// Generates Figure 7: cache hit rates for adders of 64…1024 bits, cache
-/// sizes {1, 1.5, 2}×PE, both fetch policies.
+/// Figure 7 as an experiment: cache hit rates for adders of 64…1024 bits,
+/// cache sizes {1, 1.5, 2}×PE, both fetch policies.
 ///
 /// PE (compute-region qubits) scales with the Table 4 block provisioning
 /// for each adder size; the cache warms over two consecutive additions, as
 /// in the repeated additions of a modular exponentiation.
-#[must_use]
-pub fn fig7() -> (Vec<Fig7Row>, String) {
-    let mut rows = Vec::new();
-    for &bits in &FIG7_SIZES {
-        for &factor in &FIG7_FACTORS {
-            for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
-                rows.push(fig7_cell(bits, factor, policy));
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fig7;
+
+impl Fig7 {
+    /// The full size×factor×policy grid.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Fig7Row> {
+        let mut rows = Vec::new();
+        for &bits in &FIG7_SIZES {
+            for &factor in &FIG7_FACTORS {
+                for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
+                    rows.push(fig7_cell(bits, factor, policy));
+                }
             }
         }
+        rows
     }
-    let mut t = TextTable::new([
-        "adder",
-        "cache=PE",
-        "opt PE",
-        "cache=1.5PE",
-        "opt 1.5PE",
-        "cache=2PE",
-        "opt 2PE",
-    ]);
-    for &bits in &FIG7_SIZES {
-        let get = |factor: f64, policy: FetchPolicy| {
-            rows.iter()
-                .find(|r| {
-                    r.adder_bits == bits
-                        && (r.cache_factor - factor).abs() < 1e-9
-                        && r.policy == policy
-                })
-                .map_or(0.0, |r| r.hit_rate * 100.0)
-        };
-        t.push_row([
-            format!("{bits}-bit"),
-            format!("{:.0}%", get(1.0, FetchPolicy::InOrder)),
-            format!("{:.0}%", get(1.0, FetchPolicy::OptimizedLookahead)),
-            format!("{:.0}%", get(1.5, FetchPolicy::InOrder)),
-            format!("{:.0}%", get(1.5, FetchPolicy::OptimizedLookahead)),
-            format!("{:.0}%", get(2.0, FetchPolicy::InOrder)),
-            format!("{:.0}%", get(2.0, FetchPolicy::OptimizedLookahead)),
+
+    /// Renders the paper-style hit-rate table for `rows`.
+    #[must_use]
+    pub fn render(rows: &[Fig7Row]) -> String {
+        let mut t = TextTable::new([
+            "adder",
+            "cache=PE",
+            "opt PE",
+            "cache=1.5PE",
+            "opt 1.5PE",
+            "cache=2PE",
+            "opt 2PE",
         ]);
+        for &bits in &FIG7_SIZES {
+            let get = |factor: f64, policy: FetchPolicy| {
+                rows.iter()
+                    .find(|r| {
+                        r.adder_bits == bits
+                            && (r.cache_factor - factor).abs() < 1e-9
+                            && r.policy == policy
+                    })
+                    .map_or(0.0, |r| r.hit_rate * 100.0)
+            };
+            t.push_row([
+                format!("{bits}-bit"),
+                format!("{:.0}%", get(1.0, FetchPolicy::InOrder)),
+                format!("{:.0}%", get(1.0, FetchPolicy::OptimizedLookahead)),
+                format!("{:.0}%", get(1.5, FetchPolicy::InOrder)),
+                format!("{:.0}%", get(1.5, FetchPolicy::OptimizedLookahead)),
+                format!("{:.0}%", get(2.0, FetchPolicy::InOrder)),
+                format!("{:.0}%", get(2.0, FetchPolicy::OptimizedLookahead)),
+            ]);
+        }
+        t.to_string()
     }
-    (rows, t.to_string())
+}
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 7: cache hit rates"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -305,13 +496,14 @@ mod tests {
         // 64-qubit adder. Our Brent-Kung construction exposes a little
         // more parallelism (work/critical-path ≈ 22), so 15 blocks stretch
         // the adder mildly and ~22 capture everything.
-        let (at_paper_cap, text) = fig2(64, 15);
+        let fig = Fig2::default();
+        let at_paper_cap = fig.data();
         assert!(
             at_paper_cap.relative_stretch() < 1.8,
             "stretch {}",
             at_paper_cap.relative_stretch()
         );
-        let (saturated, _) = fig2(64, 32);
+        let saturated = Fig2 { bits: 64, cap: 32 }.data();
         assert!(
             saturated.relative_stretch() < 1.15,
             "stretch {}",
@@ -321,13 +513,13 @@ mod tests {
         assert!(*at_paper_cap.unlimited_profile.iter().max().unwrap() >= 55);
         // The capped profile never exceeds the cap.
         assert!(at_paper_cap.capped_profile.iter().all(|&g| g <= 15));
-        assert!(text.contains("unlimited"));
+        assert!(fig.render(&at_paper_cap).contains("unlimited"));
     }
 
     #[test]
     fn fig2_profile_area_is_conserved() {
         // Gate-seconds are conserved between the two schedules.
-        let (data, _) = fig2(64, 15);
+        let data = Fig2::default().data();
         let a: usize = data.unlimited_profile.iter().sum();
         let b: usize = data.capped_profile.iter().sum();
         assert_eq!(a, b, "both schedules run every gate-step");
@@ -335,7 +527,7 @@ mod tests {
 
     #[test]
     fn fig6a_utilization_monotone_in_blocks() {
-        let (rows, text) = fig6a(&TechnologyParams::projected());
+        let rows = Fig6a::default().rows();
         for bits in [32u32, 1024] {
             let series: Vec<f64> = rows
                 .iter()
@@ -346,21 +538,21 @@ mod tests {
                 assert!(pair[1] <= pair[0] + 1e-9, "bits {bits}: {series:?}");
             }
         }
-        assert!(text.contains("blocks"));
+        assert!(Fig6a::render(&rows).contains("blocks"));
     }
 
     #[test]
     fn fig6b_has_crossovers_in_band() {
-        let (data, text) = fig6b(&TechnologyParams::projected());
+        let data = Fig6b::default().data();
         for (code, b) in &data.crossovers {
             assert!((10..=80).contains(b), "{code}: {b}");
         }
-        assert!(text.contains("crossover"));
+        assert!(Fig6b::render(&data).contains("crossover"));
     }
 
     #[test]
     fn fig7_optimized_dominates_and_is_size_stable() {
-        let (rows, text) = fig7();
+        let rows = Fig7.rows();
         // Optimized fetch beats in-order in every cell.
         for bits in [64u32, 256, 1024] {
             for factor in [1.0, 1.5, 2.0] {
@@ -380,6 +572,6 @@ mod tests {
                 );
             }
         }
-        assert!(text.contains("64-bit"));
+        assert!(Fig7::render(&rows).contains("64-bit"));
     }
 }

@@ -1,20 +1,37 @@
-//! One generator per table and figure of the paper's evaluation.
+//! The paper's artifact catalog: one [`Experiment`] per table and figure
+//! of the evaluation, plus the `verify` self-checks and the `machine`
+//! configuration pricer.
 //!
-//! Every generator returns typed rows *and* renders the same table/series
-//! the paper prints, so the benchmark harness (`crates/bench`) can both
-//! time the computation and emit the reproduction artifact. The index
-//! lives in DESIGN.md §3; paper-vs-measured deltas in EXPERIMENTS.md.
+//! Every experiment is a typed parameter struct with paper defaults
+//! (`Table4 { tech }`, `Fig2 { bits, cap }`, …) whose [`Experiment::run`]
+//! produces both the text rendering the paper prints and the structured
+//! JSON value. The [`registry`] enumerates all of them; the `cqla` CLI,
+//! the benchmark harness (`crates/bench`), the end-to-end tests and the
+//! examples all iterate it instead of naming generators one by one. The
+//! per-cell functions ([`table4_row`], [`fig7_cell`], …) remain exported
+//! so the parallel experiment engine (`cqla-sweep`) can fan one job out
+//! per grid point and still match the registry output bitwise.
 
+mod api;
 mod apps;
 mod figures;
+mod machine;
 mod tables;
+mod verify;
 
-pub use apps::{fig8a, fig8a_row, fig8b, fig8b_row, AppTimeRow, FIG8A_SIZES, FIG8B_SIZES};
+pub use api::{
+    find, ids, parse_code, parse_positive, parse_tech, registry, suggest, unknown_key, Experiment,
+    ExperimentOutput, Param, ParamError, CODE_ACCEPTS, TECH_ACCEPTS,
+};
+pub use apps::{fig8a_row, fig8b_row, AppTimeRow, Fig8a, Fig8b, FIG8A_SIZES, FIG8B_SIZES};
+pub use cqla_iontrap::TechPoint;
 pub use figures::{
-    fig2, fig6a, fig6a_cell, fig6b, fig6b_series, fig7, fig7_cell, Fig2Data, Fig6aRow, Fig6bData,
+    fig6a_cell, fig6b_series, fig7_cell, Fig2, Fig2Data, Fig6a, Fig6aRow, Fig6b, Fig6bData, Fig7,
     Fig7Row, FIG6A_BLOCKS, FIG6A_SIZES, FIG6B_BLOCKS, FIG7_FACTORS, FIG7_SIZES,
 };
+pub use machine::Machine;
 pub use tables::{
-    primary_blocks, table2, table3, table4, table4_row, table5, table5_row, Table3Data, Table4Row,
-    Table5Row, TABLE5_PAR_XFER, TABLE5_SIZES,
+    primary_blocks, table4_row, table5_row, Table1, Table2, Table3, Table3Data, Table4, Table4Row,
+    Table5, Table5Row, TABLE5_PAR_XFER, TABLE5_SIZES,
 };
+pub use verify::Verify;

@@ -1,38 +1,113 @@
-//! Generators for the paper's Tables 2–5.
+//! The paper's Tables 1–5 as [`Experiment`]s.
 
 use cqla_ecc::{table2_metrics, Code, EccMetrics, TransferNetwork};
-use cqla_iontrap::TechnologyParams;
+use cqla_iontrap::{TechPoint, TechnologyParams};
 use cqla_units::Seconds;
 
 use crate::hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy};
+use crate::json::{Json, ToJson};
 use crate::report::{fmt3, TextTable};
 use crate::specialize::{CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID};
 
-/// Table 2: error-correction metrics for both codes at both levels.
-///
-/// Returns the four metric blocks plus a rendered table.
-#[must_use]
-pub fn table2(tech: &TechnologyParams) -> (Vec<EccMetrics>, String) {
-    let rows = table2_metrics(tech);
-    let mut t = TextTable::new([
-        "code-level",
-        "EC time (s)",
-        "tile (mm^2)",
-        "gate (s)",
-        "data",
-        "ancilla",
-    ]);
-    for m in &rows {
-        t.push_row([
-            format!("{} {}", m.code().label(), m.level()),
-            format!("{:.2e}", m.ec_time().as_secs()),
-            fmt3(m.tile_area().value()),
-            format!("{:.2e}", m.transversal_gate_time().as_secs()),
-            m.data_qubits().to_string(),
-            m.ancilla_qubits().to_string(),
-        ]);
+use super::api::{parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS};
+
+/// Table 1: the two ion-trap technology operating points, side by side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
     }
-    (rows, t.to_string())
+
+    fn title(&self) -> &'static str {
+        "Table 1: ion-trap technology parameters"
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        ExperimentOutput::new(
+            format!(
+                "{}\n\n{}",
+                TechnologyParams::current(),
+                TechnologyParams::projected()
+            ),
+            Json::arr([TechnologyParams::current(), TechnologyParams::projected()]),
+        )
+    }
+}
+
+/// Table 2: error-correction metrics for both codes at both levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2 {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Table2 {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
+        }
+    }
+}
+
+impl Table2 {
+    /// The four metric blocks (both codes × both levels).
+    #[must_use]
+    pub fn rows(&self) -> Vec<EccMetrics> {
+        table2_metrics(&self.tech.params())
+    }
+
+    /// Renders the paper-style table for `rows`.
+    #[must_use]
+    pub fn render(rows: &[EccMetrics]) -> String {
+        let mut t = TextTable::new([
+            "code-level",
+            "EC time (s)",
+            "tile (mm^2)",
+            "gate (s)",
+            "data",
+            "ancilla",
+        ]);
+        for m in rows {
+            t.push_row([
+                format!("{} {}", m.code().label(), m.level()),
+                format!("{:.2e}", m.ec_time().as_secs()),
+                fmt3(m.tile_area().value()),
+                format!("{:.2e}", m.transversal_gate_time().as_secs()),
+                m.data_qubits().to_string(),
+                m.ancilla_qubits().to_string(),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 2: error-correction metrics"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 /// Table 3: the 4×4 code-transfer latency matrix.
@@ -43,20 +118,71 @@ pub struct Table3Data {
     pub matrix: [[Seconds; 4]; 4],
 }
 
-/// Generates Table 3.
-#[must_use]
-pub fn table3(tech: &TechnologyParams) -> (Table3Data, String) {
-    let matrix = TransferNetwork::new(tech).table3_matrix();
-    let labels = ["7-L1", "7-L2", "9-L1", "9-L2"];
-    let mut t = TextTable::new(["(seconds)", "7-L1", "7-L2", "9-L1", "9-L2"]);
-    for (i, row) in matrix.iter().enumerate() {
-        let mut cells = vec![labels[i].to_string()];
-        for cell in row {
-            cells.push(fmt3(cell.as_secs()));
+/// Table 3 as an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table3 {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Table3 {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
         }
-        t.push_row(cells);
     }
-    (Table3Data { matrix }, t.to_string())
+}
+
+impl Table3 {
+    /// The latency matrix.
+    #[must_use]
+    pub fn data(&self) -> Table3Data {
+        Table3Data {
+            matrix: TransferNetwork::new(&self.tech.params()).table3_matrix(),
+        }
+    }
+
+    /// Renders the paper-style matrix for `data`.
+    #[must_use]
+    pub fn render(data: &Table3Data) -> String {
+        let labels = ["7-L1", "7-L2", "9-L1", "9-L2"];
+        let mut t = TextTable::new(["(seconds)", "7-L1", "7-L2", "9-L1", "9-L2"]);
+        for (i, row) in data.matrix.iter().enumerate() {
+            let mut cells = vec![labels[i].to_string()];
+            for cell in row {
+                cells.push(fmt3(cell.as_secs()));
+            }
+            t.push_row(cells);
+        }
+        t.to_string()
+    }
+}
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 3: code-transfer latencies"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let data = self.data();
+        ExperimentOutput::new(Self::render(&data), data.to_json())
+    }
 }
 
 /// One Table 4 row: a `(input size, block count)` point evaluated under
@@ -75,7 +201,7 @@ pub struct Table4Row {
 
 /// Computes one Table 4 row: the `(input size, block count)` cell under
 /// both codes. Exposed per cell so the parallel experiment engine can fan
-/// one job out per grid point and still match [`table4`] bitwise.
+/// one job out per grid point and still match [`Table4`] bitwise.
 #[must_use]
 pub fn table4_row(tech: &TechnologyParams, input_bits: u32, blocks: u32) -> Table4Row {
     let study = SpecializationStudy::new(tech);
@@ -87,38 +213,89 @@ pub fn table4_row(tech: &TechnologyParams, input_bits: u32, blocks: u32) -> Tabl
     }
 }
 
-/// Generates Table 4 over the paper's grid.
-#[must_use]
-pub fn table4(tech: &TechnologyParams) -> (Vec<Table4Row>, String) {
-    let mut rows = Vec::new();
-    for (bits, blocks) in TABLE4_GRID {
-        for b in blocks {
-            rows.push(table4_row(tech, bits, b));
+/// Table 4 as an experiment: the CQLA specialization grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table4 {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Table4 {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
         }
     }
-    let mut t = TextTable::new([
-        "input",
-        "blocks",
-        "area x(St)",
-        "area x(BSr)",
-        "speedup(St)",
-        "speedup(BSr)",
-        "GP(St)",
-        "GP(BSr)",
-    ]);
-    for r in &rows {
-        t.push_row([
-            format!("{}-bit", r.input_bits),
-            r.blocks.to_string(),
-            fmt3(r.steane.area_reduction),
-            fmt3(r.bacon_shor.area_reduction),
-            fmt3(r.steane.speedup),
-            fmt3(r.bacon_shor.speedup),
-            fmt3(r.steane.gain_product),
-            fmt3(r.bacon_shor.gain_product),
-        ]);
+}
+
+impl Table4 {
+    /// The paper's 12-row grid (six sizes × two block counts).
+    #[must_use]
+    pub fn rows(&self) -> Vec<Table4Row> {
+        let tech = self.tech.params();
+        let mut rows = Vec::new();
+        for (bits, blocks) in TABLE4_GRID {
+            for b in blocks {
+                rows.push(table4_row(&tech, bits, b));
+            }
+        }
+        rows
     }
-    (rows, t.to_string())
+
+    /// Renders the paper-style table for `rows`.
+    #[must_use]
+    pub fn render(rows: &[Table4Row]) -> String {
+        let mut t = TextTable::new([
+            "input",
+            "blocks",
+            "area x(St)",
+            "area x(BSr)",
+            "speedup(St)",
+            "speedup(BSr)",
+            "GP(St)",
+            "GP(BSr)",
+        ]);
+        for r in rows {
+            t.push_row([
+                format!("{}-bit", r.input_bits),
+                r.blocks.to_string(),
+                fmt3(r.steane.area_reduction),
+                fmt3(r.bacon_shor.area_reduction),
+                fmt3(r.steane.speedup),
+                fmt3(r.bacon_shor.speedup),
+                fmt3(r.steane.gain_product),
+                fmt3(r.bacon_shor.gain_product),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 4: CQLA modular exponentiation"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 /// One Table 5 row: a hierarchy design point for one code.
@@ -154,7 +331,7 @@ pub const TABLE5_PAR_XFER: [u32; 2] = [10, 5];
 pub const TABLE5_SIZES: [u32; 3] = [256, 512, 1024];
 
 /// Computes one Table 5 row: a `(code, par-xfer, size)` cell on its
-/// Table 4 primary block count. Per-cell twin of [`table5`], for the
+/// Table 4 primary block count. Per-cell twin of [`Table5`], for the
 /// parallel experiment engine.
 #[must_use]
 pub fn table5_row(
@@ -172,77 +349,128 @@ pub fn table5_row(
     }
 }
 
-/// Generates Table 5 over the paper's grid (both codes, par-xfer ∈ {10, 5},
-/// sizes {256, 512, 1024}).
-#[must_use]
-pub fn table5(tech: &TechnologyParams) -> (Vec<Table5Row>, String) {
-    let mut rows = Vec::new();
-    for code in Code::ALL {
-        for par_xfer in TABLE5_PAR_XFER {
-            for bits in TABLE5_SIZES {
-                rows.push(table5_row(tech, code, par_xfer, bits));
-            }
+/// Table 5 as an experiment: the memory-hierarchy cube (both codes,
+/// par-xfer ∈ {10, 5}, sizes {256, 512, 1024}).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table5 {
+    /// Technology operating point.
+    pub tech: TechPoint,
+}
+
+impl Default for Table5 {
+    fn default() -> Self {
+        Self {
+            tech: TechPoint::Projected,
         }
     }
-    let mut t = TextTable::new([
-        "code",
-        "xfer",
-        "size",
-        "L1 speedup",
-        "L2 speedup",
-        "adder(1:2)",
-        "adder(budget)",
-        "adder(max)",
-        "area x",
-        "GP(1:2)",
-        "GP(max)",
-    ]);
-    for r in &rows {
-        t.push_row([
-            r.code.label().to_string(),
-            r.par_xfer.to_string(),
-            r.input_bits.to_string(),
-            fmt3(r.result.l1_speedup),
-            fmt3(r.result.l2_speedup),
-            fmt3(r.result.adder_speedup_interleave),
-            fmt3(r.result.adder_speedup_budgeted),
-            fmt3(r.result.adder_speedup_balanced),
-            fmt3(r.result.area_reduction),
-            fmt3(r.result.gain_product_conservative),
-            fmt3(r.result.gain_product_optimistic),
-        ]);
+}
+
+impl Table5 {
+    /// The 12-row cube in the paper's order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Table5Row> {
+        let tech = self.tech.params();
+        let mut rows = Vec::new();
+        for code in Code::ALL {
+            for par_xfer in TABLE5_PAR_XFER {
+                for bits in TABLE5_SIZES {
+                    rows.push(table5_row(&tech, code, par_xfer, bits));
+                }
+            }
+        }
+        rows
     }
-    (rows, t.to_string())
+
+    /// Renders the paper-style table for `rows`.
+    #[must_use]
+    pub fn render(rows: &[Table5Row]) -> String {
+        let mut t = TextTable::new([
+            "code",
+            "xfer",
+            "size",
+            "L1 speedup",
+            "L2 speedup",
+            "adder(1:2)",
+            "adder(budget)",
+            "adder(max)",
+            "area x",
+            "GP(1:2)",
+            "GP(max)",
+        ]);
+        for r in rows {
+            t.push_row([
+                r.code.label().to_string(),
+                r.par_xfer.to_string(),
+                r.input_bits.to_string(),
+                fmt3(r.result.l1_speedup),
+                fmt3(r.result.l2_speedup),
+                fmt3(r.result.adder_speedup_interleave),
+                fmt3(r.result.adder_speedup_budgeted),
+                fmt3(r.result.adder_speedup_balanced),
+                fmt3(r.result.area_reduction),
+                fmt3(r.result.gain_product_conservative),
+                fmt3(r.result.gain_product_optimistic),
+            ]);
+        }
+        t.to_string()
+    }
+}
+
+impl Experiment for Table5 {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 5: CQLA memory hierarchy"
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+    }
+
+    fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
+        match key {
+            "tech" => self.tech = parse_tech("tech", value)?,
+            _ => return Err(unknown_key(key, &self.params())),
+        }
+        Ok(())
+    }
+
+    fn run(&self) -> ExperimentOutput {
+        let rows = self.rows();
+        ExperimentOutput::new(Self::render(&rows), rows.to_json())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn tech() -> TechnologyParams {
-        TechnologyParams::projected()
-    }
-
     #[test]
     fn table2_renders_four_rows() {
-        let (rows, text) = table2(&tech());
+        let t2 = Table2::default();
+        let rows = t2.rows();
         assert_eq!(rows.len(), 4);
+        let text = Table2::render(&rows);
         assert!(text.contains("[[7,1,3]] L2"));
         assert!(text.contains("441"));
     }
 
     #[test]
     fn table3_diagonal_zero_and_rendered() {
-        let (data, text) = table3(&tech());
+        let t3 = Table3::default();
+        let data = t3.data();
         for i in 0..4 {
             assert_eq!(data.matrix[i][i], Seconds::ZERO);
         }
-        assert!(text.contains("9-L2"));
+        assert!(Table3::render(&data).contains("9-L2"));
     }
 
     #[test]
     fn table4_has_twelve_rows_with_growing_gain() {
-        let (rows, text) = table4(&tech());
+        let t4 = Table4::default();
+        let rows = t4.rows();
         assert_eq!(rows.len(), 12);
         // Gain products grow with input size (paper: 14 → 30 for
         // Bacon-Shor across the sweep; ours 10.7 → 17 — same direction,
@@ -258,7 +486,7 @@ mod tests {
                 r.input_bits
             );
         }
-        assert!(text.contains("1024-bit"));
+        assert!(Table4::render(&rows).contains("1024-bit"));
     }
 
     #[test]
@@ -270,7 +498,8 @@ mod tests {
 
     #[test]
     fn table5_rows_and_ordering() {
-        let (rows, text) = table5(&tech());
+        let t5 = Table5::default();
+        let rows = t5.rows();
         assert_eq!(rows.len(), 2 * 2 * 3);
         for r in &rows {
             assert!(
@@ -279,6 +508,16 @@ mod tests {
                 (r.code, r.par_xfer, r.input_bits)
             );
         }
-        assert!(text.contains("L1 speedup"));
+        assert!(Table5::render(&rows).contains("L1 speedup"));
+    }
+
+    #[test]
+    fn tech_parameter_changes_the_result() {
+        let mut t4 = Table4::default();
+        let projected = t4.run();
+        t4.set("tech", "current").unwrap();
+        let current = t4.run();
+        assert_ne!(projected.data, current.data);
+        assert!(projected.passed && current.passed);
     }
 }

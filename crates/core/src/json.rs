@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 /// # Examples
 ///
 /// ```
-/// use cqla_sweep::json::Json;
+/// use cqla_core::json::Json;
 ///
 /// let v = Json::obj([("name", Json::from("grid")), ("points", Json::from(24))]);
 /// assert_eq!(v.to_compact(), r#"{"name":"grid","points":24}"#);
@@ -199,7 +199,7 @@ fn write_escaped(out: &mut String, s: &str) {
 /// Conversion into the [`Json`] value tree.
 ///
 /// This is the crate's serialization trait: every result type the engine
-/// can emit implements it (see [`crate::convert`] for the domain types).
+/// can emit implements it (the `convert` module covers the domain types).
 pub trait ToJson {
     /// Builds the JSON representation.
     fn to_json(&self) -> Json;
@@ -335,7 +335,7 @@ impl std::error::Error for ParseError {}
 /// # Examples
 ///
 /// ```
-/// use cqla_sweep::json::{parse, Json};
+/// use cqla_core::json::{parse, Json};
 ///
 /// let v = parse(r#"{"ok": [1, 2.5, "x\n"]}"#).unwrap();
 /// assert_eq!(v.get("ok").unwrap().as_arr().unwrap().len(), 3);

@@ -15,7 +15,10 @@
 //!   dependency-aware fetch; Fig 7),
 //! * [`HierarchyStudy`] — Table 5: level-1 compute + cache over level-2
 //!   memory, bounded parallel transfers, fidelity-budgeted level mixing,
-//! * [`experiments`] — one generator per table and figure of the paper.
+//! * [`experiments`] — the paper's artifact catalog behind one
+//!   [`experiments::Experiment`] trait plus a [`experiments::registry`],
+//! * [`json`] — a hand-rolled JSON layer ([`Json`] value tree, printers,
+//!   parser) and the [`ToJson`] trait every result type implements.
 //!
 //! # Examples
 //!
@@ -38,8 +41,10 @@
 
 mod area;
 mod cache;
+mod convert;
 pub mod experiments;
 mod hierarchy;
+pub mod json;
 mod pipeline;
 mod qla;
 pub mod report;
@@ -51,6 +56,7 @@ pub use area::{
 };
 pub use cache::{CacheRun, CacheSim, CacheTrace, FetchPolicy, TraceStep};
 pub use hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy, MixPolicy};
+pub use json::{Json, ToJson};
 pub use pipeline::{PipelineConfig, PipelineReport, PipelineSim};
 pub use qla::QlaBaseline;
 pub use specialize::{CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID};

@@ -1,12 +1,12 @@
-//! Diagnostic: print the reproduced tables (run with --nocapture).
-use cqla_iontrap::TechnologyParams;
+//! Diagnostic: print every registry artifact (run with --nocapture).
+use cqla_core::experiments::registry;
 
 #[test]
 #[ignore]
 fn print_all() {
-    let tech = TechnologyParams::projected();
-    let (_, t4) = cqla_core::experiments::table4(&tech);
-    println!("TABLE 4:\n{t4}");
-    let (_, t5) = cqla_core::experiments::table5(&tech);
-    println!("TABLE 5:\n{t5}");
+    for exp in registry() {
+        let out = exp.run();
+        println!("================ {} ================", exp.title());
+        println!("{}\n", out.text);
+    }
 }

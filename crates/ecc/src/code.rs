@@ -55,6 +55,26 @@ impl Code {
         }
     }
 
+    /// The CLI/sweep-spec spelling (`steane`, `bacon-shor`).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Self::Steane713 => "steane",
+            Self::BaconShor913 => "bacon-shor",
+        }
+    }
+
+    /// Parses either spelling of a code: the CLI slug (`steane`,
+    /// `bacon-shor`) or the paper label (`[[7,1,3]]`, `[[9,1,3]]`).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "steane" | "[[7,1,3]]" => Some(Self::Steane713),
+            "bacon-shor" | "[[9,1,3]]" => Some(Self::BaconShor913),
+            _ => None,
+        }
+    }
+
     /// Physical data qubits per level-1 logical qubit (`n`).
     #[must_use]
     pub fn physical_per_logical(self) -> u64 {

@@ -33,4 +33,4 @@ mod params;
 
 pub use floorplan::TileFloorplan;
 pub use layout::{RegionCoord, ShuttleRoute, TileLayout, TrapGrid};
-pub use params::{PhysicalOp, TechnologyParams};
+pub use params::{PhysicalOp, TechPoint, TechnologyParams};

@@ -49,6 +49,67 @@ impl core::fmt::Display for PhysicalOp {
     }
 }
 
+/// One of the Table 1 technology operating points, by name.
+///
+/// Naming a preset (rather than embedding raw parameters) keeps experiment
+/// parameters and sweep descriptions small and serializable; consumers
+/// resolve the preset to full [`TechnologyParams`] at execution time.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_iontrap::TechPoint;
+///
+/// assert_eq!(TechPoint::parse("projected"), Some(TechPoint::Projected));
+/// assert_eq!(TechPoint::Current.label(), "current");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechPoint {
+    /// Experimentally demonstrated parameters (Table 1 "now").
+    Current,
+    /// The projected 10–15-year parameters the paper evaluates with.
+    Projected,
+}
+
+impl TechPoint {
+    /// Both presets, current first.
+    pub const ALL: [Self; 2] = [Self::Current, Self::Projected];
+
+    /// Short machine-readable label used in specs and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Current => "current",
+            Self::Projected => "projected",
+        }
+    }
+
+    /// Resolves the preset to its full parameter set.
+    #[must_use]
+    pub fn params(self) -> TechnologyParams {
+        match self {
+            Self::Current => TechnologyParams::current(),
+            Self::Projected => TechnologyParams::projected(),
+        }
+    }
+
+    /// Parses a label produced by [`TechPoint::label`].
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "current" => Some(Self::Current),
+            "projected" => Some(Self::Projected),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for TechPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A complete ion-trap technology operating point: per-operation execution
 /// times and failure rates plus geometric constants.
 ///

@@ -132,6 +132,7 @@ pub fn fig8b_rows(tech: &TechnologyParams, threads: usize) -> Vec<AppTimeRow> {
 mod tests {
     use super::*;
     use crate::json::ToJson;
+    use cqla_core::experiments::{Fig6a, Fig6b, Fig7, Fig8a, Fig8b, Table4, Table5};
 
     fn tech() -> TechnologyParams {
         TechnologyParams::projected()
@@ -139,7 +140,7 @@ mod tests {
 
     #[test]
     fn table4_parallel_is_byte_identical_to_serial() {
-        let serial = cqla_core::experiments::table4(&tech()).0;
+        let serial = Table4::default().rows();
         let parallel = table4_rows(&tech(), 4);
         assert_eq!(serial, parallel);
         assert_eq!(
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn table5_parallel_is_byte_identical_to_serial() {
-        let serial = cqla_core::experiments::table5(&tech()).0;
+        let serial = Table5::default().rows();
         let parallel = table5_rows(&tech(), 4);
         assert_eq!(serial, parallel);
         assert_eq!(
@@ -161,27 +162,22 @@ mod tests {
 
     #[test]
     fn fig6a_parallel_matches_serial() {
-        let serial = cqla_core::experiments::fig6a(&tech()).0;
-        assert_eq!(serial, fig6a_rows(&tech(), 4));
+        assert_eq!(Fig6a::default().rows(), fig6a_rows(&tech(), 4));
     }
 
     #[test]
     fn fig6b_parallel_matches_serial() {
-        let serial = cqla_core::experiments::fig6b(&tech()).0;
-        assert_eq!(serial, fig6b_data(&tech(), 2));
+        assert_eq!(Fig6b::default().data(), fig6b_data(&tech(), 2));
     }
 
     #[test]
     fn fig7_parallel_matches_serial() {
-        let serial = cqla_core::experiments::fig7().0;
-        assert_eq!(serial, fig7_rows(4));
+        assert_eq!(Fig7.rows(), fig7_rows(4));
     }
 
     #[test]
     fn fig8_parallel_matches_serial() {
-        let (a, _) = cqla_core::experiments::fig8a(&tech());
-        let (b, _) = cqla_core::experiments::fig8b(&tech());
-        assert_eq!(a, fig8a_rows(&tech(), 3));
-        assert_eq!(b, fig8b_rows(&tech(), 3));
+        assert_eq!(Fig8a::default().rows(), fig8a_rows(&tech(), 3));
+        assert_eq!(Fig8b::default().rows(), fig8b_rows(&tech(), 3));
     }
 }

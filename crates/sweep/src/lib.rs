@@ -13,19 +13,22 @@
 //! * [`spec`] — [`Sweep`] descriptions: named axes over design
 //!   parameters, cartesian products, explicit point lists, and the
 //!   built-in specs `cqla sweep <spec>` accepts;
+//! * [`parse`] — the sweep-spec expression language: parse strings like
+//!   `"tech=current,projected width=64..=512:*2 xfer=5,10"` into
+//!   [`Sweep`]s, with spanned error messages;
 //! * [`pool`] — a scoped-thread work-stealing executor
 //!   ([`std::thread::scope`], zero dependencies) with per-job timing and
 //!   deterministic result ordering;
 //! * [`engine`] — [`SweepRun`]: execute a sweep, render text, serialize
 //!   deterministic results and (separately) timing stats;
-//! * [`json`] — a hand-rolled JSON layer ([`json::Json`] value tree,
-//!   escaping, compact/pretty printers, parser) plus the [`json::ToJson`]
-//!   trait, since the workspace's vendored `serde` derives are no-ops;
-//! * [`convert`] — `ToJson` for every existing result type
-//!   (`EccMetrics`, `Table4Row`, `HierarchyResult`, figure rows, …);
+//! * [`regress`] — the perf regression gate: diff two `BENCH_sweep.json`
+//!   timing documents against a threshold (`cqla bench-diff`);
 //! * [`experiments`] — parallel ports of the paper's own grids that are
-//!   bitwise-identical to the serial generators in
+//!   bitwise-identical to the registry generators in
 //!   `cqla_core::experiments`.
+//!
+//! The JSON layer ([`Json`], [`ToJson`]) lives in [`cqla_core::json`] and
+//! is re-exported here for compatibility.
 //!
 //! # Determinism
 //!
@@ -51,13 +54,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod convert;
 pub mod engine;
 pub mod experiments;
-pub mod json;
+pub mod parse;
 pub mod pool;
+pub mod regress;
 pub mod spec;
 
+pub use cqla_core::json;
+pub use cqla_core::json::{Json, ToJson};
 pub use engine::{JobResult, PointOutcome, SweepRun};
-pub use json::{Json, ToJson};
+pub use parse::SpecError;
+pub use regress::{BenchDiff, BenchDoc};
 pub use spec::{Axis, DesignPoint, Sweep, TechPoint};

@@ -1,0 +1,555 @@
+//! The sweep-spec expression language.
+//!
+//! A spec is a whitespace-separated list of `key=values` clauses, each
+//! contributing one [`Axis`] to a cartesian [`Sweep`] over the paper's
+//! default design point:
+//!
+//! ```text
+//! tech=current,projected code=bacon-shor width=64..=512:*2 cache=0.25,0.5 xfer=5,10
+//! ```
+//!
+//! | key      | axis                                   | values |
+//! |----------|----------------------------------------|--------|
+//! | `tech`   | technology preset                      | `current`, `projected` |
+//! | `code`   | error-correcting code                  | `steane`, `bacon-shor` |
+//! | `width`  | adder bits, Table 4 block provisioning | integers or ranges |
+//! | `bits`   | adder bits, block count untouched      | integers or ranges |
+//! | `blocks` | compute blocks                         | integers or ranges |
+//! | `xfer`   | parallel transfers (enables hierarchy) | integers or ranges |
+//! | `cache`  | cache ratio (× compute-region qubits)  | decimals |
+//!
+//! Integer values are comma lists (`64,128`) or inclusive ranges with an
+//! optional step: `64..=512:*2` doubles (64, 128, 256, 512) and
+//! `4..=10:+3` counts up (4, 7, 10); a bare `a..=b` steps by one. Clause
+//! order is axis order: later clauses vary fastest, exactly like nested
+//! `for` loops.
+//!
+//! Errors are *spanned*: [`SpecError`] carries the byte range of the
+//! offending token and renders a caret underline, so a typo in a long
+//! spec is pinpointed rather than guessed at.
+
+use cqla_core::experiments::suggest;
+use cqla_ecc::Code;
+use cqla_iontrap::TechPoint;
+
+use crate::spec::{Axis, DesignPoint, Sweep};
+
+/// The spec keys, in documentation order, with the axis each drives.
+pub const KEYS: [(&str, &str); 7] = [
+    ("tech", "technology preset: current|projected"),
+    ("code", "error-correcting code: steane|bacon-shor"),
+    (
+        "width",
+        "adder bits, provisioned with Table 4 primary blocks",
+    ),
+    ("bits", "adder bits, leaving the block count untouched"),
+    ("blocks", "compute blocks"),
+    (
+        "xfer",
+        "parallel memory<->cache transfers (enables the hierarchy)",
+    ),
+    (
+        "cache",
+        "cache capacity as a multiple of compute-region qubits",
+    ),
+];
+
+/// Hard cap on the points one spec may expand to.
+pub const MAX_POINTS: usize = 10_000;
+
+/// Hard cap on any integer axis value (adders beyond this would not fit
+/// in memory anyway).
+pub const MAX_INT: u32 = 1 << 20;
+
+/// A parse error with the byte span of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The full spec text, kept for caret rendering.
+    pub spec: String,
+    /// Byte range `[start, end)` the error points at.
+    pub span: (usize, usize),
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(spec: &str, span: (usize, usize), message: impl Into<String>) -> Self {
+        Self {
+            spec: spec.to_owned(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (start, end) = self.span;
+        writeln!(f, "spec error at {start}..{end}: {}", self.message)?;
+        writeln!(f, "  {}", self.spec)?;
+        let pad = self.spec[..start.min(self.spec.len())].chars().count();
+        let width = self.spec[start.min(self.spec.len())..end.min(self.spec.len())]
+            .chars()
+            .count()
+            .max(1);
+        write!(f, "  {}{}", " ".repeat(pad), "^".repeat(width))
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One whitespace-delimited token with its byte span.
+struct Word<'a> {
+    text: &'a str,
+    start: usize,
+}
+
+fn words(input: &str) -> Vec<Word<'_>> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in input.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push(Word {
+                    text: &input[s..i],
+                    start: s,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push(Word {
+            text: &input[s..],
+            start: s,
+        });
+    }
+    out
+}
+
+/// Parses a spec expression into a [`Sweep`] over the paper-default base
+/// point. The sweep is named by the (trimmed) spec text itself.
+///
+/// # Errors
+///
+/// A [`SpecError`] pointing at the offending token: unknown or duplicate
+/// keys (with did-you-mean suggestions), unparseable values, degenerate
+/// ranges, or a grid exceeding [`MAX_POINTS`].
+pub fn parse(input: &str) -> Result<Sweep, SpecError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(SpecError::new(
+            input,
+            (0, input.len()),
+            "empty spec; expected key=values clauses (e.g. `tech=projected width=64,128`)",
+        ));
+    }
+    let mut axes: Vec<Axis> = Vec::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for word in words(input) {
+        let Some(eq) = word.text.find('=') else {
+            let mut message = "expected a `key=values` clause".to_owned();
+            let builtins = Sweep::BUILTIN.map(|(name, _)| name);
+            if let Some(b) = suggest(word.text, builtins) {
+                message = format!("{message} (or did you mean the built-in spec `{b}`?)");
+            }
+            return Err(SpecError::new(
+                input,
+                (word.start, word.start + word.text.len()),
+                message,
+            ));
+        };
+        let key = &word.text[..eq];
+        let key_span = (word.start, word.start + eq);
+        let values = &word.text[eq + 1..];
+        let values_start = word.start + eq + 1;
+        if !KEYS.iter().any(|&(k, _)| k == key) {
+            let mut message = format!("unknown axis `{key}`");
+            if let Some(s) = suggest(key, KEYS.iter().map(|&(k, _)| k)) {
+                message = format!("{message} (did you mean `{s}`?)");
+            }
+            let valid: Vec<&str> = KEYS.iter().map(|&(k, _)| k).collect();
+            message = format!("{message}; valid: {}", valid.join(", "));
+            return Err(SpecError::new(input, key_span, message));
+        }
+        if seen.contains(&key) {
+            return Err(SpecError::new(
+                input,
+                key_span,
+                format!("duplicate axis `{key}`"),
+            ));
+        }
+        // `seen` borrows from `input` via `word.text`.
+        let key: &str = key;
+        seen.push(key);
+        axes.push(parse_axis(input, key, values, values_start)?);
+    }
+    // Checked product: four maxed-out range axes multiply to 2^80, which
+    // would wrap a plain `product()` back under the cap.
+    let points = axes
+        .iter()
+        .try_fold(1usize, |acc, axis| acc.checked_mul(axis.len()));
+    match points {
+        Some(points) if points <= MAX_POINTS => {}
+        _ => {
+            let shown = points.map_or_else(|| format!("over {}", usize::MAX), |p| p.to_string());
+            return Err(SpecError::new(
+                input,
+                (0, input.len()),
+                format!("spec expands to {shown} points; the cap is {MAX_POINTS}"),
+            ));
+        }
+    }
+    Ok(Sweep::cartesian(
+        trimmed,
+        DesignPoint::paper_default(),
+        &axes,
+    ))
+}
+
+/// Splits `values` on commas (tracking spans) and parses each item with
+/// `item`, flattening range expansions.
+fn parse_items<T>(
+    spec: &str,
+    values: &str,
+    values_start: usize,
+    mut item: impl FnMut(&str, (usize, usize)) -> Result<Vec<T>, SpecError>,
+) -> Result<Vec<T>, SpecError> {
+    if values.is_empty() {
+        return Err(SpecError::new(
+            spec,
+            (values_start.saturating_sub(1), values_start),
+            "expected at least one value after `=`",
+        ));
+    }
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for piece in values.split(',') {
+        let span = (values_start + offset, values_start + offset + piece.len());
+        if piece.is_empty() {
+            return Err(SpecError::new(spec, span, "empty value in comma list"));
+        }
+        out.extend(item(piece, span)?);
+        offset += piece.len() + 1;
+    }
+    Ok(out)
+}
+
+fn parse_axis(spec: &str, key: &str, values: &str, values_start: usize) -> Result<Axis, SpecError> {
+    match key {
+        "tech" => {
+            let v = parse_items(spec, values, values_start, |piece, span| {
+                TechPoint::parse(piece).map(|t| vec![t]).ok_or_else(|| {
+                    SpecError::new(
+                        spec,
+                        span,
+                        format!("unknown technology `{piece}`; expected current|projected"),
+                    )
+                })
+            })?;
+            Ok(Axis::Tech(v))
+        }
+        "code" => {
+            let v = parse_items(spec, values, values_start, |piece, span| {
+                Code::parse(piece).map(|c| vec![c]).ok_or_else(|| {
+                    SpecError::new(
+                        spec,
+                        span,
+                        format!("unknown code `{piece}`; expected steane|bacon-shor"),
+                    )
+                })
+            })?;
+            Ok(Axis::Code(v))
+        }
+        "cache" => {
+            let v = parse_items(spec, values, values_start, |piece, span| {
+                piece
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .map(|x| vec![x])
+                    .ok_or_else(|| {
+                        SpecError::new(
+                            spec,
+                            span,
+                            format!("bad cache ratio `{piece}`; expected a positive decimal"),
+                        )
+                    })
+            })?;
+            Ok(Axis::CacheFactor(v))
+        }
+        _ => {
+            let v = parse_items(spec, values, values_start, |piece, span| {
+                parse_int_item(spec, piece, span)
+            })?;
+            Ok(match key {
+                "width" => Axis::InputBitsPrimaryBlocks(v),
+                "bits" => Axis::InputBits(v),
+                "blocks" => Axis::Blocks(v),
+                "xfer" => Axis::ParXfer(v),
+                _ => unreachable!("key validated against KEYS"),
+            })
+        }
+    }
+}
+
+/// Parses one integer item: a plain value or an inclusive range
+/// `a..=b[:*k|:+k]`.
+fn parse_int_item(spec: &str, piece: &str, span: (usize, usize)) -> Result<Vec<u32>, SpecError> {
+    let int = |text: &str| -> Result<u32, SpecError> {
+        text.parse::<u32>()
+            .ok()
+            .filter(|&n| (1..=MAX_INT).contains(&n))
+            .ok_or_else(|| {
+                SpecError::new(
+                    spec,
+                    span,
+                    format!("bad value `{text}`; expected an integer in 1..={MAX_INT}"),
+                )
+            })
+    };
+    let Some(dots) = piece.find("..=") else {
+        if piece.contains("..") {
+            return Err(SpecError::new(
+                spec,
+                span,
+                format!("bad range `{piece}`; ranges are inclusive: `a..=b[:*k|:+k]`"),
+            ));
+        }
+        return Ok(vec![int(piece)?]);
+    };
+    let start = int(&piece[..dots])?;
+    let rest = &piece[dots + 3..];
+    let (end_text, step_text) = match rest.find(':') {
+        Some(colon) => (&rest[..colon], Some(&rest[colon + 1..])),
+        None => (rest, None),
+    };
+    let end = int(end_text)?;
+    if start > end {
+        return Err(SpecError::new(
+            spec,
+            span,
+            format!("empty range `{piece}`; start {start} exceeds end {end}"),
+        ));
+    }
+    enum Step {
+        Mul(u32),
+        Add(u32),
+    }
+    let step = match step_text {
+        None => Step::Add(1),
+        Some(s) if s.starts_with('*') => {
+            let k = int(&s[1..])?;
+            if k < 2 {
+                return Err(SpecError::new(
+                    spec,
+                    span,
+                    "geometric step must be >= 2 (e.g. `64..=512:*2`)",
+                ));
+            }
+            Step::Mul(k)
+        }
+        Some(s) if s.starts_with('+') => Step::Add(int(&s[1..])?),
+        Some(s) => {
+            return Err(SpecError::new(
+                spec,
+                span,
+                format!("bad step `{s}`; expected `*k` (geometric) or `+k` (arithmetic)"),
+            ));
+        }
+    };
+    let mut out = Vec::new();
+    let mut v = start;
+    loop {
+        out.push(v);
+        let next = match step {
+            Step::Mul(k) => v.checked_mul(k),
+            Step::Add(k) => v.checked_add(k),
+        };
+        match next {
+            Some(n) if n <= end => v = n,
+            _ => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Renders cartesian axes back into spec-expression text, the inverse of
+/// [`parse`] up to range sugar (values render as comma lists).
+///
+/// ```
+/// use cqla_sweep::parse::{parse, render};
+/// use cqla_sweep::{Axis, TechPoint};
+///
+/// let axes = [Axis::Tech(vec![TechPoint::Current]), Axis::Blocks(vec![4, 16])];
+/// let spec = render(&axes);
+/// assert_eq!(spec, "tech=current blocks=4,16");
+/// assert_eq!(parse(&spec).unwrap().len(), 2);
+/// ```
+#[must_use]
+pub fn render(axes: &[Axis]) -> String {
+    let clause = |key: &str, values: Vec<String>| format!("{key}={}", values.join(","));
+    axes.iter()
+        .map(|axis| match axis {
+            Axis::Tech(v) => clause("tech", v.iter().map(|t| t.label().to_owned()).collect()),
+            Axis::Code(v) => clause("code", v.iter().map(|c| c.slug().to_owned()).collect()),
+            Axis::InputBitsPrimaryBlocks(v) => {
+                clause("width", v.iter().map(u32::to_string).collect())
+            }
+            Axis::InputBits(v) => clause("bits", v.iter().map(u32::to_string).collect()),
+            Axis::Blocks(v) => clause("blocks", v.iter().map(u32::to_string).collect()),
+            Axis::ParXfer(v) => clause("xfer", v.iter().map(u32::to_string).collect()),
+            Axis::CacheFactor(v) => clause("cache", v.iter().map(f64::to_string).collect()),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_headline_spec_parses() {
+        let sweep = parse(
+            "tech=current,projected code=bacon-shor width=64..=512:*2 cache=0.25,0.5 xfer=5,10",
+        )
+        .unwrap();
+        // 2 techs x 1 code x 4 widths x 2 ratios x 2 budgets.
+        assert_eq!(sweep.len(), 2 * 4 * 2 * 2);
+        assert!(sweep.points().iter().all(|p| p.par_xfer.is_some()));
+    }
+
+    #[test]
+    fn grid_spec_string_matches_the_builtin_grid() {
+        let expr =
+            parse("tech=current,projected code=steane,bacon-shor width=32..=1024:*2 xfer=10")
+                .unwrap();
+        let builtin = Sweep::builtin("grid").unwrap();
+        assert_eq!(expr.points(), builtin.points());
+    }
+
+    #[test]
+    fn quick_spec_string_matches_the_builtin_quick() {
+        let expr = parse("tech=current,projected code=steane,bacon-shor width=32,64").unwrap();
+        let builtin = Sweep::builtin("quick").unwrap();
+        assert_eq!(expr.points(), builtin.points());
+    }
+
+    #[test]
+    fn cache_spec_string_matches_the_builtin_cache() {
+        let expr = parse("cache=1,1.5,2 code=steane,bacon-shor width=64,128,256 xfer=10").unwrap();
+        let builtin = Sweep::builtin("cache").unwrap();
+        assert_eq!(expr.points(), builtin.points());
+    }
+
+    #[test]
+    fn geometric_and_arithmetic_ranges_expand() {
+        let sweep = parse("bits=64..=512:*2").unwrap();
+        let bits: Vec<u32> = sweep.points().iter().map(|p| p.input_bits).collect();
+        assert_eq!(bits, [64, 128, 256, 512]);
+        let sweep = parse("blocks=4..=10:+3").unwrap();
+        let blocks: Vec<u32> = sweep.points().iter().map(|p| p.blocks).collect();
+        assert_eq!(blocks, [4, 7, 10]);
+        let sweep = parse("blocks=4..=6").unwrap();
+        assert_eq!(sweep.len(), 3);
+    }
+
+    #[test]
+    fn clause_order_is_axis_order() {
+        let a = parse("code=steane,bacon-shor bits=32,64").unwrap();
+        let b = parse("bits=32,64 code=steane,bacon-shor").unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a.points(), b.points(), "order encodes loop nesting");
+        assert_eq!(a.points()[1].input_bits, 64, "later clauses vary fastest");
+    }
+
+    #[test]
+    fn unknown_key_error_is_spanned_and_suggests() {
+        let err = parse("tech=current widht=64").unwrap_err();
+        assert_eq!(err.span, (13, 18));
+        assert!(err.message.contains("did you mean `width`?"), "{err}");
+        let shown = err.to_string();
+        assert!(shown.contains("widht=64"));
+        assert!(shown.contains("^^^^^"), "caret underline:\n{shown}");
+    }
+
+    #[test]
+    fn bad_value_errors_point_at_the_value() {
+        let err = parse("tech=currant").unwrap_err();
+        assert_eq!(err.span, (5, 12));
+        assert!(err.message.contains("currant"));
+        let err = parse("width=64,,128").unwrap_err();
+        assert!(err.message.contains("empty value"));
+        let err = parse("cache=-1").unwrap_err();
+        assert!(err.message.contains("positive decimal"));
+        let err = parse("xfer=0").unwrap_err();
+        assert!(err.message.contains("expected an integer in 1..="));
+    }
+
+    #[test]
+    fn range_misuse_is_rejected() {
+        assert!(parse("width=512..=64")
+            .unwrap_err()
+            .message
+            .contains("empty range"));
+        assert!(parse("width=64..128")
+            .unwrap_err()
+            .message
+            .contains("inclusive"));
+        assert!(parse("width=64..=512:*1")
+            .unwrap_err()
+            .message
+            .contains(">= 2"));
+        assert!(parse("width=64..=512:/2")
+            .unwrap_err()
+            .message
+            .contains("bad step"));
+    }
+
+    #[test]
+    fn duplicate_and_bare_words_are_rejected() {
+        let err = parse("tech=current tech=projected").unwrap_err();
+        assert!(err.message.contains("duplicate axis `tech`"));
+        let err = parse("gird").unwrap_err();
+        assert!(
+            err.message
+                .contains("did you mean the built-in spec `grid`?"),
+            "{err}"
+        );
+        assert!(parse("   ").unwrap_err().message.contains("empty spec"));
+    }
+
+    #[test]
+    fn point_explosion_is_capped() {
+        let err = parse("bits=1..=200 blocks=1..=200 xfer=1..=10").unwrap_err();
+        assert!(err.message.contains("cap is 10000"), "{}", err.message);
+    }
+
+    #[test]
+    fn point_count_overflow_is_capped_not_wrapped() {
+        // 2^20 values on four axes = 2^80 points: an unchecked usize
+        // product would wrap (to 0 on 64-bit) and slip under the cap.
+        let err = parse("width=1..=1048576 bits=1..=1048576 blocks=1..=1048576 xfer=1..=1048576")
+            .unwrap_err();
+        assert!(err.message.contains("cap is 10000"), "{}", err.message);
+    }
+
+    #[test]
+    fn render_round_trips_every_axis_kind() {
+        let axes = [
+            Axis::Tech(vec![TechPoint::Current, TechPoint::Projected]),
+            Axis::Code(vec![Code::BaconShor913]),
+            Axis::InputBitsPrimaryBlocks(vec![32, 64]),
+            Axis::InputBits(vec![5]),
+            Axis::Blocks(vec![4, 9]),
+            Axis::ParXfer(vec![5, 10]),
+            Axis::CacheFactor(vec![0.25, 1.5]),
+        ];
+        let spec = render(&axes);
+        let reparsed = parse(&spec).unwrap();
+        let direct = Sweep::cartesian("t", DesignPoint::paper_default(), &axes);
+        assert_eq!(reparsed.points(), direct.points(), "spec: {spec}");
+    }
+}

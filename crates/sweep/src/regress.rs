@@ -1,0 +1,245 @@
+//! The performance regression gate: compare two sweep timing documents.
+//!
+//! `cargo bench --bench sweep` writes a `BENCH_sweep.json` timing
+//! document per run ([`crate::SweepRun::timing_json`]). This module
+//! diffs two such documents — a committed baseline and a fresh run — and
+//! decides whether the new one regressed past a threshold, which is what
+//! `cqla bench-diff <old.json> <new.json>` exits non-zero on and CI's
+//! bench-baseline job enforces.
+//!
+//! The compared quantity is *mean seconds per job*: it normalizes away
+//! changes in grid size, and (unlike wall-clock) does not reward running
+//! on more threads.
+
+use cqla_core::json::{self, Json, ToJson};
+
+/// The default regression threshold: fail past 1.5× the baseline mean
+/// job time. Loose on purpose — CI machines vary run to run.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// The fields of one `BENCH_sweep.json` timing document this gate reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Which sweep produced the timings.
+    pub sweep: String,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Jobs in the sweep.
+    pub points: usize,
+    /// Summed per-job wall-clock seconds.
+    pub cpu_seconds_total: f64,
+    /// `cpu_seconds_total / points`.
+    pub mean_job_seconds: f64,
+}
+
+impl BenchDoc {
+    /// Extracts the timing fields from a parsed document.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let sweep = doc
+            .get("sweep")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `sweep`")?
+            .to_owned();
+        let points = num("points")? as usize;
+        if points == 0 {
+            return Err("document has zero points; nothing to compare".to_owned());
+        }
+        Ok(Self {
+            sweep,
+            threads: num("threads")? as usize,
+            points,
+            cpu_seconds_total: num("cpu_seconds_total")?,
+            mean_job_seconds: num("mean_job_seconds")?,
+        })
+    }
+
+    /// Parses a timing document from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Either the JSON parse error or the first missing field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&doc)
+    }
+}
+
+/// The verdict of comparing a new timing document against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// The baseline document.
+    pub old: BenchDoc,
+    /// The fresh document.
+    pub new: BenchDoc,
+    /// `new.mean_job_seconds / old.mean_job_seconds`.
+    pub ratio: f64,
+    /// The failure threshold the ratio is judged against.
+    pub threshold: f64,
+}
+
+impl BenchDiff {
+    /// Compares `new` against the `old` baseline at `threshold`.
+    #[must_use]
+    pub fn compare(old: BenchDoc, new: BenchDoc, threshold: f64) -> Self {
+        let ratio = if old.mean_job_seconds > 0.0 {
+            new.mean_job_seconds / old.mean_job_seconds
+        } else if new.mean_job_seconds > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        Self {
+            old,
+            new,
+            ratio,
+            threshold,
+        }
+    }
+
+    /// Whether the new run is slower than the baseline by more than the
+    /// threshold.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.ratio > self.threshold
+    }
+
+    /// Whether the two documents time the same sweep shape (same spec
+    /// name and point count); a mismatch makes the ratio advisory only.
+    #[must_use]
+    pub fn comparable(&self) -> bool {
+        self.old.sweep == self.new.sweep && self.old.points == self.new.points
+    }
+
+    /// The human-readable comparison report.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "bench-diff: sweep `{}` ({} points)\n\
+               baseline mean job  {:.6}s  ({} threads)\n\
+               new mean job       {:.6}s  ({} threads)\n\
+               ratio              {:.3}x  (threshold {:.2}x)\n",
+            self.new.sweep,
+            self.new.points,
+            self.old.mean_job_seconds,
+            self.old.threads,
+            self.new.mean_job_seconds,
+            self.new.threads,
+            self.ratio,
+            self.threshold,
+        );
+        if !self.comparable() {
+            out.push_str(&format!(
+                "  warning: documents differ in shape (baseline `{}`/{} points); \
+                 ratio is advisory\n",
+                self.old.sweep, self.old.points
+            ));
+        }
+        out.push_str(if self.regressed() {
+            "  verdict            REGRESSED\n"
+        } else {
+            "  verdict            ok\n"
+        });
+        out
+    }
+}
+
+impl ToJson for BenchDiff {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sweep", Json::from(self.new.sweep.as_str())),
+            ("old_mean_job_seconds", Json::Num(self.old.mean_job_seconds)),
+            ("new_mean_job_seconds", Json::Num(self.new.mean_job_seconds)),
+            ("ratio", Json::Num(self.ratio)),
+            ("threshold", Json::Num(self.threshold)),
+            ("comparable", self.comparable().to_json()),
+            ("regressed", self.regressed().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sweep, SweepRun};
+
+    fn doc(mean: f64) -> BenchDoc {
+        BenchDoc {
+            sweep: "grid".to_owned(),
+            threads: 4,
+            points: 24,
+            cpu_seconds_total: mean * 24.0,
+            mean_job_seconds: mean,
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes_and_past_it_fails() {
+        let diff = BenchDiff::compare(doc(1.0), doc(1.4), DEFAULT_THRESHOLD);
+        assert!(!diff.regressed());
+        assert!(diff.render_text().contains("verdict            ok"));
+        let diff = BenchDiff::compare(doc(1.0), doc(1.6), DEFAULT_THRESHOLD);
+        assert!(diff.regressed());
+        assert!(diff.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let diff = BenchDiff::compare(doc(1.0), doc(0.2), DEFAULT_THRESHOLD);
+        assert!(!diff.regressed());
+        assert!((diff.ratio - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_is_flagged() {
+        let mut new = doc(1.0);
+        new.points = 8;
+        let diff = BenchDiff::compare(doc(1.0), new, DEFAULT_THRESHOLD);
+        assert!(!diff.comparable());
+        assert!(diff.render_text().contains("advisory"));
+    }
+
+    #[test]
+    fn zero_baseline_means_infinite_regression() {
+        let diff = BenchDiff::compare(doc(0.0), doc(0.5), DEFAULT_THRESHOLD);
+        assert!(diff.regressed());
+        let diff = BenchDiff::compare(doc(0.0), doc(0.0), DEFAULT_THRESHOLD);
+        assert!(!diff.regressed());
+    }
+
+    #[test]
+    fn real_timing_documents_round_trip() {
+        // A genuine timing document from the engine parses back.
+        let run = SweepRun::execute(&Sweep::builtin("quick").unwrap(), 2);
+        let text = run.timing_json().to_pretty();
+        let doc = BenchDoc::parse(&text).unwrap();
+        assert_eq!(doc.sweep, "quick");
+        assert_eq!(doc.points, 8);
+        assert!(doc.mean_job_seconds > 0.0);
+        let diff = BenchDiff::compare(doc.clone(), doc, 1.5);
+        assert!(!diff.regressed());
+        assert!((diff.ratio - 1.0).abs() < 1e-12);
+        // The verdict document itself is valid JSON.
+        assert!(json::parse(&diff.to_json().to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_field_names() {
+        assert!(BenchDoc::parse("not json").is_err());
+        let err = BenchDoc::parse(r#"{"sweep": "grid"}"#).unwrap_err();
+        assert!(err.contains("threads") || err.contains("points"), "{err}");
+        let err = BenchDoc::parse(
+            r#"{"sweep":"g","threads":1,"points":0,"cpu_seconds_total":0,"mean_job_seconds":0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("zero points"), "{err}");
+    }
+}

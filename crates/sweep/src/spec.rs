@@ -8,68 +8,9 @@
 //! are written down.
 
 use cqla_core::experiments::primary_blocks;
+use cqla_core::json::{Json, ToJson};
 use cqla_ecc::Code;
-use cqla_iontrap::TechnologyParams;
-
-use crate::json::{Json, ToJson};
-
-/// One of the Table 1 technology operating points.
-///
-/// Naming a preset (rather than embedding raw parameters) keeps sweep
-/// descriptions small and serializable; the engine resolves the preset
-/// to full [`TechnologyParams`] at execution time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TechPoint {
-    /// Experimentally demonstrated parameters (Table 1 "now").
-    Current,
-    /// The projected 10–15-year parameters the paper evaluates with.
-    Projected,
-}
-
-impl TechPoint {
-    /// Both presets, current first.
-    pub const ALL: [Self; 2] = [Self::Current, Self::Projected];
-
-    /// Short machine-readable label used in specs and JSON.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Self::Current => "current",
-            Self::Projected => "projected",
-        }
-    }
-
-    /// Resolves the preset to its full parameter set.
-    #[must_use]
-    pub fn params(self) -> TechnologyParams {
-        match self {
-            Self::Current => TechnologyParams::current(),
-            Self::Projected => TechnologyParams::projected(),
-        }
-    }
-
-    /// Parses a label produced by [`TechPoint::label`].
-    #[must_use]
-    pub fn parse(label: &str) -> Option<Self> {
-        match label {
-            "current" => Some(Self::Current),
-            "projected" => Some(Self::Projected),
-            _ => None,
-        }
-    }
-}
-
-impl core::fmt::Display for TechPoint {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.label())
-    }
-}
-
-impl ToJson for TechPoint {
-    fn to_json(&self) -> Json {
-        Json::from(self.label())
-    }
-}
+pub use cqla_iontrap::TechPoint;
 
 /// A fully specified design point: everything the engine needs to price
 /// one architecture.
@@ -329,6 +270,27 @@ impl Sweep {
             "the paper's Table 5 cube (codes x par-xfer x sizes)",
         ),
     ];
+
+    /// Parses a spec: a built-in name (`grid`, `quick`, …) or a
+    /// `key=values` expression (see [`crate::parse`] for the grammar).
+    ///
+    /// ```
+    /// use cqla_sweep::Sweep;
+    ///
+    /// assert_eq!(Sweep::parse("quick").unwrap().len(), 8);
+    /// let custom = Sweep::parse("code=steane width=64,128 xfer=5,10").unwrap();
+    /// assert_eq!(custom.len(), 4);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`crate::SpecError`] when the text is neither.
+    pub fn parse(spec: &str) -> Result<Self, crate::SpecError> {
+        match Self::builtin(spec.trim()) {
+            Some(sweep) => Ok(sweep),
+            None => crate::parse::parse(spec),
+        }
+    }
 
     /// Resolves a built-in spec by name.
     #[must_use]

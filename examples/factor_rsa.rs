@@ -5,7 +5,7 @@
 //! cargo run --example factor_rsa
 //! ```
 
-use cqla_repro::core::experiments::fig8a;
+use cqla_repro::core::experiments::find;
 use cqla_repro::core::report::{fmt3, TextTable};
 use cqla_repro::core::{AreaModel, CqlaConfig, SpecializationStudy, TABLE4_GRID};
 use cqla_repro::ecc::fidelity::AppSize;
@@ -54,7 +54,9 @@ fn main() {
     }
     println!("{t}");
 
-    println!("Modular exponentiation wall-clock (computation vs communication):\n");
-    let (_, table) = fig8a(&tech);
-    println!("{table}");
+    // The wall-clock picture comes straight from the artifact registry:
+    // the same entry `cqla run fig8a` executes.
+    let fig8a = find("fig8a").expect("fig8a is registered");
+    println!("{} (computation vs communication):\n", fig8a.title());
+    println!("{}", fig8a.run().text);
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use cqla_repro::circuit::{DependencyDag, Gate, ListScheduler, Width};
-use cqla_repro::core::experiments::fig2;
+use cqla_repro::core::experiments::Fig2;
 use cqla_repro::workloads::{DraperAdder, RippleCarryAdder};
 
 fn main() {
@@ -33,8 +33,10 @@ fn main() {
     }
 
     println!("Capping the Draper adder (paper Fig 2):");
-    for cap in [4usize, 9, 15, 22, 32] {
-        let (data, _) = fig2(64, cap);
+    // The registry's Fig2 experiment is a plain struct: setting its
+    // typed fields sweeps the cap without any CLI plumbing.
+    for cap in [4u32, 9, 15, 22, 32] {
+        let data = Fig2 { bits: 64, cap }.data();
         println!(
             "  {cap:>3} blocks: makespan {} gate-steps ({:.2}x unlimited)",
             data.capped_makespan,

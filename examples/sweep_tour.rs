@@ -1,6 +1,7 @@
 //! Sweep tour: drive the parallel experiment engine end to end —
-//! describe a custom architecture-space sweep, execute it on all cores,
-//! and serialize the results as JSON.
+//! describe an architecture-space sweep three ways (built-in name,
+//! spec-expression string, typed axes), execute it on all cores, and
+//! serialize the results as JSON.
 //!
 //! ```text
 //! cargo run --release --example sweep_tour
@@ -13,13 +14,31 @@ fn main() {
     // 1. A built-in spec: the multi-technology grid behind `cqla sweep`.
     let grid = Sweep::builtin("grid").expect("built-in spec");
     println!(
-        "built-in 'grid': {} points spanning {} technologies\n",
+        "built-in 'grid': {} points spanning {} technologies",
         grid.len(),
         TechPoint::ALL.len()
     );
 
-    // 2. A custom sweep: how does the cache ratio trade against the
-    //    transfer-channel budget for a 256-bit machine, per code?
+    // 2. The same grid as a spec expression — what `cqla sweep` accepts
+    //    on the command line or via --spec-file. Clause order is axis
+    //    order; `width` couples each size to its Table 4 block count;
+    //    `:*2` doubles through the range.
+    let expr = "tech=current,projected code=steane,bacon-shor width=32..=1024:*2 xfer=10";
+    let parsed = Sweep::parse(expr).expect("the expression parses");
+    assert_eq!(parsed.points(), grid.points(), "one grid, two spellings");
+    println!("same grid as an expression: `{expr}`\n");
+
+    // 3. Parse errors are spanned: a typo is pinpointed, not guessed at.
+    let typo = "tech=current widht=64..=512:*2";
+    if let Err(e) = Sweep::parse(typo) {
+        println!("a typo'd spec reports exactly where it went wrong:\n{e}\n");
+    }
+
+    // 4. A custom sweep from typed axes: how does the cache ratio trade
+    //    against the transfer-channel budget for a 256-bit machine, per
+    //    code? (As an expression, this is
+    //    `code=steane,bacon-shor xfer=5,10 cache=1,2 bits=256`
+    //    over a 36-block base point.)
     let sweep = Sweep::cartesian(
         "cache-vs-channels",
         DesignPoint {
@@ -35,13 +54,13 @@ fn main() {
     );
     println!("custom sweep '{}': {} points", sweep.name(), sweep.len());
 
-    // 3. Execute on every available core. Result order is submission
+    // 5. Execute on every available core. Result order is submission
     //    order no matter how jobs land on workers.
     let threads = pool::default_threads();
     let run = SweepRun::execute(&sweep, threads);
     println!("{}", run.render_text());
 
-    // 4. The headline: pick the best gain product in the swept space.
+    // 6. The headline: pick the best gain product in the swept space.
     let best = run
         .results()
         .iter()
@@ -59,7 +78,7 @@ fn main() {
         best.1
     );
 
-    // 5. Serialize. The result document is deterministic (byte-identical
+    // 7. Serialize. The result document is deterministic (byte-identical
     //    across runs and thread counts); timings live in a separate
     //    document because they are not.
     let doc = run.to_json();
@@ -76,7 +95,7 @@ fn main() {
     );
     println!("determinism check: parallel output == serial output ✔");
 
-    // 6. Individual results serialize too — print one row.
+    // 8. Individual results serialize too — print one row.
     let first = &run.results()[0];
     println!(
         "\nfirst point as JSON:\n{}",

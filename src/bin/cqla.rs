@@ -1,29 +1,88 @@
 //! `cqla` — command-line front end for the CQLA reproduction.
 //!
 //! ```text
-//! cqla table <1|2|3|4|5>        print one of the paper's tables
-//! cqla figure <2|6a|6b|7|8a|8b> print one of the paper's figure datasets
+//! cqla list                     list every paper artifact and sweep spec
+//! cqla run <id> [key=value ...] run one artifact from the registry
 //! cqla sweep [SPEC]             run a parallel architecture-space sweep
-//!                               (specs: grid, quick, cache, table4, table5)
-//! cqla machine <bits> <blocks> [steane|bacon-shor]
-//!                               price a CQLA configuration
+//!                               (built-in name or key=values expression)
+//! cqla sweep --spec-file FILE   run every spec in FILE (one per line)
+//! cqla bench-diff OLD NEW [--threshold X]
+//!                               compare two BENCH_sweep.json documents
 //! cqla floorplan                draw the level-1 tile floorplans
-//! cqla verify                   run the built-in self-checks
+//!
+//! legacy aliases (kept for scripts):
+//! cqla table <1|2|3|4|5>        = cqla run tableN
+//! cqla figure <2|6a|6b|7|8a|8b> = cqla run figN
+//! cqla machine BITS BLOCKS [CODE] = cqla run machine bits=… blocks=… code=…
+//! cqla verify                   = cqla run verify
 //!
 //! global flags:
 //!   --format <text|json>        output format (default text)
 //!   --threads N                 worker threads for sweeps (default: all cores)
 //! ```
+//!
+//! Exit codes: 0 success; 1 runtime failure (a failing `verify`, a
+//! `bench-diff` regression, unreadable files); 2 usage errors.
 
 use std::process::ExitCode;
 
-use cqla_repro::core::experiments as exp;
-use cqla_repro::core::{CqlaConfig, HierarchyConfig, HierarchyStudy, SpecializationStudy};
-use cqla_repro::ecc::Code;
-use cqla_repro::iontrap::{TechnologyParams, TileFloorplan};
-use cqla_repro::stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
-use cqla_repro::sweep::{pool, Json, Sweep, SweepRun, ToJson};
-use cqla_repro::workloads::DraperAdder;
+use cqla_repro::core::experiments::{find, registry, suggest, Experiment};
+use cqla_repro::core::{Json, ToJson};
+use cqla_repro::iontrap::TileFloorplan;
+use cqla_repro::sweep::regress::{BenchDiff, BenchDoc, DEFAULT_THRESHOLD};
+use cqla_repro::sweep::{pool, Sweep, SweepRun};
+
+/// The one-line usage summary (`cqla help` / `cqla --help`).
+const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
+     <list | run ID [k=v...] | sweep [SPEC | --spec-file FILE] | \
+     bench-diff OLD NEW [--threshold X] | machine BITS BLOCKS [CODE] | \
+     table N | figure N | floorplan | verify>";
+
+/// The subcommand spellings `cqla` accepts, for did-you-mean suggestions.
+const COMMANDS: [&str; 9] = [
+    "list",
+    "run",
+    "sweep",
+    "bench-diff",
+    "table",
+    "figure",
+    "machine",
+    "floorplan",
+    "verify",
+];
+
+/// A rejected invocation: message plus an optional "did you mean" line.
+/// Every argument-shaped failure routes through this type so diagnostics
+/// and the exit code (2) stay uniform.
+struct UsageError {
+    message: String,
+    hint: Option<String>,
+}
+
+impl UsageError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    fn with_hint(message: impl Into<String>, hint: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            hint: Some(hint.into()),
+        }
+    }
+
+    fn report(self) -> ExitCode {
+        eprintln!("cqla: {}", self.message);
+        if let Some(hint) = self.hint {
+            eprintln!("  {hint}");
+        }
+        eprintln!("  (run `cqla list` for artifacts, `cqla --help` for usage)");
+        ExitCode::from(2)
+    }
+}
 
 /// Output format selected by the global `--format` flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,18 +101,22 @@ struct Cli {
 impl Cli {
     /// Extracts `--format` / `--threads` from anywhere in the argument
     /// list; everything else stays positional.
-    fn parse() -> Result<Self, String> {
+    fn parse(raw: impl Iterator<Item = String>) -> Result<Self, UsageError> {
         let mut format = Format::Text;
         let mut threads = pool::default_threads();
         let mut args = Vec::new();
-        let mut raw = std::env::args().skip(1);
+        let mut raw = raw;
         while let Some(arg) = raw.next() {
             match arg.as_str() {
                 "--format" => {
                     format = match raw.next().as_deref() {
                         Some("text") => Format::Text,
                         Some("json") => Format::Json,
-                        other => return Err(format!("--format expects text|json, got {other:?}")),
+                        other => {
+                            return Err(UsageError::new(format!(
+                                "--format expects text|json, got {other:?}"
+                            )))
+                        }
                     };
                 }
                 "--threads" => {
@@ -61,8 +124,9 @@ impl Cli {
                         .next()
                         .and_then(|s| s.parse::<usize>().ok())
                         .filter(|&n| n > 0)
-                        .ok_or("--threads expects a positive integer")?;
+                        .ok_or_else(|| UsageError::new("--threads expects a positive integer"))?;
                 }
+                "--help" | "-h" => args.insert(0, "help".to_owned()),
                 _ => args.push(arg),
             }
         }
@@ -71,6 +135,11 @@ impl Cli {
             threads,
             args,
         })
+    }
+
+    /// Positional argument `i` (after the subcommand).
+    fn arg(&self, i: usize) -> Option<&str> {
+        self.args.get(i).map(String::as_str)
     }
 
     /// Prints either the rendered text or the pretty JSON document.
@@ -83,232 +152,298 @@ impl Cli {
 }
 
 fn main() -> ExitCode {
-    let cli = match Cli::parse() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
         Ok(cli) => cli,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
-        }
+        Err(err) => return err.report(),
     };
-    let tech = TechnologyParams::projected();
-    match cli.args.first().map(String::as_str) {
-        Some("table") => table(&cli, &tech),
-        Some("figure") => figure(&cli, &tech),
+    let outcome = match cli.arg(0) {
+        Some("list") => Ok(list(&cli)),
+        Some("run") => run(&cli, cli.args.get(1), &cli.args[2.min(cli.args.len())..]),
         Some("sweep") => sweep(&cli),
-        Some("machine") => machine(&cli, &tech),
+        Some("bench-diff") => bench_diff(&cli),
+        Some("table") => legacy(&cli, "table", cli.arg(1)),
+        Some("figure") => legacy(&cli, "figure", cli.arg(1)),
+        Some("machine") => machine_alias(&cli),
+        Some("verify") => run(&cli, Some(&"verify".to_owned()), &[]),
         Some("floorplan") => {
             println!("{}", TileFloorplan::steane_level1());
             println!("{}", TileFloorplan::bacon_shor_level1());
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
-        Some("verify") => verify(),
-        _ => {
-            eprintln!(
-                "usage: cqla [--format text|json] [--threads N] \
-                 <table N | figure N | sweep [SPEC] | machine BITS BLOCKS [CODE] | floorplan | verify>"
-            );
-            ExitCode::FAILURE
+        // An explicit help request succeeds on stdout; a missing
+        // subcommand is a usage error on stderr.
+        Some("help") => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
         }
-    }
-}
-
-/// Wraps a serialized artifact with its name, so every JSON document is
-/// self-describing.
-fn artifact(name: &str, body: Json) -> Json {
-    Json::obj([("artifact", Json::from(name)), ("data", body)])
-}
-
-fn table(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
-    match cli.args.get(1).map(String::as_str) {
-        Some("1") => cli.emit(
-            || {
-                format!(
-                    "{}\n\n{}",
-                    TechnologyParams::current(),
-                    TechnologyParams::projected()
-                )
-            },
-            || {
-                artifact(
-                    "table1",
-                    Json::arr([TechnologyParams::current(), TechnologyParams::projected()]),
-                )
-            },
-        ),
-        Some("2") => cli.emit(
-            || exp::table2(tech).1,
-            || artifact("table2", exp::table2(tech).0.to_json()),
-        ),
-        Some("3") => cli.emit(
-            || exp::table3(tech).1,
-            || artifact("table3", exp::table3(tech).0.to_json()),
-        ),
-        Some("4") => cli.emit(
-            || exp::table4(tech).1,
-            || artifact("table4", exp::table4(tech).0.to_json()),
-        ),
-        Some("5") => cli.emit(
-            || exp::table5(tech).1,
-            || artifact("table5", exp::table5(tech).0.to_json()),
-        ),
-        other => {
-            eprintln!("unknown table {other:?}; expected 1-5");
-            return ExitCode::FAILURE;
+        None => {
+            eprintln!("{USAGE}");
+            Err(UsageError::new("no subcommand given"))
         }
-    }
-    ExitCode::SUCCESS
-}
-
-fn figure(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
-    match cli.args.get(1).map(String::as_str) {
-        Some("2") => {
-            let (data, text) = exp::fig2(64, 15);
-            cli.emit(
-                || {
-                    format!(
-                        "{text}\nmakespans: unlimited {}, capped {} ({:.2}x)",
-                        data.unlimited_makespan,
-                        data.capped_makespan,
-                        data.relative_stretch()
-                    )
-                },
-                || artifact("fig2", data.to_json()),
-            );
-        }
-        Some("6a") => cli.emit(
-            || exp::fig6a(tech).1,
-            || artifact("fig6a", exp::fig6a(tech).0.to_json()),
-        ),
-        Some("6b") => cli.emit(
-            || exp::fig6b(tech).1,
-            || artifact("fig6b", exp::fig6b(tech).0.to_json()),
-        ),
-        Some("7") => cli.emit(
-            || exp::fig7().1,
-            || artifact("fig7", exp::fig7().0.to_json()),
-        ),
-        Some("8a") => cli.emit(
-            || exp::fig8a(tech).1,
-            || artifact("fig8a", exp::fig8a(tech).0.to_json()),
-        ),
-        Some("8b") => cli.emit(
-            || exp::fig8b(tech).1,
-            || artifact("fig8b", exp::fig8b(tech).0.to_json()),
-        ),
-        other => {
-            eprintln!("unknown figure {other:?}; expected 2, 6a, 6b, 7, 8a, 8b");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
-}
-
-fn sweep(cli: &Cli) -> ExitCode {
-    let spec = cli.args.get(1).map_or("grid", String::as_str);
-    let Some(sweep) = Sweep::builtin(spec) else {
-        eprintln!("unknown sweep spec {spec:?}; available:");
-        for (name, what) in Sweep::BUILTIN {
-            eprintln!("  {name:<8} {what}");
-        }
-        return ExitCode::FAILURE;
-    };
-    let run = SweepRun::execute(&sweep, cli.threads);
-    cli.emit(|| run.render_text(), || run.to_json());
-    ExitCode::SUCCESS
-}
-
-fn machine(cli: &Cli, tech: &TechnologyParams) -> ExitCode {
-    let (Some(bits), Some(blocks)) = (
-        cli.args.get(1).and_then(|s| s.parse::<u32>().ok()),
-        cli.args.get(2).and_then(|s| s.parse::<u32>().ok()),
-    ) else {
-        eprintln!("usage: cqla machine BITS BLOCKS [steane|bacon-shor]");
-        return ExitCode::FAILURE;
-    };
-    if bits == 0 || blocks == 0 {
-        eprintln!("BITS and BLOCKS must be positive (got {bits} and {blocks})");
-        return ExitCode::FAILURE;
-    }
-    let code = match cli.args.get(3).map(String::as_str) {
-        Some("steane") => Code::Steane713,
-        Some("bacon-shor") | None => Code::BaconShor913,
         Some(other) => {
-            eprintln!("unknown code {other:?}");
-            return ExitCode::FAILURE;
+            let hint = if find(other).is_some() {
+                Some(format!("artifact ids run via `cqla run {other}`"))
+            } else {
+                suggest(other, COMMANDS).map(|s| format!("did you mean `cqla {s}`?"))
+            };
+            Err(UsageError {
+                message: format!("unknown subcommand `{other}`"),
+                hint,
+            })
         }
     };
-    let study = SpecializationStudy::new(tech);
-    let r = study.evaluate(CqlaConfig::new(code, bits, blocks));
-    let h = HierarchyStudy::new(tech).evaluate(HierarchyConfig::new(code, bits, 10, blocks));
+    match outcome {
+        Ok(code) => code,
+        Err(err) => err.report(),
+    }
+}
+
+/// `cqla list`: every registry artifact with its parameters, then the
+/// built-in sweep specs and the expression grammar.
+fn list(cli: &Cli) -> ExitCode {
     cli.emit(
         || {
-            let mut out = String::new();
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                out,
-                "CQLA: {code}, {bits}-bit input, {blocks} compute blocks"
-            );
-            let _ = writeln!(out, "  memory qubits     {}", r.config.memory_qubits());
-            let _ = writeln!(out, "  area reduction    {:.2}x vs QLA", r.area_reduction);
-            let _ = writeln!(
-                out,
-                "  adder speedup     {:.2}x vs maximally parallel QLA",
-                r.speedup
-            );
-            let _ = writeln!(out, "  block utilization {:.0}%", r.utilization * 100.0);
-            let _ = writeln!(out, "  adder time        {}", r.adder_time);
-            let _ = writeln!(out, "  gain product      {:.1}", r.gain_product);
-            let _ = writeln!(
-                out,
-                "with a level-1 cache + compute region (10 parallel transfers):"
-            );
-            let _ = writeln!(out, "  cache hit rate    {:.0}%", h.cache_hit_rate * 100.0);
-            let _ = writeln!(out, "  L1 region speedup {:.1}x over L2", h.l1_speedup);
-            let _ = write!(
-                out,
-                "  adder speedup     {:.2}x … {:.2}x (policy bracket)",
-                h.adder_speedup_interleave, h.adder_speedup_balanced
+            let mut out = String::from("artifacts (cqla run <id> [key=value ...]):\n");
+            for exp in registry() {
+                let params = exp
+                    .params()
+                    .iter()
+                    .map(|p| format!("{}={}", p.key, p.value))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push_str(&format!("  {:<8} {:<48} {params}\n", exp.id(), exp.title()));
+            }
+            out.push_str("\nsweep specs (cqla sweep <spec>):\n");
+            for (name, what) in Sweep::BUILTIN {
+                out.push_str(&format!("  {name:<8} {what}\n"));
+            }
+            out.push_str(
+                "  or a key=values expression, e.g. \
+                 `tech=current,projected width=64..=512:*2 xfer=5,10`",
             );
             out
         },
         || {
-            artifact(
-                "machine",
-                Json::obj([("specialization", r.to_json()), ("hierarchy", h.to_json())]),
-            )
+            Json::obj([(
+                "artifacts",
+                Json::Arr(
+                    registry()
+                        .iter()
+                        .map(|exp| {
+                            Json::obj([
+                                ("id", Json::from(exp.id())),
+                                ("title", Json::from(exp.title())),
+                                (
+                                    "params",
+                                    Json::obj(
+                                        exp.params().iter().map(|p| {
+                                            (p.key.to_owned(), Json::from(p.value.as_str()))
+                                        }),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )])
         },
     );
     ExitCode::SUCCESS
 }
 
-fn verify() -> ExitCode {
-    // Adder correctness spot-check.
-    let adder = DraperAdder::new(32);
-    let ok_adder = adder.compute_checked(0xDEAD_BEEF, 0x1234_5678) == 0xDEAD_BEEF + 0x1234_5678;
-    println!(
-        "draper adder 32-bit: {}",
-        if ok_adder { "ok" } else { "FAIL" }
-    );
-    // Code distance spot-check.
-    let mut ok_codes = true;
-    for code in [CssCode::steane(), CssCode::shor9(), CssCode::bacon_shor()] {
-        let decoder = LookupDecoder::for_code(&code);
-        for q in 0..code.num_qubits() {
-            for op in PauliOp::ERRORS {
-                let e = PauliString::single(code.num_qubits(), q, op);
-                let fix = decoder.decode(&code.syndrome(&e));
-                let good = fix.is_some_and(|f| code.is_logically_trivial(&e.mul(&f)));
-                ok_codes &= good;
-            }
-        }
-        println!(
-            "{code}: weight-1 correction {}",
-            if ok_codes { "ok" } else { "FAIL" }
-        );
+/// `cqla run <id> [key=value ...]`: the registry path every artifact
+/// alias funnels into.
+fn run(cli: &Cli, id: Option<&String>, overrides: &[String]) -> Result<ExitCode, UsageError> {
+    let Some(id) = id else {
+        return Err(UsageError::new("run expects an artifact id"));
+    };
+    let Some(mut exp) = find(id) else {
+        let ids = registry().iter().map(|e| e.id()).collect::<Vec<_>>();
+        let hint = suggest(id, ids.iter().copied()).map(|s| format!("did you mean `{s}`?"));
+        return Err(UsageError {
+            message: format!("unknown artifact `{id}`"),
+            hint,
+        });
+    };
+    for pair in overrides {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(UsageError::with_hint(
+                format!("expected key=value, got `{pair}`"),
+                format!("{} takes: {}", exp.id(), params_usage(exp.as_ref())),
+            ));
+        };
+        exp.set(key, value).map_err(|e| {
+            UsageError::with_hint(
+                e.to_string(),
+                format!("{} takes: {}", exp.id(), params_usage(exp.as_ref())),
+            )
+        })?;
     }
-    if ok_adder && ok_codes {
+    let output = exp.run();
+    cli.emit(|| output.text.clone(), || output.document(exp.id()));
+    Ok(if output.passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    })
+}
+
+/// Renders an experiment's parameter surface for usage messages.
+fn params_usage(exp: &dyn Experiment) -> String {
+    let params = exp.params();
+    if params.is_empty() {
+        return "no parameters".to_owned();
     }
+    params
+        .iter()
+        .map(|p| format!("{}=<{}>", p.key, p.accepts))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Legacy `cqla table N` / `cqla figure N` spellings.
+fn legacy(cli: &Cli, kind: &str, number: Option<&str>) -> Result<ExitCode, UsageError> {
+    let expected = match kind {
+        "table" => "1-5",
+        _ => "2, 6a, 6b, 7, 8a, 8b",
+    };
+    let Some(number) = number else {
+        return Err(UsageError::new(format!(
+            "{kind} expects a number ({expected})"
+        )));
+    };
+    let id = format!("{}{number}", if kind == "table" { "table" } else { "fig" });
+    if find(&id).is_none() {
+        return Err(UsageError::new(format!(
+            "unknown {kind} `{number}`; expected {expected}"
+        )));
+    }
+    run(cli, Some(&id), &[])
+}
+
+/// Legacy `cqla machine BITS BLOCKS [CODE]` positional spelling.
+fn machine_alias(cli: &Cli) -> Result<ExitCode, UsageError> {
+    let usage = "usage: cqla machine BITS BLOCKS [steane|bacon-shor]";
+    let (Some(bits), Some(blocks)) = (cli.arg(1), cli.arg(2)) else {
+        return Err(UsageError::new(usage));
+    };
+    let mut overrides = vec![format!("bits={bits}"), format!("blocks={blocks}")];
+    // The legacy spelling defaults to Bacon-Shor; the registry default
+    // agrees, so an absent CODE adds nothing.
+    if let Some(code) = cli.arg(3) {
+        overrides.push(format!("code={code}"));
+    }
+    run(cli, Some(&"machine".to_owned()), &overrides)
+        .map_err(|e| UsageError::with_hint(e.message, usage))
+}
+
+/// `cqla sweep [SPEC]` / `cqla sweep --spec-file FILE`.
+fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
+    // Spec files always emit a JSON *array* of runs — even with one
+    // spec — so scripts get a stable shape regardless of file length.
+    let from_file = cli.arg(1) == Some("--spec-file");
+    let specs: Vec<String> = match cli.arg(1) {
+        Some("--spec-file") => {
+            let Some(path) = cli.arg(2) else {
+                return Err(UsageError::new("--spec-file expects a path"));
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cqla: cannot read spec file {path}: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let lines: Vec<String> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect();
+            if lines.is_empty() {
+                return Err(UsageError::new(format!(
+                    "spec file {path} contains no specs (blank lines and # comments are skipped)"
+                )));
+            }
+            lines
+        }
+        Some(spec) => vec![spec.to_owned()],
+        None => vec!["grid".to_owned()],
+    };
+    let mut sweeps = Vec::new();
+    for spec in &specs {
+        match Sweep::parse(spec) {
+            Ok(sweep) => sweeps.push(sweep),
+            Err(e) => {
+                let builtins = Sweep::BUILTIN.map(|(name, _)| name).join(", ");
+                return Err(UsageError::with_hint(
+                    e.to_string(),
+                    format!("built-in specs: {builtins}"),
+                ));
+            }
+        }
+    }
+    let runs: Vec<SweepRun> = sweeps
+        .iter()
+        .map(|s| SweepRun::execute(s, cli.threads))
+        .collect();
+    cli.emit(
+        || {
+            runs.iter()
+                .map(SweepRun::render_text)
+                .collect::<Vec<_>>()
+                .join("\n")
+        },
+        || {
+            if from_file {
+                Json::Arr(runs.iter().map(SweepRun::to_json).collect())
+            } else {
+                runs[0].to_json()
+            }
+        },
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `cqla bench-diff OLD NEW [--threshold X]`: the perf regression gate.
+fn bench_diff(cli: &Cli) -> Result<ExitCode, UsageError> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths = Vec::new();
+    let mut i = 1;
+    while let Some(arg) = cli.arg(i) {
+        if arg == "--threshold" {
+            threshold = cli
+                .arg(i + 1)
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|&x| x.is_finite() && x >= 1.0)
+                .ok_or_else(|| UsageError::new("--threshold expects a number >= 1.0"))?;
+            i += 2;
+        } else {
+            paths.push(arg.to_owned());
+            i += 1;
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(UsageError::new(
+            "usage: cqla bench-diff OLD.json NEW.json [--threshold X]",
+        ));
+    };
+    let load = |path: &str| -> Result<BenchDoc, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cqla: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let diff = BenchDiff::compare(old, new, threshold);
+    cli.emit(|| diff.render_text(), || diff.to_json());
+    Ok(if diff.regressed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

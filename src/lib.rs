@@ -18,8 +18,8 @@
 //! | [`circuit`] | `cqla-circuit` | gate IR, DAGs, scheduling, reversible sim |
 //! | [`workloads`] | `cqla-workloads` | Draper/ripple adders, modexp, QFT, Shor |
 //! | [`network`] | `cqla-network` | EPR purification, mesh, bandwidth (Fig 6b) |
-//! | [`core`] | `cqla-core` | the CQLA itself + every table/figure generator |
-//! | [`sweep`] | `cqla-sweep` | parallel experiment engine + JSON serialization |
+//! | [`core`] | `cqla-core` | the CQLA itself + the experiment registry + JSON |
+//! | [`sweep`] | `cqla-sweep` | parallel experiment engine + sweep-spec language |
 //!
 //! # Quickstart
 //!

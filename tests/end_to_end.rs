@@ -1,8 +1,9 @@
 //! Cross-crate integration: the full pipeline from workload generation
-//! through scheduling and costing to the paper's reported quantities.
+//! through scheduling and costing to the paper's reported quantities,
+//! plus the `cqla` CLI driven exactly as a user would.
 
 use cqla_repro::circuit::{asm, DependencyDag, Gate, ListScheduler, Width};
-use cqla_repro::core::experiments::{fig6b, fig7, table2, table3, table4, table5};
+use cqla_repro::core::experiments::{Fig6b, Fig7};
 use cqla_repro::core::{CacheSim, CqlaConfig, FetchPolicy, QlaBaseline, SpecializationStudy};
 use cqla_repro::ecc::{Code, EccMetrics, Level};
 use cqla_repro::iontrap::TechnologyParams;
@@ -52,31 +53,16 @@ fn parsed_assembly_feeds_the_cache_simulator() {
 }
 
 #[test]
-fn all_tables_render_without_panicking() {
-    let t = tech();
-    let (rows2, text2) = table2(&t);
-    assert_eq!(rows2.len(), 4);
-    assert!(!text2.is_empty());
-    let (_, text3) = table3(&t);
-    assert!(!text3.is_empty());
-    let (rows4, _) = table4(&t);
-    assert_eq!(rows4.len(), 12);
-    let (rows5, _) = table5(&t);
-    assert_eq!(rows5.len(), 12);
-}
-
-#[test]
 fn figure_generators_are_consistent_with_each_other() {
-    let t = tech();
     // Fig 6b crossovers should be compatible with Table 4's block grid:
     // the paper never provisions more blocks per superblock than the
     // bandwidth crossover for its largest machines.
-    let (fig6b_data, _) = fig6b(&t);
+    let fig6b_data = Fig6b::default().data();
     for (_, crossover) in &fig6b_data.crossovers {
         assert!(*crossover >= 9, "superblocks must fit at least a 3x3 group");
     }
     // Fig 7's optimized rates must dominate in-order everywhere.
-    let (fig7_rows, _) = fig7();
+    let fig7_rows = Fig7.rows();
     let opt_min = fig7_rows
         .iter()
         .filter(|r| r.policy == FetchPolicy::OptimizedLookahead)
@@ -130,11 +116,13 @@ fn shor_app_size_consistent_with_fidelity_requirements() {
 }
 
 // ---------------------------------------------------------------------------
-// CLI smoke tests: shell the `cqla` binary the way a user would, so the
-// front end (argument parsing, table/figure dispatch, exit codes) is
+// CLI tests: shell the `cqla` binary the way a user would, so the front
+// end (registry dispatch, legacy aliases, spec parsing, exit codes) is
 // exercised by tier-1 and can never silently break.
 
 mod cli {
+    use cqla_repro::core::experiments::{ids, registry};
+
     use std::process::{Command, Output};
 
     /// Runs the compiled `cqla` binary with `args`.
@@ -145,95 +133,205 @@ mod cli {
             .expect("cqla binary spawns")
     }
 
+    fn stdout(out: &Output) -> String {
+        String::from_utf8(out.stdout.clone()).unwrap()
+    }
+
+    fn stderr(out: &Output) -> String {
+        String::from_utf8(out.stderr.clone()).unwrap()
+    }
+
     #[test]
     fn verify_exits_zero_and_reports_ok() {
         let out = cqla(&["verify"]);
         assert!(out.status.success(), "exit: {:?}", out.status);
-        let stdout = String::from_utf8(out.stdout).unwrap();
+        let stdout = stdout(&out);
         assert!(stdout.contains("draper adder 32-bit: ok"), "{stdout}");
         assert!(!stdout.contains("FAIL"), "{stdout}");
+    }
+
+    #[test]
+    fn list_enumerates_every_registry_artifact() {
+        let out = cqla(&["list"]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let text = stdout(&out);
+        for id in ids() {
+            assert!(text.contains(id), "`cqla list` is missing {id}:\n{text}");
+        }
+        // And the JSON view carries id + title + params per artifact.
+        let out = cqla(&["list", "--format", "json"]);
+        let doc = cqla_repro::sweep::json::parse(&stdout(&out)).unwrap();
+        let artifacts = doc.get("artifacts").unwrap().as_arr().unwrap();
+        assert_eq!(artifacts.len(), registry().len());
+        for a in artifacts {
+            assert!(a.get("id").is_some() && a.get("title").is_some());
+        }
     }
 
     #[test]
     fn table_4_prints_the_specialization_grid() {
         let out = cqla(&["table", "4"]);
         assert!(out.status.success(), "exit: {:?}", out.status);
-        let stdout = String::from_utf8(out.stdout).unwrap();
+        let stdout = stdout(&out);
         for needle in ["input", "blocks", "32-bit", "128-bit"] {
             assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
         }
     }
 
     #[test]
-    fn every_table_and_figure_renders() {
-        for table in ["1", "2", "3", "4", "5"] {
-            let out = cqla(&["table", table]);
-            assert!(out.status.success(), "table {table}: {:?}", out.status);
-            assert!(!out.stdout.is_empty(), "table {table} printed nothing");
+    fn every_registry_artifact_runs_via_the_cli() {
+        for id in ids() {
+            let out = cqla(&["run", id]);
+            assert!(out.status.success(), "run {id}: {:?}", out.status);
+            assert!(!out.stdout.is_empty(), "run {id} printed nothing");
         }
-        for figure in ["2", "6a", "6b", "7", "8a", "8b"] {
-            let out = cqla(&["figure", figure]);
-            assert!(out.status.success(), "figure {figure}: {:?}", out.status);
-            assert!(!out.stdout.is_empty(), "figure {figure} printed nothing");
+    }
+
+    #[test]
+    fn legacy_aliases_match_the_registry_path_byte_for_byte() {
+        for (legacy, run_id) in [
+            (&["table", "3"][..], "table3"),
+            (&["figure", "6b"][..], "fig6b"),
+        ] {
+            for format in ["text", "json"] {
+                let via_alias = cqla(&[legacy, &["--format", format]].concat());
+                let via_run = cqla(&["run", run_id, "--format", format]);
+                assert!(via_alias.status.success() && via_run.status.success());
+                assert_eq!(
+                    via_alias.stdout, via_run.stdout,
+                    "{legacy:?} vs run {run_id} ({format})"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn run_accepts_parameter_overrides() {
+        let default = cqla(&["run", "table2", "--format", "json"]);
+        let current = cqla(&["run", "table2", "tech=current", "--format", "json"]);
+        assert!(default.status.success() && current.status.success());
+        assert_ne!(default.stdout, current.stdout, "tech override must matter");
     }
 
     #[test]
     fn machine_prices_a_configuration() {
         let out = cqla(&["machine", "128", "16", "bacon-shor"]);
         assert!(out.status.success(), "exit: {:?}", out.status);
-        let stdout = String::from_utf8(out.stdout).unwrap();
+        let stdout = stdout(&out);
         assert!(stdout.contains("area reduction"), "{stdout}");
         assert!(stdout.contains("gain product"), "{stdout}");
     }
 
     #[test]
-    fn bad_usage_exits_nonzero() {
+    fn bad_usage_exits_two() {
         for args in [
             &[][..],
             &["frobnicate"][..],
             &["table", "9"][..],
+            &["figure", "5"][..],
             &["machine", "0", "0"][..],
+            &["run"][..],
+            &["run", "table9"][..],
+            &["run", "table4", "tech=warp"][..],
+            &["run", "table4", "notakeyvalue"][..],
             &["sweep", "frobnicate"][..],
+            &["sweep", "width=0"][..],
+            &["sweep", "--spec-file"][..],
+            &["bench-diff"][..],
+            &["bench-diff", "a.json", "b.json", "--threshold", "0.2"][..],
             &["--format", "yaml", "table", "4"][..],
             &["--threads", "0", "sweep", "quick"][..],
         ] {
             let out = cqla(args);
-            assert!(!out.status.success(), "args {args:?} should fail");
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "args {args:?} should exit 2, got {:?}\nstderr: {}",
+                out.status,
+                stderr(&out)
+            );
         }
     }
 
     #[test]
-    fn table_4_json_matches_the_golden_file() {
-        // Golden output contract: `cqla table 4 --format json` is stable
-        // byte-for-byte. Regenerate tests/golden/table4.json deliberately
-        // (cargo run --release --bin cqla -- table 4 --format json) when
-        // the model changes.
-        let out = cqla(&["table", "4", "--format", "json"]);
-        assert!(out.status.success(), "exit: {:?}", out.status);
-        let stdout = String::from_utf8(out.stdout).unwrap();
-        let golden = include_str!("golden/table4.json");
-        assert_eq!(stdout, golden, "table 4 JSON drifted from the golden file");
+    fn help_succeeds_on_stdout() {
+        for args in [&["--help"][..], &["-h"][..], &["help"][..]] {
+            let out = cqla(args);
+            assert_eq!(out.status.code(), Some(0), "{args:?}");
+            assert!(stdout(&out).contains("usage: cqla"), "{args:?}");
+        }
     }
 
     #[test]
-    fn every_table_and_figure_emits_parseable_json() {
-        for (kind, ids) in [
-            ("table", &["1", "2", "3", "4", "5"][..]),
-            ("figure", &["2", "6a", "6b", "7", "8a", "8b"][..]),
+    fn astronomically_large_specs_are_rejected_not_expanded() {
+        // Four maxed-out axes multiply to 2^80; the cap check must not
+        // wrap. This must come back in milliseconds with exit 2.
+        let out = cqla(&[
+            "sweep",
+            "width=1..=1048576 bits=1..=1048576 blocks=1..=1048576 xfer=1..=1048576",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+        assert!(stderr(&out).contains("cap is 10000"), "{}", stderr(&out));
+    }
+
+    #[test]
+    fn unknown_ids_get_did_you_mean_suggestions() {
+        let out = cqla(&["run", "tabel4"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(
+            stderr(&out).contains("did you mean `table4`?"),
+            "{}",
+            stderr(&out)
+        );
+        // A bare artifact id as a subcommand points at `cqla run`.
+        let out = cqla(&["table4"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(stderr(&out).contains("cqla run table4"), "{}", stderr(&out));
+        // Spec errors carry a caret underline.
+        let out = cqla(&["sweep", "tech=current widht=64"]);
+        assert_eq!(out.status.code(), Some(2));
+        let err = stderr(&out);
+        assert!(err.contains("^^^^^"), "{err}");
+        assert!(err.contains("did you mean `width`?"), "{err}");
+    }
+
+    #[test]
+    fn golden_json_is_byte_identical_across_the_registry_redesign() {
+        // Golden output contract: the JSON artifacts are stable byte for
+        // byte, across both the legacy and registry spellings. Regenerate
+        // tests/golden/*.json deliberately (cargo run --release --bin
+        // cqla -- run <id> --format json) when the model changes.
+        for (args, golden) in [
+            (&["table", "4"][..], include_str!("golden/table4.json")),
+            (&["run", "table4"][..], include_str!("golden/table4.json")),
+            (&["run", "table5"][..], include_str!("golden/table5.json")),
+            (&["table", "5"][..], include_str!("golden/table5.json")),
+            (&["run", "fig7"][..], include_str!("golden/fig7.json")),
+            (&["figure", "7"][..], include_str!("golden/fig7.json")),
         ] {
-            for id in ids {
-                let out = cqla(&["--format", "json", kind, id]);
-                assert!(out.status.success(), "{kind} {id}: {:?}", out.status);
-                let stdout = String::from_utf8(out.stdout).unwrap();
-                let doc = cqla_repro::sweep::json::parse(&stdout)
-                    .unwrap_or_else(|e| panic!("{kind} {id}: {e}"));
-                assert_eq!(
-                    doc.get("artifact").and_then(|a| a.as_str()),
-                    Some(format!("{kind}{id}").replace("figure", "fig").as_str()),
-                    "{kind} {id} artifact tag"
-                );
-            }
+            let out = cqla(&[args, &["--format", "json"]].concat());
+            assert!(out.status.success(), "{args:?}: {:?}", out.status);
+            assert_eq!(
+                stdout(&out),
+                golden,
+                "{args:?} JSON drifted from the golden file"
+            );
+        }
+    }
+
+    #[test]
+    fn every_artifact_emits_parseable_self_describing_json() {
+        for id in ids() {
+            let out = cqla(&["--format", "json", "run", id]);
+            assert!(out.status.success(), "{id}: {:?}", out.status);
+            let doc = cqla_repro::sweep::json::parse(&stdout(&out))
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(
+                doc.get("artifact").and_then(|a| a.as_str()),
+                Some(id),
+                "{id} artifact tag"
+            );
+            assert!(doc.get("data").is_some(), "{id} carries no data");
         }
     }
 
@@ -241,7 +339,7 @@ mod cli {
     fn machine_emits_json_with_both_studies() {
         let out = cqla(&["--format", "json", "machine", "64", "9", "steane"]);
         assert!(out.status.success(), "exit: {:?}", out.status);
-        let doc = cqla_repro::sweep::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+        let doc = cqla_repro::sweep::json::parse(&stdout(&out)).unwrap();
         let data = doc.get("data").unwrap();
         assert!(data.get("specialization").is_some());
         assert!(data.get("hierarchy").is_some());
@@ -259,7 +357,7 @@ mod cli {
         }
         assert_eq!(one.stdout, four.stdout, "1 vs 4 threads");
         assert_eq!(four.stdout, again.stdout, "repeated runs");
-        let doc = cqla_repro::sweep::json::parse(&String::from_utf8(one.stdout).unwrap()).unwrap();
+        let doc = cqla_repro::sweep::json::parse(&stdout(&one)).unwrap();
         assert_eq!(
             doc.get("results").unwrap().as_arr().unwrap().len(),
             doc.get("points").unwrap().as_f64().unwrap() as usize
@@ -267,11 +365,111 @@ mod cli {
     }
 
     #[test]
+    fn spec_expression_reproduces_the_builtin_quick_grid() {
+        // The acceptance contract for the expression language: a spec
+        // string produces the same grid as its code-defined twin.
+        let expr = cqla(&[
+            "sweep",
+            "tech=current,projected code=steane,bacon-shor width=32,64",
+            "--format",
+            "json",
+            "--threads",
+            "2",
+        ]);
+        let builtin = cqla(&["sweep", "quick", "--format", "json", "--threads", "2"]);
+        assert!(expr.status.success() && builtin.status.success());
+        let expr_doc = cqla_repro::sweep::json::parse(&stdout(&expr)).unwrap();
+        let builtin_doc = cqla_repro::sweep::json::parse(&stdout(&builtin)).unwrap();
+        // Same points, same outcomes; only the sweep name differs.
+        assert_eq!(expr_doc.get("results"), builtin_doc.get("results"));
+    }
+
+    #[test]
+    fn spec_files_run_one_sweep_per_line() {
+        let dir = std::env::temp_dir().join("cqla-spec-file-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("specs.txt");
+        std::fs::write(
+            &path,
+            "# two tiny sweeps\nquick\n\ncode=steane bits=32,64 xfer=5\n",
+        )
+        .unwrap();
+        let out = cqla(&[
+            "sweep",
+            "--spec-file",
+            path.to_str().unwrap(),
+            "--format",
+            "json",
+            "--threads",
+            "2",
+        ]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let doc = cqla_repro::sweep::json::parse(&stdout(&out)).unwrap();
+        let runs = doc.as_arr().expect("spec-file output is a JSON array");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("points").unwrap().as_f64(), Some(8.0));
+        assert_eq!(runs[1].get("points").unwrap().as_f64(), Some(2.0));
+        // A one-spec file is still an array: the shape must not depend
+        // on how many lines the file happens to have.
+        let single = dir.join("single.txt");
+        std::fs::write(&single, "quick\n").unwrap();
+        let out = cqla(&[
+            "sweep",
+            "--spec-file",
+            single.to_str().unwrap(),
+            "--format",
+            "json",
+            "--threads",
+            "2",
+        ]);
+        assert!(out.status.success());
+        let doc = cqla_repro::sweep::json::parse(&stdout(&out)).unwrap();
+        assert_eq!(doc.as_arr().map(<[_]>::len), Some(1));
+    }
+
+    #[test]
     fn sweep_text_mode_lists_the_spec_points() {
         let out = cqla(&["sweep", "quick", "--threads", "2"]);
         assert!(out.status.success(), "exit: {:?}", out.status);
-        let stdout = String::from_utf8(out.stdout).unwrap();
+        let stdout = stdout(&out);
         assert!(stdout.contains("sweep quick: 8 points"), "{stdout}");
         assert!(stdout.contains("projected/[[9,1,3]]/64b"), "{stdout}");
+    }
+
+    #[test]
+    fn bench_diff_gates_on_the_threshold() {
+        let dir = std::env::temp_dir().join("cqla-bench-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = |mean: f64| {
+            format!(
+                r#"{{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":{},"mean_job_seconds":{}}}"#,
+                mean * 24.0,
+                mean
+            )
+        };
+        let old = dir.join("old.json");
+        let same = dir.join("same.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&old, doc(0.1)).unwrap();
+        std::fs::write(&same, doc(0.11)).unwrap();
+        std::fs::write(&slow, doc(0.9)).unwrap();
+        let ok = cqla(&["bench-diff", old.to_str().unwrap(), same.to_str().unwrap()]);
+        assert_eq!(ok.status.code(), Some(0), "{}", stderr(&ok));
+        assert!(stdout(&ok).contains("verdict            ok"));
+        let bad = cqla(&["bench-diff", old.to_str().unwrap(), slow.to_str().unwrap()]);
+        assert_eq!(bad.status.code(), Some(1), "regression must exit 1");
+        assert!(stdout(&bad).contains("REGRESSED"));
+        // A loose threshold waves the same pair through.
+        let waved = cqla(&[
+            "bench-diff",
+            old.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--threshold",
+            "20",
+        ]);
+        assert_eq!(waved.status.code(), Some(0));
+        // Unreadable files are runtime failures (1), not usage errors (2).
+        let missing = cqla(&["bench-diff", "no-such.json", slow.to_str().unwrap()]);
+        assert_eq!(missing.status.code(), Some(1));
     }
 }

@@ -1,7 +1,7 @@
 //! The paper's headline claims, as executable assertions against this
 //! reproduction. Each test cites the claim it checks.
 
-use cqla_repro::core::experiments::{fig2, fig6b, fig7, table4, table5};
+use cqla_repro::core::experiments::{Fig2, Fig6b, Fig7, Table4, Table5};
 use cqla_repro::core::{AreaModel, FetchPolicy};
 use cqla_repro::ecc::fidelity::{AppSize, FidelityBudget};
 use cqla_repro::ecc::{Code, EccMetrics, Level, TransferNetwork};
@@ -35,7 +35,7 @@ fn claim_memory_hierarchy_speedup_band() {
     // Abstract: "we can increase time performance by a factor of eight."
     // Our policy bracket must contain that figure for the Bacon-Shor
     // configurations (conservative below, balanced above).
-    let (rows, _) = table5(&tech());
+    let rows = Table5::default().rows();
     let mut bracket_contains_8 = false;
     for r in rows.iter().filter(|r| r.code == Code::BaconShor913) {
         if r.result.adder_speedup_interleave <= 8.0 && 8.0 <= r.result.adder_speedup_balanced {
@@ -78,16 +78,16 @@ fn claim_fifteen_blocks_capture_most_adder_parallelism() {
     // adder does not offer a performance benefit over limiting the
     // computation to 15 locations." Our more-parallel construction loses
     // under 2x at 15 blocks and saturates by ~2 dozen.
-    let (at15, _) = fig2(64, 15);
+    let at15 = Fig2 { bits: 64, cap: 15 }.data();
     assert!(at15.relative_stretch() < 2.0, "{}", at15.relative_stretch());
-    let (at24, _) = fig2(64, 24);
+    let at24 = Fig2 { bits: 64, cap: 24 }.data();
     assert!(at24.relative_stretch() < 1.3, "{}", at24.relative_stretch());
 }
 
 #[test]
 fn claim_superblock_crossover_a_few_dozen_blocks() {
     // §5.1: "the cross-over point is 36 compute blocks per superblock."
-    let (data, _) = fig6b(&tech());
+    let data = Fig6b::default().data();
     for (code, crossover) in &data.crossovers {
         assert!(
             (15..=60).contains(crossover),
@@ -100,7 +100,7 @@ fn claim_superblock_crossover_a_few_dozen_blocks() {
 fn claim_optimized_fetch_beats_cache_size() {
     // §5.2: "the increase in hit-rate is more pronounced due to the
     // optimized fetch than increasing cache size."
-    let (rows, _) = fig7();
+    let rows = Fig7.rows();
     for bits in [64u32, 256, 1024] {
         let rate = |factor: f64, policy: FetchPolicy| {
             rows.iter()
@@ -153,7 +153,7 @@ fn claim_transfer_asymmetry() {
 fn claim_gain_products_always_beat_qla() {
     // Table 4: every CQLA configuration's gain product exceeds the QLA's
     // 1.0 for both codes.
-    let (rows, _) = table4(&tech());
+    let rows = Table4::default().rows();
     for r in &rows {
         assert!(r.steane.gain_product > 1.0, "{}-bit Steane", r.input_bits);
         assert!(

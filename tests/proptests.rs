@@ -252,3 +252,72 @@ fn codes_distance_three_sanity() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sweep-spec expression language: random axis lists survive the
+// Sweep -> spec string -> Sweep round trip.
+
+mod sweep_spec {
+    use proptest::prelude::*;
+
+    use cqla_repro::ecc::Code;
+    use cqla_repro::iontrap::TechPoint;
+    use cqla_repro::sweep::{parse, Axis, DesignPoint, Sweep};
+
+    /// Builds one axis of the given kind from raw integer seeds; the
+    /// mapping is total so every sampled seed is a valid axis.
+    fn axis(kind: u8, seeds: &[u32]) -> Axis {
+        match kind % 7 {
+            0 => Axis::Tech(
+                seeds
+                    .iter()
+                    .map(|&v| {
+                        if v % 2 == 0 {
+                            TechPoint::Current
+                        } else {
+                            TechPoint::Projected
+                        }
+                    })
+                    .collect(),
+            ),
+            1 => Axis::Code(
+                seeds
+                    .iter()
+                    .map(|&v| {
+                        if v % 2 == 0 {
+                            Code::Steane713
+                        } else {
+                            Code::BaconShor913
+                        }
+                    })
+                    .collect(),
+            ),
+            2 => Axis::InputBitsPrimaryBlocks(seeds.to_vec()),
+            3 => Axis::InputBits(seeds.to_vec()),
+            4 => Axis::Blocks(seeds.to_vec()),
+            5 => Axis::ParXfer(seeds.to_vec()),
+            // Quarter steps exercise non-integer decimals exactly.
+            _ => Axis::CacheFactor(seeds.iter().map(|&v| f64::from(v) / 4.0).collect()),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn spec_round_trips(raw in prop::collection::vec((0u8..7, prop::collection::vec(1u32..2048, 1..4)), 1..6)) {
+            // One clause per axis kind: the grammar rejects duplicates.
+            let mut used = [false; 7];
+            let axes: Vec<Axis> = raw
+                .iter()
+                .filter(|(kind, _)| !std::mem::replace(&mut used[usize::from(kind % 7)], true))
+                .map(|(kind, seeds)| axis(*kind, seeds))
+                .collect();
+            let spec = parse::render(&axes);
+            let reparsed = Sweep::parse(&spec)
+                .unwrap_or_else(|e| panic!("rendered spec must reparse: {e}"));
+            let direct = Sweep::cartesian("t", DesignPoint::paper_default(), &axes);
+            prop_assert_eq!(reparsed.points(), direct.points(), "spec: {}", spec);
+        }
+    }
+}

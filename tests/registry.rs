@@ -1,0 +1,114 @@
+//! The registry contract: every paper artifact is enumerable, runs under
+//! paper defaults, renders non-empty text, and serializes to JSON that
+//! round-trips through the parser — in one process, without shelling the
+//! CLI, so a broken entry fails with its id in the message.
+
+use std::collections::HashSet;
+
+use cqla_repro::core::experiments::{find, registry, ParamError};
+use cqla_repro::core::json;
+
+#[test]
+fn every_registry_entry_runs_under_paper_defaults() {
+    let entries = registry();
+    assert!(
+        entries.len() >= 13,
+        "tables 1-5, figures 2/6a/6b/7/8a/8b, verify, machine"
+    );
+    let mut seen_ids = HashSet::new();
+    for exp in &entries {
+        assert!(
+            seen_ids.insert(exp.id()),
+            "duplicate registry id `{}`",
+            exp.id()
+        );
+        assert!(!exp.title().is_empty(), "{} has no title", exp.id());
+        let out = exp.run();
+        assert!(out.passed, "{} failed its own checks", exp.id());
+        assert!(
+            !out.text.trim().is_empty(),
+            "{} rendered empty text",
+            exp.id()
+        );
+        // The artifact document parses back and is tagged with the id.
+        let doc = out.document(exp.id());
+        let parsed = json::parse(&doc.to_pretty())
+            .unwrap_or_else(|e| panic!("{} pretty JSON does not parse: {e}", exp.id()));
+        assert_eq!(
+            parsed.get("artifact").and_then(json::Json::as_str),
+            Some(exp.id()),
+            "{} artifact tag",
+            exp.id()
+        );
+        // The compact form parses too (the two printers must agree).
+        assert_eq!(
+            json::parse(&doc.to_compact()).as_ref(),
+            Ok(&parsed),
+            "{} compact/pretty disagree",
+            exp.id()
+        );
+    }
+}
+
+#[test]
+fn every_parameter_round_trips_through_set() {
+    // Feeding an experiment its own rendered defaults must be a no-op,
+    // proving `params()` and `set()` speak the same language. Comparing
+    // the re-rendered params (rather than re-running) keeps this cheap:
+    // the rendering is a pure function of the typed fields.
+    for mut exp in registry() {
+        let before: Vec<(String, String)> = exp
+            .params()
+            .iter()
+            .map(|p| (p.key.to_owned(), p.value.clone()))
+            .collect();
+        for (key, value) in &before {
+            exp.set(key, value)
+                .unwrap_or_else(|e| panic!("{}: set({key}, {value}): {e}", exp.id()));
+        }
+        let after: Vec<(String, String)> = exp
+            .params()
+            .iter()
+            .map(|p| (p.key.to_owned(), p.value.clone()))
+            .collect();
+        assert_eq!(
+            before,
+            after,
+            "{}: re-applying defaults changed the parameters",
+            exp.id()
+        );
+    }
+}
+
+#[test]
+fn unknown_keys_and_bad_values_are_structured_errors() {
+    let mut table4 = find("table4").unwrap();
+    match table4.set("widht", "64") {
+        Err(ParamError::UnknownKey { key, valid, .. }) => {
+            assert_eq!(key, "widht");
+            assert_eq!(valid, ["tech"]);
+        }
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+    match table4.set("tech", "futuristic") {
+        Err(ParamError::BadValue { key, value, .. }) => {
+            assert_eq!(key, "tech");
+            assert_eq!(value, "futuristic");
+        }
+        other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn find_returns_fresh_defaults_each_time() {
+    let mut a = find("machine").unwrap();
+    a.set("bits", "32").unwrap();
+    let b = find("machine").unwrap();
+    let bits = b
+        .params()
+        .into_iter()
+        .find(|p| p.key == "bits")
+        .unwrap()
+        .value;
+    assert_eq!(bits, "1024", "find() must not leak mutated state");
+}

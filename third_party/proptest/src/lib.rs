@@ -218,7 +218,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Element-count specification for [`vec`]: an exact `usize` or a
+    /// Element-count specification for [`vec()`]: an exact `usize` or a
     /// `usize` range.
     pub struct SizeRange {
         lo: usize,
@@ -254,7 +254,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
