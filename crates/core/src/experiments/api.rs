@@ -272,6 +272,36 @@ pub fn ids() -> Vec<&'static str> {
     registry().iter().map(|e| e.id()).collect()
 }
 
+/// The registry listing as a JSON document: every artifact's id, title,
+/// and parameter surface with defaults. This is the one shape both
+/// `cqla list --format json` and the HTTP service's `/v1/experiments`
+/// endpoint emit, so front ends can never drift apart.
+#[must_use]
+pub fn listing_json() -> Json {
+    Json::obj([(
+        "artifacts",
+        Json::Arr(
+            registry()
+                .iter()
+                .map(|exp| {
+                    Json::obj([
+                        ("id", Json::from(exp.id())),
+                        ("title", Json::from(exp.title())),
+                        (
+                            "params",
+                            Json::obj(
+                                exp.params()
+                                    .iter()
+                                    .map(|p| (p.key.to_owned(), Json::from(p.value.as_str()))),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
 /// Levenshtein edit distance, for did-you-mean suggestions.
 fn edit_distance(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();

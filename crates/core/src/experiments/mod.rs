@@ -20,8 +20,8 @@ mod tables;
 mod verify;
 
 pub use api::{
-    find, ids, parse_code, parse_positive, parse_tech, registry, suggest, unknown_key, Experiment,
-    ExperimentOutput, Param, ParamError, CODE_ACCEPTS, TECH_ACCEPTS,
+    find, ids, listing_json, parse_code, parse_positive, parse_tech, registry, suggest,
+    unknown_key, Experiment, ExperimentOutput, Param, ParamError, CODE_ACCEPTS, TECH_ACCEPTS,
 };
 pub use apps::{fig8a_row, fig8b_row, AppTimeRow, Fig8a, Fig8b, FIG8A_SIZES, FIG8B_SIZES};
 pub use cqla_iontrap::TechPoint;

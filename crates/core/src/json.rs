@@ -5,9 +5,11 @@
 //! derives expand to marker impls), so real serialization lives here
 //! instead: result types implement [`ToJson`], building a [`Json`] tree
 //! that renders deterministically — object keys keep insertion order,
-//! floats use Rust's shortest round-trip formatting, and non-finite
-//! floats degrade to `null`. The parser exists so tests can assert
-//! round-trips without external tooling.
+//! floats use Rust's shortest round-trip formatting, non-finite floats
+//! degrade to `null`, and strings render ASCII-safe (non-ASCII scalars
+//! become `\u` escapes, astral-plane ones as UTF-16 surrogate pairs).
+//! The parser exists so tests can assert round-trips without external
+//! tooling.
 
 use std::fmt::Write as _;
 
@@ -175,7 +177,11 @@ fn write_seq(
     out.push(close);
 }
 
-/// Escapes and quotes a string per RFC 8259.
+/// Escapes and quotes a string per RFC 8259, emitting ASCII-safe output:
+/// everything outside printable ASCII is `\u`-escaped, one `\uXXXX` per
+/// UTF-16 code unit, so astral-plane characters become surrogate pairs
+/// (U+1F600 → `😀`) rather than an invalid 5–6 digit escape.
+/// ASCII-only documents survive any transport or log pipeline unmangled.
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
@@ -187,10 +193,13 @@ fn write_escaped(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             '\u{8}' => out.push_str("\\b"),
             '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if ('\u{20}'..='\u{7e}').contains(&c) => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
-            c => out.push(c),
         }
     }
     out.push('"');
@@ -591,6 +600,33 @@ mod tests {
     fn escaping_covers_quotes_backslashes_and_controls() {
         let s = Json::from("a\"b\\c\nd\te\u{1}f");
         assert_eq!(s.to_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn escaping_emits_surrogate_pairs_for_astral_chars() {
+        // One \uXXXX per UTF-16 code unit: BMP chars get one escape,
+        // astral-plane chars a high/low surrogate pair — never a 5–6
+        // digit escape, which no JSON parser accepts.
+        assert_eq!(Json::from("∞").to_compact(), "\"\\u221e\"");
+        assert_eq!(Json::from("😀").to_compact(), "\"\\ud83d\\ude00\"");
+        assert_eq!(Json::from("\u{10FFFF}").to_compact(), "\"\\udbff\\udfff\"");
+        // The writer's own output parses back to the original scalar.
+        for s in ["😀", "\u{10000}", "a∞b😀c"] {
+            let text = Json::from(s).to_compact();
+            assert!(text.is_ascii(), "{text}");
+            assert_eq!(parse(&text).unwrap(), Json::from(s));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_lone_surrogate_escapes() {
+        // High surrogate with no low half, high + non-surrogate, and a
+        // standalone low surrogate are all invalid JSON strings.
+        for bad in [r#""\ud83d""#, r#""\ud83d\u0041""#, r#""\udc00""#] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // A well-formed pair decodes to the astral scalar.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::from("😀"));
     }
 
     #[test]

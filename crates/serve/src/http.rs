@@ -1,0 +1,381 @@
+//! A minimal HTTP/1.1 wire layer: request parsing and response
+//! serialization over any [`BufRead`]/[`Write`] pair.
+//!
+//! Hand-rolled on purpose — the build environment has no crates.io
+//! access, and the service needs exactly one verb pair (GET/POST), one
+//! content type (JSON), and `Connection: close` semantics. Every bound
+//! is explicit: request lines and headers are length-capped, header
+//! count is capped, and bodies beyond [`MAX_BODY_BYTES`] are rejected
+//! before they are read, so a malformed or hostile client costs one
+//! bounded read and one error response, never a worker.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use cqla_core::Json;
+
+/// The largest request body the server will read (1 MiB). Sweep-spec
+/// expressions are a few hundred bytes; anything bigger is a mistake.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// The longest accepted request or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// The most headers a request may carry.
+const MAX_HEADERS: usize = 100;
+
+/// The status codes the service emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — the request produced a document.
+    Ok,
+    /// 400 — the request line, query, parameters, or body are invalid.
+    BadRequest,
+    /// 404 — no such route or artifact.
+    NotFound,
+    /// 405 — the route exists but not for this method.
+    MethodNotAllowed,
+    /// 413 — the declared body exceeds [`MAX_BODY_BYTES`].
+    PayloadTooLarge,
+    /// 500 — a handler failed; the connection still gets a response.
+    InternalError,
+}
+
+impl Status {
+    /// The numeric code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Self::Ok => 200,
+            Self::BadRequest => 400,
+            Self::NotFound => 404,
+            Self::MethodNotAllowed => 405,
+            Self::PayloadTooLarge => 413,
+            Self::InternalError => 500,
+        }
+    }
+
+    /// The standard reason phrase.
+    #[must_use]
+    pub fn reason(self) -> &'static str {
+        match self {
+            Self::Ok => "OK",
+            Self::BadRequest => "Bad Request",
+            Self::NotFound => "Not Found",
+            Self::MethodNotAllowed => "Method Not Allowed",
+            Self::PayloadTooLarge => "Payload Too Large",
+            Self::InternalError => "Internal Server Error",
+        }
+    }
+}
+
+/// One parsed request: method, percent-decoded path, decoded query
+/// pairs in request order, and the raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// The path component, percent-decoded (`/v1/run/table4`).
+    pub path: String,
+    /// Decoded `key=value` query pairs, in the order the client sent
+    /// them. A key without `=` decodes to an empty value.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed off the wire.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The connection died or timed out mid-request; no response is
+    /// possible or useful.
+    Io(io::Error),
+    /// The bytes are not an HTTP request the server understands.
+    Malformed(&'static str),
+    /// The declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one line (up to CRLF or LF), rejecting lines past
+/// [`MAX_LINE_BYTES`] so a client cannot stream an unbounded header.
+fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            break;
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(RequestError::Malformed("header line too long"));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| RequestError::Malformed("header line is not UTF-8"))
+}
+
+/// Percent-decodes one URL component (`%41` → `A`, `+` → space).
+/// Returns `None` for truncated or non-hex escapes and non-UTF-8 output.
+#[must_use]
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = core::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Splits and decodes a raw query string into ordered pairs.
+fn parse_query(raw: &str) -> Option<Vec<(String, String)>> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            Some((percent_decode(k)?, percent_decode(v)?))
+        })
+        .collect()
+}
+
+/// Reads and parses one request off the wire.
+///
+/// # Errors
+///
+/// [`RequestError::Io`] when the connection fails mid-read,
+/// [`RequestError::Malformed`] for anything that is not an HTTP/1.x
+/// request, [`RequestError::BodyTooLarge`] past the body cap.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed("malformed request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("malformed request line"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path =
+        percent_decode(raw_path).ok_or(RequestError::Malformed("undecodable request path"))?;
+    let query = parse_query(raw_query).ok_or(RequestError::Malformed("undecodable query"))?;
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body)?;
+            return Ok(Request {
+                method: method.to_owned(),
+                path,
+                query,
+                body,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed("malformed header"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(RequestError::BodyTooLarge);
+            }
+        }
+    }
+    Err(RequestError::Malformed("too many headers"))
+}
+
+/// One response: status plus a JSON body. Every route — success or
+/// failure — answers with `Content-Type: application/json` and
+/// `Connection: close`.
+///
+/// The body is an [`Arc`] so cached documents are shared, not copied:
+/// a cache hit costs a pointer clone, never a multi-kilobyte memcpy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status line's code.
+    pub status: Status,
+    /// The body, already serialized.
+    pub body: Arc<String>,
+}
+
+impl Response {
+    /// A 200 response around an already-rendered JSON document.
+    #[must_use]
+    pub fn ok(body: String) -> Self {
+        Self::shared(Arc::new(body))
+    }
+
+    /// A 200 response sharing an already-cached document.
+    #[must_use]
+    pub fn shared(body: Arc<String>) -> Self {
+        Self {
+            status: Status::Ok,
+            body,
+        }
+    }
+
+    /// An error response carrying `{"error": …, "hint": …}` so clients
+    /// get the same diagnostics the CLI prints to stderr.
+    #[must_use]
+    pub fn error(status: Status, message: impl Into<String>, hint: Option<String>) -> Self {
+        let doc = Json::obj([
+            ("error", Json::from(message.into())),
+            ("hint", hint.map_or(Json::Null, Json::from)),
+        ]);
+        Self {
+            status,
+            body: Arc::new(format!("{}\n", doc.to_pretty())),
+        }
+    }
+
+    /// Serializes the response onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure (typically a client that
+    /// hung up first; callers log and move on).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = String::new();
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.body.len(),
+        );
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse("GET /v1/run/table4?tech=current&width=64 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/run/table4");
+        assert_eq!(
+            req.query,
+            [
+                ("tech".to_owned(), "current".to_owned()),
+                ("width".to_owned(), "64".to_owned())
+            ]
+        );
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /v1/sweep HTTP/1.1\r\nContent-Length: 10\r\n\r\nwidth=32,64").unwrap();
+        // Only Content-Length bytes are read.
+        assert_eq!(req.body, b"width=32,6");
+    }
+
+    #[test]
+    fn percent_decoding_covers_query_and_path() {
+        let req = parse("GET /v1/run/table4?code=bacon%2Dshor&x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(
+            req.query,
+            [
+                ("code".to_owned(), "bacon-shor".to_owned()),
+                ("x".to_owned(), "a b".to_owned())
+            ]
+        );
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%4"), None);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            "NOT A REQUEST\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /%zz HTTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(RequestError::Malformed(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let raw = format!(
+            "POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(RequestError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        Response::ok("{}\n".to_owned()).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}\n"), "{text}");
+    }
+
+    #[test]
+    fn error_responses_are_json_documents() {
+        let resp = Response::error(Status::NotFound, "unknown artifact `x`", None);
+        assert_eq!(resp.status.code(), 404);
+        let doc = cqla_core::json::parse(&resp.body).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().as_str(),
+            Some("unknown artifact `x`")
+        );
+        assert_eq!(doc.get("hint"), Some(&Json::Null));
+    }
+}

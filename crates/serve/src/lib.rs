@@ -1,0 +1,57 @@
+//! # cqla-serve
+//!
+//! The long-running HTTP front end over the experiment registry: the
+//! first consumer that turns the reproduction from a batch tool into a
+//! *service*, serving many concurrent clients from one process — the
+//! software analogue of the paper's thesis that a memory hierarchy
+//! exists to keep available parallelism fed.
+//!
+//! Hand-rolled HTTP/1.1 over [`std::net::TcpListener`] — no external
+//! dependencies, consistent with the offline `third_party/` policy. A
+//! bounded accept loop feeds a fixed pool of worker threads; sweep
+//! bodies execute on the `cqla-sweep` work-stealing pool; and because
+//! every registry run is a pure function of `(id, params)`, run
+//! responses are cached and served byte-identically forever after.
+//!
+//! # Endpoints
+//!
+//! | route | what it returns |
+//! |---|---|
+//! | `GET /healthz` | liveness document |
+//! | `GET /v1/experiments` | the registry listing (same JSON as `cqla list --format json`) |
+//! | `GET /v1/run/{id}?key=value…` | one run's artifact document (byte-identical to `cqla run <id> --format json`) |
+//! | `POST /v1/sweep` | body is a sweep-spec expression; returns the sweep document (byte-identical to `cqla sweep SPEC --format json`) |
+//! | `GET /v1/stats` | request and cache counters |
+//! | `POST /v1/shutdown` | acknowledges, then stops the server cleanly |
+//!
+//! Errors come back as `{"error": …, "hint": …}` with the same
+//! diagnostics the CLI prints: unknown artifacts are 404 with a
+//! did-you-mean hint, bad parameters and specs are 400, method
+//! mismatches are 405, and malformed requests are 400 — never a worker
+//! panic.
+//!
+//! # Examples
+//!
+//! ```
+//! use cqla_serve::Server;
+//!
+//! // Port 0 picks an ephemeral port; workers default sensibly from the
+//! // CLI via `--threads`.
+//! let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let join = std::thread::spawn(move || server.run());
+//! // … drive requests at `addr` …
+//! handle.shutdown();
+//! join.join().unwrap().expect("clean shutdown");
+//! # let _ = addr;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+
+pub use http::{percent_decode, Request, Response, Status};
+pub use server::{Server, ServerHandle};

@@ -1,0 +1,529 @@
+//! The service itself: a bounded accept loop feeding a fixed worker
+//! pool, a deterministic results cache, and the route table over the
+//! experiment registry.
+//!
+//! Concurrency model: the acceptor thread pushes connections into a
+//! bounded channel (`4 × workers` deep — backpressure, not an unbounded
+//! queue); each of N workers pops connections and serves one request
+//! per connection (`Connection: close`). Every registry run is a pure
+//! function of `(experiment id, parameter overrides)`, so responses are
+//! cached under that key: once one request has computed a run, every
+//! later identical request is a cache hit. (Simultaneous *cold* misses
+//! may each compute — the lock is not held during evaluation and there
+//! is no in-flight coalescing; purity makes the duplicate work harmless.)
+//! A panicking handler is caught and answered with a 500 — it never
+//! takes the worker down with it.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cqla_core::experiments::{find, ids, listing_json, suggest};
+use cqla_core::Json;
+use cqla_sweep::{Sweep, SweepRun};
+
+use crate::http::{self, read_request, Request, RequestError, Response, Status};
+
+/// How long a worker waits for a slow client before giving the
+/// connection up. Keeps a stalled peer from pinning a worker forever.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How many entries the results cache holds before it is wiped and
+/// rebuilt. The registry's parameter space is small; this is a backstop
+/// against unbounded memory in a long-running process, not an LRU.
+const CACHE_CAPACITY: usize = 4096;
+
+/// State shared by the acceptor, the workers, and shutdown handles.
+struct Shared {
+    /// Set once; the accept loop exits at the next connection.
+    shutdown: AtomicBool,
+    /// Where the listener actually bound (resolves port 0).
+    addr: SocketAddr,
+    /// Response cache: canonical `(id, sorted params)` key → body.
+    cache: Mutex<HashMap<String, Arc<String>>>,
+    /// Total requests answered (any status).
+    requests: AtomicU64,
+    /// `/v1/run` responses served from the cache.
+    cache_hits: AtomicU64,
+    /// `/v1/run` responses that had to be computed.
+    cache_misses: AtomicU64,
+}
+
+/// The HTTP service over the experiment registry.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cqla_serve::Server;
+///
+/// let server = Server::bind("127.0.0.1:8080", 4).expect("bind");
+/// println!("listening on http://{}", server.local_addr());
+/// server.run().expect("serve");
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable handle that can stop a running [`Server`] from another
+/// thread (tests, signal handlers, the `/v1/shutdown` endpoint).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop accepting connections. In-flight
+    /// requests finish; [`Server::run`] then returns.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+}
+
+/// Flips the shutdown flag and kicks the (blocking) acceptor awake with
+/// a throwaway connection to its own port.
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // The accept loop only observes the flag when a connection arrives;
+    // connecting to ourselves guarantees one does. Failure is fine — it
+    // means the listener is already gone.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and sizes the
+    /// worker pool. A zero worker count is clamped to one — the pool
+    /// invariant the CLI also enforces with a usage error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, no permission, …).
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            workers: workers.max(1),
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                addr,
+                cache: Mutex::new(HashMap::new()),
+                requests: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The address the listener actually bound — the one clients should
+    /// connect to, with port 0 resolved.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The worker count the pool will run with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// A handle that can stop this server from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] (or `POST /v1/shutdown`)
+    /// fires: accepts connections into the bounded queue and joins every
+    /// worker before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fatal `accept` failure. Per-connection errors are
+    /// answered (or dropped) and never end the loop.
+    pub fn run(self) -> std::io::Result<()> {
+        let Self {
+            listener,
+            workers,
+            shared,
+        } = self;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || worker_loop(&rx, &shared, workers));
+            }
+            let result = accept_loop(&listener, &tx, &shared);
+            // Dropping the sender drains the pool: each worker's recv
+            // errors out once the queue is empty, and the scope joins.
+            drop(tx);
+            result
+        })
+    }
+}
+
+/// Accepts connections until shutdown, applying backpressure through
+/// the bounded queue (send blocks when all workers are busy and the
+/// queue is full).
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match conn {
+            Ok(stream) => {
+                if tx.send(stream).is_err() {
+                    return Ok(());
+                }
+            }
+            // A single failed accept — client vanished mid-handshake, or
+            // `accept` returned EINTR because a signal landed — is not
+            // fatal to a long-running service.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One worker: pop connections until the channel closes, serving each
+/// behind a panic barrier so a handler bug costs one 500, not a thread.
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, pool_threads: usize) {
+    loop {
+        let stream = match rx.lock().expect("connection queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // acceptor hung up; drain complete
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(&stream, shared, pool_threads);
+        }));
+        if outcome.is_err() {
+            eprintln!("cqla-serve: handler panicked; connection answered with 500");
+            let _ = Response::error(
+                Status::InternalError,
+                "internal error: handler panicked",
+                None,
+            )
+            .write_to(&mut &stream);
+        }
+    }
+}
+
+/// Serves one `Connection: close` request/response exchange.
+fn serve_connection(stream: &TcpStream, shared: &Shared, pool_threads: usize) {
+    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, shared, pool_threads),
+        Err(RequestError::Malformed(what)) => Response::error(
+            Status::BadRequest,
+            format!("malformed request: {what}"),
+            None,
+        ),
+        Err(RequestError::BodyTooLarge) => Response::error(
+            Status::PayloadTooLarge,
+            format!("request body exceeds {} bytes", http::MAX_BODY_BYTES),
+            None,
+        ),
+        // The peer vanished or stalled; nobody is listening for errors.
+        Err(RequestError::Io(_)) => return,
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let _ = response.write_to(&mut &*stream);
+}
+
+/// The route table. Method mismatches on known paths are 405; unknown
+/// paths are 404.
+fn route(request: &Request, shared: &Shared, pool_threads: usize) -> Response {
+    let method = request.method.as_str();
+    match request.path.as_str() {
+        "/healthz" => match method {
+            "GET" => Response::ok(format!("{}\n", health_json().to_pretty())),
+            _ => method_not_allowed("GET"),
+        },
+        "/v1/experiments" => match method {
+            "GET" => Response::ok(format!("{}\n", listing_json().to_pretty())),
+            _ => method_not_allowed("GET"),
+        },
+        "/v1/stats" => match method {
+            "GET" => Response::ok(format!("{}\n", stats_json(shared).to_pretty())),
+            _ => method_not_allowed("GET"),
+        },
+        "/v1/sweep" => match method {
+            "POST" => sweep_endpoint(&request.body, pool_threads),
+            _ => method_not_allowed("POST"),
+        },
+        "/v1/shutdown" => match method {
+            "POST" => {
+                trigger_shutdown(shared);
+                Response::ok(format!(
+                    "{}\n",
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("shutting_down", Json::Bool(true))
+                    ])
+                    .to_pretty()
+                ))
+            }
+            _ => method_not_allowed("POST"),
+        },
+        path => match path.strip_prefix("/v1/run/") {
+            Some(id) if method == "GET" => run_endpoint(id, &request.query, shared),
+            Some(_) => method_not_allowed("GET"),
+            None => Response::error(
+                Status::NotFound,
+                format!("no route for `{path}`"),
+                Some(
+                    "endpoints: GET /healthz, GET /v1/experiments, GET /v1/run/{id}?key=value, \
+                     POST /v1/sweep, GET /v1/stats, POST /v1/shutdown"
+                        .to_owned(),
+                ),
+            ),
+        },
+    }
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    Response::error(
+        Status::MethodNotAllowed,
+        format!("method not allowed; use {allowed}"),
+        None,
+    )
+}
+
+/// The liveness document.
+fn health_json() -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("service", Json::from("cqla-serve")),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+    ])
+}
+
+/// The observability document: request and cache counters.
+fn stats_json(shared: &Shared) -> Json {
+    let entries = shared.cache.lock().expect("cache lock").len();
+    Json::obj([
+        (
+            "requests",
+            Json::Int(shared.requests.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "cache_hits",
+            Json::Int(shared.cache_hits.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "cache_misses",
+            Json::Int(shared.cache_misses.load(Ordering::Relaxed) as i64),
+        ),
+        ("cache_entries", Json::Int(entries as i64)),
+    ])
+}
+
+/// `GET /v1/run/{id}?key=value…` — one registry run, cached.
+///
+/// The body is byte-identical to `cqla run <id> --format json`: the
+/// pretty-printed artifact document plus the trailing newline `println!`
+/// appends. Overrides are applied in sorted key order, which is also the
+/// cache key order, so equivalent queries share one cache entry.
+fn run_endpoint(id: &str, query: &[(String, String)], shared: &Shared) -> Response {
+    let Some(mut experiment) = find(id) else {
+        let all = ids();
+        let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
+        return Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint);
+    };
+    let mut params: Vec<(String, String)> = query.to_vec();
+    params.sort();
+    let key = canonical_key(id, &params);
+    if let Some(body) = shared.cache.lock().expect("cache lock").get(&key).cloned() {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Response::shared(body);
+    }
+    for (param, value) in &params {
+        if let Err(e) = experiment.set(param, value) {
+            let usage = experiment
+                .params()
+                .iter()
+                .map(|p| format!("{}=<{}>", p.key, p.accepts))
+                .collect::<Vec<_>>()
+                .join(" ");
+            return Response::error(
+                Status::BadRequest,
+                e.to_string(),
+                Some(format!("{id} takes: {usage}")),
+            );
+        }
+    }
+    let output = experiment.run();
+    let body = Arc::new(format!("{}\n", output.document(id).to_pretty()));
+    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let mut cache = shared.cache.lock().expect("cache lock");
+    if cache.len() >= CACHE_CAPACITY {
+        cache.clear();
+    }
+    cache.insert(key, Arc::clone(&body));
+    drop(cache);
+    Response::shared(body)
+}
+
+/// The canonical cache key: id plus the sorted, decoded overrides. Two
+/// spellings of the same run — reordered query, percent-encoded values —
+/// collapse onto one key, and the overrides are *applied* in this same
+/// order so the key can never conflate two different results. Every
+/// component is length-prefixed, so no byte a client can put into a key
+/// or value (separators included) can forge another request's key —
+/// forged spellings get their own key, miss, and fail validation.
+fn canonical_key(id: &str, sorted_params: &[(String, String)]) -> String {
+    use std::fmt::Write as _;
+    let mut key = format!("{}:{id}", id.len());
+    for (param, value) in sorted_params {
+        let _ = write!(key, "|{}:{param}|{}:{value}", param.len(), value.len());
+    }
+    key
+}
+
+/// `POST /v1/sweep` — the body is one sweep-spec expression (or builtin
+/// name), executed on the work-stealing pool. The response body is
+/// byte-identical to `cqla sweep SPEC --format json`.
+fn sweep_endpoint(body: &[u8], pool_threads: usize) -> Response {
+    let Ok(spec) = core::str::from_utf8(body) else {
+        return Response::error(Status::BadRequest, "sweep spec is not UTF-8", None);
+    };
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Response::error(
+            Status::BadRequest,
+            "empty sweep spec",
+            Some(
+                "POST a builtin name or a key=values expression, e.g. \
+                 `tech=current,projected width=64..=512:*2`"
+                    .to_owned(),
+            ),
+        );
+    }
+    match Sweep::parse(spec) {
+        Ok(sweep) => {
+            let run = SweepRun::execute(&sweep, pool_threads);
+            Response::ok(format!("{}\n", run.to_json().to_pretty()))
+        }
+        Err(e) => {
+            let builtins = Sweep::BUILTIN.map(|(name, _)| name).join(", ");
+            Response::error(
+                Status::BadRequest,
+                e.to_string(),
+                Some(format!("built-in specs: {builtins}")),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_keys_are_order_insensitive_but_value_sensitive() {
+        let a = [
+            ("tech".to_owned(), "current".to_owned()),
+            ("width".to_owned(), "64".to_owned()),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        b.sort();
+        assert_eq!(canonical_key("table4", &a), canonical_key("table4", &b));
+        let c = [("tech".to_owned(), "projected".to_owned())];
+        assert_ne!(canonical_key("table4", &a), canonical_key("table4", &c));
+        // The separator cannot be forged from key/value text that would
+        // merely concatenate ambiguously.
+        let d = [("te".to_owned(), "chcurrent".to_owned())];
+        assert_ne!(canonical_key("table4", &c), canonical_key("table4", &d));
+        // Nor by smuggling separator bytes into a value: one param whose
+        // value spells out another pair must not collide with the real
+        // two-param key (length prefixes make the split unambiguous).
+        let real = [
+            ("bits".to_owned(), "64".to_owned()),
+            ("blocks".to_owned(), "9".to_owned()),
+        ];
+        for smuggled in ["64|6:blocks|1:9", "64\u{1}blocks=9", "64|blocks:9"] {
+            let forged = [("bits".to_owned(), smuggled.to_owned())];
+            assert_ne!(
+                canonical_key("machine", &real),
+                canonical_key("machine", &forged),
+                "{smuggled:?} must not forge the two-param key"
+            );
+        }
+    }
+
+    #[test]
+    fn run_endpoint_matches_the_registry_document() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        let resp = run_endpoint("table4", &[], shared);
+        assert_eq!(resp.status, Status::Ok);
+        let expected = format!(
+            "{}\n",
+            find("table4").unwrap().run().document("table4").to_pretty()
+        );
+        assert_eq!(*resp.body, expected);
+        // Second identical request hits the cache — and shares the
+        // cached allocation instead of copying it.
+        let again = run_endpoint("table4", &[], shared);
+        assert_eq!(*again.body, expected);
+        let cached = shared
+            .cache
+            .lock()
+            .unwrap()
+            .values()
+            .next()
+            .unwrap()
+            .clone();
+        assert!(Arc::ptr_eq(&again.body, &cached), "hits must share the Arc");
+        assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_endpoint_maps_param_errors_to_400() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let resp = run_endpoint(
+            "table4",
+            &[("tech".to_owned(), "warp".to_owned())],
+            &server.shared,
+        );
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(resp.body.contains("bad value"), "{}", resp.body);
+        let resp = run_endpoint("table9", &[], &server.shared);
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn sweep_endpoint_runs_specs_and_rejects_bad_ones() {
+        let ok = sweep_endpoint(b"code=steane width=32,64 ", 2);
+        assert_eq!(ok.status, Status::Ok);
+        let doc = cqla_core::json::parse(&ok.body).unwrap();
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(2.0));
+        let bad = sweep_endpoint(b"frobnicate=1", 2);
+        assert_eq!(bad.status, Status::BadRequest);
+        assert!(bad.body.contains("error"), "{}", bad.body);
+    }
+}

@@ -1,0 +1,259 @@
+//! Integration tests driving a live server over real sockets with a
+//! plain [`TcpStream`] client: listing, parameterized runs, the
+//! `ParamError` → 400 mapping, sweep POSTs, cache behaviour under
+//! concurrent identical requests, and malformed-request resilience.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cqla_core::experiments::{find, ids};
+use cqla_core::json;
+use cqla_serve::{Server, ServerHandle};
+use cqla_sweep::{Sweep, SweepRun};
+
+/// A live server on an ephemeral port, shut down (and joined) on drop.
+struct Live {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    join: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Live {
+    fn start(workers: usize) -> Self {
+        let server = Server::bind("127.0.0.1:0", workers).expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        Self {
+            addr,
+            handle,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for Live {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            join.join()
+                .expect("server thread exits")
+                .expect("clean shutdown");
+        }
+    }
+}
+
+/// Sends raw bytes, returns `(status code, body)`.
+fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status line: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    raw(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: cqla\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    raw(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: cqla\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn healthz_reports_alive() {
+    let live = Live::start(2);
+    let (status, body) = get(live.addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    let doc = json::parse(&body).expect("health is JSON");
+    assert_eq!(doc.get("ok"), Some(&json::Json::Bool(true)));
+    assert_eq!(
+        doc.get("service").and_then(|v| v.as_str()),
+        Some("cqla-serve")
+    );
+}
+
+#[test]
+fn experiments_listing_covers_the_registry() {
+    let live = Live::start(2);
+    let (status, body) = get(live.addr, "/v1/experiments");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).expect("listing is JSON");
+    let artifacts = doc.get("artifacts").unwrap().as_arr().unwrap();
+    let listed: Vec<&str> = artifacts
+        .iter()
+        .map(|a| a.get("id").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(listed, ids(), "listing must enumerate the whole registry");
+}
+
+#[test]
+fn run_returns_the_artifact_document() {
+    let live = Live::start(2);
+    let (status, body) = get(live.addr, "/v1/run/table4");
+    assert_eq!(status, 200);
+    let expected = format!(
+        "{}\n",
+        find("table4").unwrap().run().document("table4").to_pretty()
+    );
+    assert_eq!(body, expected, "body must match the registry document");
+}
+
+#[test]
+fn run_applies_parameter_overrides() {
+    let live = Live::start(2);
+    let (status, default_body) = get(live.addr, "/v1/run/table2");
+    assert_eq!(status, 200);
+    let (status, current_body) = get(live.addr, "/v1/run/table2?tech=current");
+    assert_eq!(status, 200);
+    assert_ne!(default_body, current_body, "tech override must matter");
+    // Query order does not matter: sorted application == sorted key.
+    let a = get(live.addr, "/v1/run/machine?bits=64&blocks=9");
+    let b = get(live.addr, "/v1/run/machine?blocks=9&bits=64");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn param_errors_map_to_400_with_diagnostics() {
+    let live = Live::start(2);
+    let (status, body) = get(live.addr, "/v1/run/table4?tech=warp");
+    assert_eq!(status, 400, "{body}");
+    let doc = json::parse(&body).unwrap();
+    let message = doc.get("error").unwrap().as_str().unwrap();
+    assert!(message.contains("bad value `warp`"), "{message}");
+    let hint = doc.get("hint").unwrap().as_str().unwrap();
+    assert!(hint.contains("tech=<current|projected>"), "{hint}");
+    // Unknown parameter keys carry the did-you-mean diagnostics too.
+    let (status, body) = get(live.addr, "/v1/run/table4?tehc=current");
+    assert_eq!(status, 400);
+    assert!(body.contains("did you mean `tech`?"), "{body}");
+    // A value smuggling cache-key separator bytes cannot forge a cached
+    // valid entry's key: it must miss, fail validation, and get a 400.
+    let (status, _) = get(live.addr, "/v1/run/machine?bits=64&blocks=9");
+    assert_eq!(status, 200);
+    let (status, body) = get(live.addr, "/v1/run/machine?bits=64%7C6%3Ablocks%7C1%3A9");
+    assert_eq!(status, 400, "forged key must not hit the cache: {body}");
+}
+
+#[test]
+fn unknown_artifacts_are_404_with_suggestions() {
+    let live = Live::start(2);
+    let (status, body) = get(live.addr, "/v1/run/tabel4");
+    assert_eq!(status, 404);
+    assert!(body.contains("did you mean `table4`?"), "{body}");
+    let (status, _) = get(live.addr, "/v1/no-such-route");
+    assert_eq!(status, 404);
+}
+
+#[test]
+fn sweep_post_matches_the_engine() {
+    let live = Live::start(2);
+    let spec = "code=steane width=32,64 xfer=5";
+    let (status, body) = post(live.addr, "/v1/sweep", spec);
+    assert_eq!(status, 200, "{body}");
+    let expected = format!(
+        "{}\n",
+        SweepRun::execute(&Sweep::parse(spec).unwrap(), 1)
+            .to_json()
+            .to_pretty()
+    );
+    assert_eq!(body, expected, "sweep body must match a serial engine run");
+    // Builtin names work too.
+    let (status, body) = post(live.addr, "/v1/sweep", "quick");
+    assert_eq!(status, 200);
+    let doc = json::parse(&body).unwrap();
+    assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(8.0));
+}
+
+#[test]
+fn bad_sweep_specs_are_400_with_spec_diagnostics() {
+    let live = Live::start(2);
+    let (status, body) = post(live.addr, "/v1/sweep", "widht=64");
+    assert_eq!(status, 400);
+    assert!(body.contains("did you mean"), "{body}");
+    let (status, body) = post(live.addr, "/v1/sweep", "   ");
+    assert_eq!(status, 400);
+    assert!(body.contains("empty sweep spec"), "{body}");
+}
+
+#[test]
+fn concurrent_identical_requests_hit_the_cache() {
+    let live = Live::start(4);
+    // Warm the cache with one sequential request…
+    let (status, first) = get(live.addr, "/v1/run/table4");
+    assert_eq!(status, 200);
+    // …then hammer the same run from many clients at once.
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| scope.spawn(|| get(live.addr, "/v1/run/table4")))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(body, &first, "every client sees identical bytes");
+    }
+    let (_, stats) = get(live.addr, "/v1/stats");
+    let doc = json::parse(&stats).unwrap();
+    let hits = doc.get("cache_hits").unwrap().as_f64().unwrap();
+    let misses = doc.get("cache_misses").unwrap().as_f64().unwrap();
+    assert!(hits >= 8.0, "8 warm requests must all hit; stats: {stats}");
+    assert_eq!(misses, 1.0, "only the first request computes; {stats}");
+}
+
+#[test]
+fn malformed_requests_get_400_and_the_server_survives() {
+    let live = Live::start(2);
+    let (status, body) = raw(live.addr, "NOT A REQUEST\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("malformed request"), "{body}");
+    // The worker that answered is still alive and serving.
+    let (status, _) = get(live.addr, "/healthz");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn method_mismatches_are_405() {
+    let live = Live::start(2);
+    let (status, _) = post(live.addr, "/healthz", "");
+    assert_eq!(status, 405);
+    let (status, _) = get(live.addr, "/v1/sweep");
+    assert_eq!(status, 405);
+    let (status, _) = post(live.addr, "/v1/run/table4", "");
+    assert_eq!(status, 405);
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run());
+    let (status, body) = post(addr, "/v1/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("shutting_down"), "{body}");
+    join.join()
+        .expect("server thread exits")
+        .expect("clean shutdown after POST /v1/shutdown");
+}

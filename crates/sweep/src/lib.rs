@@ -65,5 +65,5 @@ pub use cqla_core::json;
 pub use cqla_core::json::{Json, ToJson};
 pub use engine::{JobResult, PointOutcome, SweepRun};
 pub use parse::SpecError;
-pub use regress::{BenchDiff, BenchDoc};
+pub use regress::{BenchDiff, BenchDoc, DocError};
 pub use spec::{Axis, DesignPoint, Sweep, TechPoint};

@@ -40,9 +40,15 @@ pub fn default_threads() -> usize {
 /// beyond the job count are clamped — a worker without a possible job is
 /// never spawned.
 ///
+/// A zero thread count is a caller bug: front ends must validate user
+/// input (the CLI rejects `--threads 0` with a usage error) before it
+/// reaches the pool. Debug builds assert; release builds clamp to one
+/// worker rather than deadlock or spawn nothing.
+///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates panics from `f` (the scope joins all workers first), and
+/// asserts `threads > 0` in debug builds.
 ///
 /// # Examples
 ///
@@ -60,6 +66,10 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    debug_assert!(
+        threads > 0,
+        "pool::map called with zero threads; validate --threads at the CLI layer"
+    );
     let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 {
         return items

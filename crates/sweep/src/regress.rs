@@ -32,33 +32,103 @@ pub struct BenchDoc {
     pub mean_job_seconds: f64,
 }
 
+/// Why a timing document was rejected. A gate that silently passes on a
+/// corrupt baseline is worse than no gate, so every unusable field is a
+/// loud, named failure instead of a NaN that waves regressions through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DocError {
+    /// The text is not valid JSON.
+    Json(json::ParseError),
+    /// A required field is absent or has the wrong type.
+    MissingField {
+        /// The field that was missing or mistyped.
+        key: &'static str,
+    },
+    /// A field parsed but its value cannot gate anything: non-finite or
+    /// negative timings (a hand-edited `1e999` parses to infinity and
+    /// would make the regression ratio NaN), or a zero point count.
+    BadField {
+        /// The offending field.
+        key: &'static str,
+        /// The rejected value, rendered.
+        value: String,
+        /// Why the value is unusable.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for DocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Json(e) => write!(f, "{e}"),
+            Self::MissingField { key } => write!(f, "missing numeric field `{key}`"),
+            Self::BadField { key, value, reason } => {
+                write!(f, "bad field `{key}` = {value}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+impl From<json::ParseError> for DocError {
+    fn from(e: json::ParseError) -> Self {
+        Self::Json(e)
+    }
+}
+
 impl BenchDoc {
-    /// Extracts the timing fields from a parsed document.
+    /// Extracts the timing fields from a parsed document, rejecting
+    /// values the gate cannot safely compare (non-finite or negative
+    /// timings, zero points).
     ///
     /// # Errors
     ///
-    /// Describes the first missing or mistyped field.
-    pub fn from_json(doc: &Json) -> Result<Self, String> {
-        let num = |key: &str| {
+    /// Describes the first missing, mistyped, or unusable field.
+    pub fn from_json(doc: &Json) -> Result<Self, DocError> {
+        let num = |key: &'static str| {
             doc.get(key)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("missing numeric field `{key}`"))
+                .ok_or(DocError::MissingField { key })
+        };
+        let timing = |key: &'static str| -> Result<f64, DocError> {
+            let v = num(key)?;
+            if !v.is_finite() {
+                return Err(DocError::BadField {
+                    key,
+                    value: v.to_string(),
+                    reason: "timing fields must be finite; a NaN or infinite baseline \
+                             would make the regression ratio NaN and silently pass the gate",
+                });
+            }
+            if v < 0.0 {
+                return Err(DocError::BadField {
+                    key,
+                    value: v.to_string(),
+                    reason: "timing fields must be non-negative",
+                });
+            }
+            Ok(v)
         };
         let sweep = doc
             .get("sweep")
             .and_then(Json::as_str)
-            .ok_or("missing string field `sweep`")?
+            .ok_or(DocError::MissingField { key: "sweep" })?
             .to_owned();
         let points = num("points")? as usize;
         if points == 0 {
-            return Err("document has zero points; nothing to compare".to_owned());
+            return Err(DocError::BadField {
+                key: "points",
+                value: "0".to_owned(),
+                reason: "document has zero points; nothing to compare",
+            });
         }
         Ok(Self {
             sweep,
             threads: num("threads")? as usize,
             points,
-            cpu_seconds_total: num("cpu_seconds_total")?,
-            mean_job_seconds: num("mean_job_seconds")?,
+            cpu_seconds_total: timing("cpu_seconds_total")?,
+            mean_job_seconds: timing("mean_job_seconds")?,
         })
     }
 
@@ -66,10 +136,9 @@ impl BenchDoc {
     ///
     /// # Errors
     ///
-    /// Either the JSON parse error or the first missing field.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let doc = json::parse(text).map_err(|e| e.to_string())?;
-        Self::from_json(&doc)
+    /// Either the JSON parse error or the first unusable field.
+    pub fn parse(text: &str) -> Result<Self, DocError> {
+        Self::from_json(&json::parse(text)?)
     }
 }
 
@@ -107,9 +176,13 @@ impl BenchDiff {
 
     /// Whether the new run is slower than the baseline by more than the
     /// threshold.
+    ///
+    /// A NaN ratio — which can only arise from documents that bypassed
+    /// [`BenchDoc`] validation — fails the gate instead of silently
+    /// passing it.
     #[must_use]
     pub fn regressed(&self) -> bool {
-        self.ratio > self.threshold
+        self.ratio.is_nan() || self.ratio > self.threshold
     }
 
     /// Whether the two documents time the same sweep shape (same spec
@@ -233,13 +306,64 @@ mod tests {
 
     #[test]
     fn malformed_documents_are_rejected_with_field_names() {
-        assert!(BenchDoc::parse("not json").is_err());
-        let err = BenchDoc::parse(r#"{"sweep": "grid"}"#).unwrap_err();
+        assert!(matches!(
+            BenchDoc::parse("not json"),
+            Err(DocError::Json(_))
+        ));
+        let err = BenchDoc::parse(r#"{"sweep": "grid"}"#)
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("threads") || err.contains("points"), "{err}");
         let err = BenchDoc::parse(
             r#"{"sweep":"g","threads":1,"points":0,"cpu_seconds_total":0,"mean_job_seconds":0}"#,
         )
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("zero points"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_and_negative_timings_are_rejected_loudly() {
+        // `1e999` is the one spelling of a non-finite float JSON admits:
+        // it parses to +inf, and before validation an infinite baseline
+        // made the ratio NaN — which `ratio > threshold` read as "ok".
+        let doc = |mean: &str| {
+            format!(
+                r#"{{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":1.0,"mean_job_seconds":{mean}}}"#
+            )
+        };
+        for bad in ["1e999", "-1e999", "-0.25"] {
+            let err = BenchDoc::parse(&doc(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    DocError::BadField { key, .. } if *key == "mean_job_seconds"
+                ),
+                "{bad}: {err}"
+            );
+        }
+        // `null` (how the writer degrades NaN) is a missing field.
+        assert_eq!(
+            BenchDoc::parse(&doc("null")).unwrap_err(),
+            DocError::MissingField {
+                key: "mean_job_seconds"
+            }
+        );
+        // cpu_seconds_total is validated the same way.
+        let err = BenchDoc::parse(
+            r#"{"sweep":"g","threads":1,"points":8,"cpu_seconds_total":1e999,"mean_job_seconds":0.1}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DocError::BadField { key, .. } if key == "cpu_seconds_total"));
+    }
+
+    #[test]
+    fn nan_ratio_fails_the_gate_instead_of_passing() {
+        // Documents that bypass parsing (hand-built structs) can still
+        // carry NaN; the verdict must not read NaN > threshold as "ok".
+        let diff = BenchDiff::compare(doc(0.1), doc(f64::NAN), DEFAULT_THRESHOLD);
+        assert!(diff.ratio.is_nan());
+        assert!(diff.regressed(), "a NaN ratio must fail the gate");
+        assert!(diff.render_text().contains("REGRESSED"));
     }
 }

@@ -8,6 +8,7 @@
 //! cqla sweep --spec-file FILE   run every spec in FILE (one per line)
 //! cqla bench-diff OLD NEW [--threshold X]
 //!                               compare two BENCH_sweep.json documents
+//! cqla serve [--addr HOST:PORT] serve the registry over HTTP (long-running)
 //! cqla floorplan                draw the level-1 tile floorplans
 //!
 //! legacy aliases (kept for scripts):
@@ -26,24 +27,26 @@
 
 use std::process::ExitCode;
 
-use cqla_repro::core::experiments::{find, registry, suggest, Experiment};
+use cqla_repro::core::experiments::{find, listing_json, registry, suggest, Experiment};
 use cqla_repro::core::{Json, ToJson};
 use cqla_repro::iontrap::TileFloorplan;
+use cqla_repro::serve::Server;
 use cqla_repro::sweep::regress::{BenchDiff, BenchDoc, DEFAULT_THRESHOLD};
 use cqla_repro::sweep::{pool, Sweep, SweepRun};
 
 /// The one-line usage summary (`cqla help` / `cqla --help`).
 const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
      <list | run ID [k=v...] | sweep [SPEC | --spec-file FILE] | \
-     bench-diff OLD NEW [--threshold X] | machine BITS BLOCKS [CODE] | \
-     table N | figure N | floorplan | verify>";
+     bench-diff OLD NEW [--threshold X] | serve [--addr HOST:PORT] | \
+     machine BITS BLOCKS [CODE] | table N | figure N | floorplan | verify>";
 
 /// The subcommand spellings `cqla` accepts, for did-you-mean suggestions.
-const COMMANDS: [&str; 9] = [
+const COMMANDS: [&str; 10] = [
     "list",
     "run",
     "sweep",
     "bench-diff",
+    "serve",
     "table",
     "figure",
     "machine",
@@ -161,6 +164,7 @@ fn main() -> ExitCode {
         Some("run") => run(&cli, cli.args.get(1), &cli.args[2.min(cli.args.len())..]),
         Some("sweep") => sweep(&cli),
         Some("bench-diff") => bench_diff(&cli),
+        Some("serve") => serve(&cli),
         Some("table") => legacy(&cli, "table", cli.arg(1)),
         Some("figure") => legacy(&cli, "figure", cli.arg(1)),
         Some("machine") => machine_alias(&cli),
@@ -223,30 +227,9 @@ fn list(cli: &Cli) -> ExitCode {
             );
             out
         },
-        || {
-            Json::obj([(
-                "artifacts",
-                Json::Arr(
-                    registry()
-                        .iter()
-                        .map(|exp| {
-                            Json::obj([
-                                ("id", Json::from(exp.id())),
-                                ("title", Json::from(exp.title())),
-                                (
-                                    "params",
-                                    Json::obj(
-                                        exp.params().iter().map(|p| {
-                                            (p.key.to_owned(), Json::from(p.value.as_str()))
-                                        }),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            )])
-        },
+        // One listing shape for every front end: the CLI and the HTTP
+        // service's /v1/experiments both emit `listing_json`.
+        listing_json,
     );
     ExitCode::SUCCESS
 }
@@ -446,4 +429,52 @@ fn bench_diff(cli: &Cli) -> Result<ExitCode, UsageError> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `cqla serve [--addr HOST:PORT]`: the long-running HTTP front end over
+/// the registry. `--threads` sizes the connection worker pool (and the
+/// sweep pool behind `POST /v1/sweep`); `--addr` defaults to localhost
+/// and accepts port 0 for an ephemeral port, whose resolution is printed
+/// on the announcement line so scripts and tests can discover it.
+fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
+    let usage = "usage: cqla serve [--addr HOST:PORT] [--threads N]";
+    let mut addr = "127.0.0.1:8080".to_owned();
+    let mut i = 1;
+    while let Some(arg) = cli.arg(i) {
+        if arg == "--addr" {
+            addr = cli
+                .arg(i + 1)
+                .ok_or_else(|| UsageError::with_hint("--addr expects HOST:PORT", usage))?
+                .to_owned();
+            i += 2;
+        } else {
+            return Err(UsageError::with_hint(
+                format!("unexpected serve argument `{arg}`"),
+                usage,
+            ));
+        }
+    }
+    let server = match Server::bind(addr.as_str(), cli.threads) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cqla: cannot bind {addr}: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    // Announce on stdout and flush: when stdout is a pipe (tests, CI)
+    // the line must reach the parent before the accept loop blocks.
+    println!(
+        "cqla-serve listening on http://{} ({} worker thread(s))",
+        server.local_addr(),
+        server.workers()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("cqla: serve failed: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }

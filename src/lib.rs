@@ -20,6 +20,7 @@
 //! | [`network`] | `cqla-network` | EPR purification, mesh, bandwidth (Fig 6b) |
 //! | [`core`] | `cqla-core` | the CQLA itself + the experiment registry + JSON |
 //! | [`sweep`] | `cqla-sweep` | parallel experiment engine + sweep-spec language |
+//! | [`serve`] | `cqla-serve` | long-running HTTP service over the registry |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use cqla_core as core;
 pub use cqla_ecc as ecc;
 pub use cqla_iontrap as iontrap;
 pub use cqla_network as network;
+pub use cqla_serve as serve;
 pub use cqla_sim as sim;
 pub use cqla_stabilizer as stabilizer;
 pub use cqla_sweep as sweep;

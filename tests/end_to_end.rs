@@ -437,6 +437,45 @@ mod cli {
     }
 
     #[test]
+    fn bench_diff_fails_loudly_on_corrupt_baselines() {
+        // A hand-edited or truncated baseline used to make the ratio NaN
+        // and silently *pass* the gate; it must exit 1 with a diagnostic.
+        let dir = std::env::temp_dir().join("cqla-bench-nan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fresh = dir.join("fresh.json");
+        std::fs::write(
+            &fresh,
+            r#"{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":2.4,"mean_job_seconds":0.1}"#,
+        )
+        .unwrap();
+        // `1e999` parses to +inf — the one non-finite float JSON admits.
+        for bad in [
+            r#"{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":2.4,"mean_job_seconds":1e999}"#,
+            r#"{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":2.4,"mean_job_seconds":-0.1}"#,
+            r#"{"sweep":"grid","threads":2,"points":24,"cpu_seconds_total":2.4,"mean_job_seconds":null}"#,
+        ] {
+            let baseline = dir.join("bad.json");
+            std::fs::write(&baseline, bad).unwrap();
+            let out = cqla(&[
+                "bench-diff",
+                baseline.to_str().unwrap(),
+                fresh.to_str().unwrap(),
+            ]);
+            assert_eq!(
+                out.status.code(),
+                Some(1),
+                "corrupt baseline must fail the gate, not green-light it: {bad}\nstderr: {}",
+                stderr(&out)
+            );
+            assert!(
+                stderr(&out).contains("mean_job_seconds"),
+                "diagnostic must name the field: {}",
+                stderr(&out)
+            );
+        }
+    }
+
+    #[test]
     fn bench_diff_gates_on_the_threshold() {
         let dir = std::env::temp_dir().join("cqla-bench-diff-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -471,5 +510,126 @@ mod cli {
         // Unreadable files are runtime failures (1), not usage errors (2).
         let missing = cqla(&["bench-diff", "no-such.json", slow.to_str().unwrap()]);
         assert_eq!(missing.status.code(), Some(1));
+    }
+
+    // -----------------------------------------------------------------------
+    // `cqla serve`: boot the real binary on an ephemeral port, drive it
+    // with a plain TcpStream client, and shut it down cleanly — the same
+    // exercise CI's release e2e job runs.
+
+    mod serve {
+        use super::{cqla, stdout};
+        use std::io::{BufRead, BufReader, Read, Write};
+        use std::net::TcpStream;
+        use std::process::{Child, Command, Stdio};
+        use std::time::Duration;
+
+        /// A running `cqla serve` child, killed on drop so a failing
+        /// assertion can never leak a listening process.
+        struct Serve {
+            child: Child,
+            addr: String,
+        }
+
+        impl Serve {
+            fn start(threads: &str) -> Self {
+                let mut child = Command::new(env!("CARGO_BIN_EXE_cqla"))
+                    .args(["serve", "--addr", "127.0.0.1:0", "--threads", threads])
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("cqla serve spawns");
+                // The announcement line carries the resolved port.
+                let mut line = String::new();
+                BufReader::new(child.stdout.take().expect("stdout piped"))
+                    .read_line(&mut line)
+                    .expect("announcement line");
+                let addr = line
+                    .split("http://")
+                    .nth(1)
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .unwrap_or_else(|| panic!("unparseable announcement: {line:?}"))
+                    .to_owned();
+                Self { child, addr }
+            }
+
+            fn request(&self, raw: &str) -> (u16, String) {
+                let mut stream = TcpStream::connect(&self.addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                stream.write_all(raw.as_bytes()).expect("send");
+                let mut text = String::new();
+                stream.read_to_string(&mut text).expect("response");
+                let status = text
+                    .strip_prefix("HTTP/1.1 ")
+                    .and_then(|rest| rest.get(..3))
+                    .and_then(|code| code.parse().ok())
+                    .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+                let body = text
+                    .split_once("\r\n\r\n")
+                    .map(|(_, b)| b.to_owned())
+                    .unwrap_or_default();
+                (status, body)
+            }
+
+            fn get(&self, target: &str) -> (u16, String) {
+                self.request(&format!("GET {target} HTTP/1.1\r\nHost: cqla\r\n\r\n"))
+            }
+        }
+
+        impl Drop for Serve {
+            fn drop(&mut self) {
+                let _ = self.child.kill();
+                let _ = self.child.wait();
+            }
+        }
+
+        #[test]
+        fn serves_runs_byte_identical_to_the_cli_and_shuts_down() {
+            let mut serve = Serve::start("2");
+            let (status, health) = serve.get("/healthz");
+            assert_eq!(status, 200, "{health}");
+            assert!(health.contains("\"ok\": true"), "{health}");
+
+            // The acceptance contract: concurrent /v1/run/table4 bodies
+            // are byte-identical to `cqla run table4 --format json`.
+            let cli = cqla(&["run", "table4", "--format", "json"]);
+            assert!(cli.status.success());
+            let expected = stdout(&cli);
+            let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+                let clients: Vec<_> = (0..6)
+                    .map(|_| scope.spawn(|| serve.get("/v1/run/table4")))
+                    .collect();
+                clients.into_iter().map(|c| c.join().unwrap()).collect()
+            });
+            for (status, body) in bodies {
+                assert_eq!(status, 200);
+                assert_eq!(
+                    body, expected,
+                    "HTTP body must match CLI stdout byte-for-byte"
+                );
+            }
+
+            // Clean shutdown: the endpoint acknowledges, the process
+            // exits 0 on its own (no kill needed).
+            let (status, _) = serve
+                .request("POST /v1/shutdown HTTP/1.1\r\nHost: cqla\r\nContent-Length: 0\r\n\r\n");
+            assert_eq!(status, 200);
+            let exit = serve.child.wait().expect("child exits");
+            assert!(exit.success(), "clean shutdown must exit 0, got {exit:?}");
+        }
+
+        #[test]
+        fn serve_rejects_bad_usage() {
+            // Unknown extra arguments and a zero thread count are usage
+            // errors (exit 2) before any socket is bound.
+            let out = cqla(&["serve", "--frobnicate"]);
+            assert_eq!(out.status.code(), Some(2));
+            let out = cqla(&["serve", "--threads", "0"]);
+            assert_eq!(out.status.code(), Some(2));
+            let out = cqla(&["serve", "--addr"]);
+            assert_eq!(out.status.code(), Some(2));
+        }
     }
 }

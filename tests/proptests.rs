@@ -254,6 +254,42 @@ fn codes_distance_three_sanity() {
 }
 
 // ---------------------------------------------------------------------------
+// JSON escaping: arbitrary unicode strings — controls, BMP, astral
+// planes — survive the serialize -> parse round trip, and the writer
+// stays ASCII-safe (astral chars must come out as surrogate pairs, not
+// the invalid 5-6 digit escapes `\u{:04x}` of `char as u32` would give).
+
+mod json_escaping {
+    use proptest::prelude::*;
+
+    use cqla_repro::core::json::parse;
+    use cqla_repro::core::Json;
+
+    /// Arbitrary strings over the full scalar-value space: raw code
+    /// points are sampled across all planes and the surrogate gap is
+    /// skipped (those are not chars).
+    fn arb_string() -> impl Strategy<Value = String> {
+        prop::collection::vec(0u32..0x11_0000, 0..24)
+            .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn escaping_round_trips_arbitrary_strings(s in arb_string()) {
+            let v = Json::from(s.as_str());
+            for text in [v.to_compact(), v.to_pretty()] {
+                prop_assert!(text.is_ascii(), "writer must be ASCII-safe: {}", text);
+                let parsed = parse(&text)
+                    .unwrap_or_else(|e| panic!("writer output must reparse: {e}\n{text}"));
+                prop_assert_eq!(parsed.as_str(), Some(s.as_str()), "text: {}", text);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Sweep-spec expression language: random axis lists survive the
 // Sweep -> spec string -> Sweep round trip.
 
