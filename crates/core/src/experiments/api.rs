@@ -62,28 +62,113 @@ impl ExperimentOutput {
     }
 }
 
-/// One declared parameter of an experiment: key, current value, and what
-/// it accepts.
+/// The typed domain of one experiment parameter: what values it
+/// accepts.
+///
+/// This is the *single* value-parsing layer of the parameter surface:
+/// [`Experiment::set`] (via [`parse_tech`], [`parse_code`],
+/// [`parse_positive`], [`parse_ratio`]) and the grid/sweep value-set
+/// grammars ([`super::grid`], `cqla-sweep::parse`) share the same
+/// underlying predicates — [`TechPoint::parse`], [`Code::parse`], and
+/// the capped integer / positive-decimal parsers behind
+/// [`Domain::admits`] — so a value that parses in a sweep spec can
+/// never be rejected by `set`, and vice versa (the registry
+/// completeness test in `tests/registry.rs` pins this per declared
+/// parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// A technology preset label (`current|projected`).
+    Tech,
+    /// An error-correcting code slug (`steane|bacon-shor`).
+    Code,
+    /// A positive integer in `1..=`[`super::grid::MAX_INT`].
+    PosInt,
+    /// A positive finite decimal (cache ratios and the like).
+    Ratio,
+}
+
+impl Domain {
+    /// The `accepts` string for usage messages (e.g. `current|projected`).
+    #[must_use]
+    pub const fn accepts(self) -> &'static str {
+        match self {
+            Self::Tech => TECH_ACCEPTS,
+            Self::Code => CODE_ACCEPTS,
+            Self::PosInt => INT_ACCEPTS,
+            Self::Ratio => RATIO_ACCEPTS,
+        }
+    }
+
+    /// Whether `value` parses in this domain. This predicate is the
+    /// shared contract between `Experiment::set` and the grid grammar.
+    #[must_use]
+    pub fn admits(self, value: &str) -> bool {
+        match self {
+            Self::Tech => TechPoint::parse(value).is_some(),
+            Self::Code => Code::parse(value).is_some(),
+            Self::PosInt => parse_pos_int(value).is_some(),
+            Self::Ratio => parse_pos_ratio(value).is_some(),
+        }
+    }
+}
+
+/// Parses a positive integer within the shared grid/sweep cap.
+pub(crate) fn parse_pos_int(value: &str) -> Option<u32> {
+    value
+        .parse::<u32>()
+        .ok()
+        .filter(|n| (1..=super::grid::MAX_INT).contains(n))
+}
+
+/// Parses a positive finite decimal.
+pub(crate) fn parse_pos_ratio(value: &str) -> Option<f64> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x > 0.0)
+}
+
+/// One declared parameter of an experiment: key, current value, and the
+/// typed domain of values it accepts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Param {
     /// The `key` in `cqla run <id> key=value`.
     pub key: &'static str,
     /// The current (or default) value, rendered.
     pub value: String,
-    /// Accepted values, for usage messages (e.g. `current|projected`).
-    pub accepts: &'static str,
+    /// The typed domain of accepted values.
+    pub domain: Domain,
 }
 
 impl Param {
     /// Builds a parameter row.
     #[must_use]
-    pub fn new(key: &'static str, value: impl ToString, accepts: &'static str) -> Self {
+    pub fn new(key: &'static str, value: impl ToString, domain: Domain) -> Self {
         Self {
             key,
             value: value.to_string(),
-            accepts,
+            domain,
         }
     }
+
+    /// Accepted values, for usage messages (e.g. `current|projected`).
+    #[must_use]
+    pub const fn accepts(&self) -> &'static str {
+        self.domain.accepts()
+    }
+}
+
+/// One *declared* parameter of an experiment: its key, typed domain, and
+/// paper default. This is what the grid grammar validates `key=value-set`
+/// expressions against — see [`super::grid::Grid::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// The `key` in `cqla run <id> key=value-set`.
+    pub key: &'static str,
+    /// The typed domain of accepted values.
+    pub domain: Domain,
+    /// The paper-default value, rendered.
+    pub default: String,
 }
 
 /// Why a `key=value` override was rejected.
@@ -158,6 +243,22 @@ pub trait Experiment {
         Vec::new()
     }
 
+    /// The declared parameter surface: key, typed domain, and default
+    /// value per parameter. On the fresh instances the [`registry`]
+    /// hands out, the defaults are the paper defaults — which is what
+    /// the grid grammar ([`super::grid`]) validates value-set
+    /// expressions against.
+    fn specs(&self) -> Vec<ParamSpec> {
+        self.params()
+            .into_iter()
+            .map(|p| ParamSpec {
+                key: p.key,
+                domain: p.domain,
+                default: p.value,
+            })
+            .collect()
+    }
+
     /// Applies one `key=value` override.
     ///
     /// # Errors
@@ -173,6 +274,23 @@ pub trait Experiment {
     fn run(&self) -> ExperimentOutput;
 }
 
+/// Renders an experiment's parameter surface for usage messages and
+/// error hints (`tech=<current|projected> bits=<a positive integer>`),
+/// or `no parameters` when it declares none. Shared by the CLI and the
+/// HTTP service so their diagnostics never drift.
+#[must_use]
+pub fn params_usage(exp: &dyn Experiment) -> String {
+    let params = exp.params();
+    if params.is_empty() {
+        return "no parameters".to_owned();
+    }
+    params
+        .iter()
+        .map(|p| format!("{}=<{}>", p.key, p.accepts()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// Builds the [`ParamError::UnknownKey`] for `key` against an
 /// experiment's declared parameters, with a did-you-mean suggestion.
 #[must_use]
@@ -185,47 +303,53 @@ pub fn unknown_key(key: &str, params: &[Param]) -> ParamError {
     }
 }
 
-/// Parses a [`TechPoint`] parameter value.
+/// Builds the [`ParamError::BadValue`] for a value `domain` rejected.
+fn bad_value(key: &'static str, value: &str, domain: Domain) -> ParamError {
+    ParamError::BadValue {
+        key,
+        value: value.to_owned(),
+        accepts: domain.accepts(),
+    }
+}
+
+/// Parses a [`TechPoint`] parameter value ([`Domain::Tech`]).
 ///
 /// # Errors
 ///
 /// [`ParamError::BadValue`] when the value is neither preset label.
 pub fn parse_tech(key: &'static str, value: &str) -> Result<TechPoint, ParamError> {
-    TechPoint::parse(value).ok_or(ParamError::BadValue {
-        key,
-        value: value.to_owned(),
-        accepts: TECH_ACCEPTS,
-    })
+    TechPoint::parse(value).ok_or_else(|| bad_value(key, value, Domain::Tech))
 }
 
-/// Parses a [`Code`] parameter value.
+/// Parses a [`Code`] parameter value ([`Domain::Code`]).
 ///
 /// # Errors
 ///
 /// [`ParamError::BadValue`] when the value names neither code.
 pub fn parse_code(key: &'static str, value: &str) -> Result<Code, ParamError> {
-    Code::parse(value).ok_or(ParamError::BadValue {
-        key,
-        value: value.to_owned(),
-        accepts: CODE_ACCEPTS,
-    })
+    Code::parse(value).ok_or_else(|| bad_value(key, value, Domain::Code))
 }
 
-/// Parses a positive integer parameter value.
+/// Parses a positive integer parameter value ([`Domain::PosInt`], capped
+/// at [`super::grid::MAX_INT`] — the same bound the grid/sweep grammars
+/// enforce, so both layers accept exactly the same values).
 ///
 /// # Errors
 ///
-/// [`ParamError::BadValue`] when the value is not an integer ≥ 1.
+/// [`ParamError::BadValue`] when the value is not an integer in
+/// `1..=`[`super::grid::MAX_INT`].
 pub fn parse_positive(key: &'static str, value: &str) -> Result<u32, ParamError> {
-    value
-        .parse::<u32>()
-        .ok()
-        .filter(|&n| n > 0)
-        .ok_or(ParamError::BadValue {
-            key,
-            value: value.to_owned(),
-            accepts: "a positive integer",
-        })
+    parse_pos_int(value).ok_or_else(|| bad_value(key, value, Domain::PosInt))
+}
+
+/// Parses a positive decimal parameter value ([`Domain::Ratio`]).
+///
+/// # Errors
+///
+/// [`ParamError::BadValue`] when the value is not a positive finite
+/// decimal.
+pub fn parse_ratio(key: &'static str, value: &str) -> Result<f64, ParamError> {
+    parse_pos_ratio(value).ok_or_else(|| bad_value(key, value, Domain::Ratio))
 }
 
 /// The `accepts` string for technology-preset parameters.
@@ -233,6 +357,12 @@ pub const TECH_ACCEPTS: &str = "current|projected";
 
 /// The `accepts` string for code parameters.
 pub const CODE_ACCEPTS: &str = "steane|bacon-shor";
+
+/// The `accepts` string for positive-integer parameters.
+pub const INT_ACCEPTS: &str = "a positive integer";
+
+/// The `accepts` string for ratio parameters.
+pub const RATIO_ACCEPTS: &str = "a positive decimal";
 
 /// Every paper artifact, in the paper's presentation order: Tables 1–5,
 /// Figures 2/6a/6b/7/8a/8b, then the `verify` self-checks and the
@@ -293,6 +423,14 @@ pub fn listing_json() -> Json {
                                 exp.params()
                                     .iter()
                                     .map(|p| (p.key.to_owned(), Json::from(p.value.as_str()))),
+                            ),
+                        ),
+                        (
+                            "accepts",
+                            Json::obj(
+                                exp.params()
+                                    .iter()
+                                    .map(|p| (p.key.to_owned(), Json::from(p.accepts()))),
                             ),
                         ),
                     ])

@@ -17,7 +17,7 @@ use crate::json::ToJson;
 use crate::report::{fmt3, TextTable};
 use crate::specialize::SpecializationStudy;
 
-use super::api::{parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS};
+use super::api::{parse_tech, unknown_key, Domain, Experiment, ExperimentOutput, Param};
 use super::tables::primary_blocks;
 
 /// One Figure 8 sample: total computation and communication time at one
@@ -133,7 +133,7 @@ impl Experiment for Fig8a {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
@@ -219,7 +219,7 @@ impl Experiment for Fig8b {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {

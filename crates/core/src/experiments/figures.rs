@@ -13,7 +13,7 @@ use crate::report::{fmt3, TextTable};
 use crate::specialize::SpecializationStudy;
 
 use super::api::{
-    parse_positive, parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS,
+    parse_positive, parse_tech, unknown_key, Domain, Experiment, ExperimentOutput, Param,
 };
 use super::tables::primary_blocks;
 
@@ -120,8 +120,8 @@ impl Experiment for Fig2 {
 
     fn params(&self) -> Vec<Param> {
         vec![
-            Param::new("bits", self.bits, "a positive integer"),
-            Param::new("cap", self.cap, "a positive integer"),
+            Param::new("bits", self.bits, Domain::PosInt),
+            Param::new("cap", self.cap, Domain::PosInt),
         ]
     }
 
@@ -231,7 +231,7 @@ impl Experiment for Fig6a {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
@@ -352,7 +352,7 @@ impl Experiment for Fig6b {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {

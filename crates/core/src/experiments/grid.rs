@@ -1,0 +1,708 @@
+//! The registry-driven grid grammar: `key=value-set` expressions parsed
+//! against an experiment's declared [`ParamSpec`]s.
+//!
+//! Every [`super::Experiment`] declares typed parameters; this module
+//! turns a textual expression like
+//!
+//! ```text
+//! bits=32..=128:*2 cap=15,20 base.tech=current
+//! ```
+//!
+//! into a [`Grid`]: a deterministic, submission-order list of parameter
+//! assignments (points) over the experiment's paper-default base point.
+//! The grammar is the same one the sweep-spec language uses — comma
+//! lists, inclusive ranges `a..=b[:*k|:+k]`, spanned caret errors with
+//! did-you-mean suggestions — but where `cqla-sweep::parse` hard-codes
+//! its seven design-space axes, this layer accepts exactly the keys the
+//! experiment's registry entry declares, each validated through the same
+//! typed [`Domain`] that backs [`super::Experiment::set`]. A value that
+//! parses here can therefore never be rejected by `set`, and vice versa.
+//!
+//! A clause `base.<key>=v` pins a single value without contributing an
+//! axis: it is applied to every point, which is how table4/table5-style
+//! "explicit point list over a shifted base" studies are written down
+//! without a code-defined builtin.
+//!
+//! The low-level machinery — [`SpecError`], [`words`], [`parse_items`],
+//! [`parse_int_item`] and the typed set parsers — is shared with (and
+//! was lifted out of) the sweep-spec parser, which is now a thin client
+//! of this module.
+
+use cqla_ecc::Code;
+use cqla_iontrap::TechPoint;
+
+use super::api::{suggest, Domain, ParamSpec};
+
+/// Hard cap on the points one expression may expand to.
+pub const MAX_POINTS: usize = 10_000;
+
+/// Hard cap on any integer value (adders beyond this would not fit in
+/// memory anyway). Shared by the grid grammar, the sweep-spec language,
+/// and [`super::parse_positive`], so the three layers accept exactly the
+/// same integers.
+pub const MAX_INT: u32 = 1 << 20;
+
+/// A parse error with the byte span of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The full expression text, kept for caret rendering.
+    pub spec: String,
+    /// Byte range `[start, end)` the error points at.
+    pub span: (usize, usize),
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Builds an error pointing at `span` within `spec`.
+    #[must_use]
+    pub fn new(spec: &str, span: (usize, usize), message: impl Into<String>) -> Self {
+        Self {
+            spec: spec.to_owned(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (start, end) = self.span;
+        writeln!(f, "spec error at {start}..{end}: {}", self.message)?;
+        writeln!(f, "  {}", self.spec)?;
+        let pad = self.spec[..start.min(self.spec.len())].chars().count();
+        let width = self.spec[start.min(self.spec.len())..end.min(self.spec.len())]
+            .chars()
+            .count()
+            .max(1);
+        write!(f, "  {}{}", " ".repeat(pad), "^".repeat(width))
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One whitespace-delimited token with its byte span.
+pub struct Word<'a> {
+    /// The token text.
+    pub text: &'a str,
+    /// Byte offset of the token within the expression.
+    pub start: usize,
+}
+
+/// Splits an expression into whitespace-delimited tokens with spans.
+#[must_use]
+pub fn words(input: &str) -> Vec<Word<'_>> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in input.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push(Word {
+                    text: &input[s..i],
+                    start: s,
+                });
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push(Word {
+            text: &input[s..],
+            start: s,
+        });
+    }
+    out
+}
+
+/// Splits `values` on commas (tracking spans) and parses each item with
+/// `item`, flattening range expansions.
+///
+/// # Errors
+///
+/// A [`SpecError`] for an empty list or empty item, or whatever `item`
+/// rejects.
+pub fn parse_items<T>(
+    spec: &str,
+    values: &str,
+    values_start: usize,
+    mut item: impl FnMut(&str, (usize, usize)) -> Result<Vec<T>, SpecError>,
+) -> Result<Vec<T>, SpecError> {
+    if values.is_empty() {
+        return Err(SpecError::new(
+            spec,
+            (values_start.saturating_sub(1), values_start),
+            "expected at least one value after `=`",
+        ));
+    }
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for piece in values.split(',') {
+        let span = (values_start + offset, values_start + offset + piece.len());
+        if piece.is_empty() {
+            return Err(SpecError::new(spec, span, "empty value in comma list"));
+        }
+        out.extend(item(piece, span)?);
+        offset += piece.len() + 1;
+    }
+    Ok(out)
+}
+
+/// Parses one integer item: a plain value or an inclusive range
+/// `a..=b[:*k|:+k]` (`*k` geometric, `+k` arithmetic, bare steps by one).
+///
+/// # Errors
+///
+/// A [`SpecError`] for out-of-range integers, exclusive-range syntax,
+/// empty ranges, or bad steps.
+pub fn parse_int_item(
+    spec: &str,
+    piece: &str,
+    span: (usize, usize),
+) -> Result<Vec<u32>, SpecError> {
+    let int = |text: &str| -> Result<u32, SpecError> {
+        text.parse::<u32>()
+            .ok()
+            .filter(|&n| (1..=MAX_INT).contains(&n))
+            .ok_or_else(|| {
+                SpecError::new(
+                    spec,
+                    span,
+                    format!("bad value `{text}`; expected an integer in 1..={MAX_INT}"),
+                )
+            })
+    };
+    let Some(dots) = piece.find("..=") else {
+        if piece.contains("..") {
+            return Err(SpecError::new(
+                spec,
+                span,
+                format!("bad range `{piece}`; ranges are inclusive: `a..=b[:*k|:+k]`"),
+            ));
+        }
+        return Ok(vec![int(piece)?]);
+    };
+    let start = int(&piece[..dots])?;
+    let rest = &piece[dots + 3..];
+    let (end_text, step_text) = match rest.find(':') {
+        Some(colon) => (&rest[..colon], Some(&rest[colon + 1..])),
+        None => (rest, None),
+    };
+    let end = int(end_text)?;
+    if start > end {
+        return Err(SpecError::new(
+            spec,
+            span,
+            format!("empty range `{piece}`; start {start} exceeds end {end}"),
+        ));
+    }
+    enum Step {
+        Mul(u32),
+        Add(u32),
+    }
+    let step = match step_text {
+        None => Step::Add(1),
+        Some(s) if s.starts_with('*') => {
+            let k = int(&s[1..])?;
+            if k < 2 {
+                return Err(SpecError::new(
+                    spec,
+                    span,
+                    "geometric step must be >= 2 (e.g. `64..=512:*2`)",
+                ));
+            }
+            Step::Mul(k)
+        }
+        Some(s) if s.starts_with('+') => Step::Add(int(&s[1..])?),
+        Some(s) => {
+            return Err(SpecError::new(
+                spec,
+                span,
+                format!("bad step `{s}`; expected `*k` (geometric) or `+k` (arithmetic)"),
+            ));
+        }
+    };
+    let mut out = Vec::new();
+    let mut v = start;
+    loop {
+        out.push(v);
+        let next = match step {
+            Step::Mul(k) => v.checked_mul(k),
+            Step::Add(k) => v.checked_add(k),
+        };
+        match next {
+            Some(n) if n <= end => v = n,
+            _ => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a technology value set (comma list of preset labels).
+///
+/// # Errors
+///
+/// A [`SpecError`] naming the unknown preset.
+pub fn parse_tech_set(
+    spec: &str,
+    values: &str,
+    values_start: usize,
+) -> Result<Vec<TechPoint>, SpecError> {
+    parse_items(spec, values, values_start, |piece, span| {
+        TechPoint::parse(piece).map(|t| vec![t]).ok_or_else(|| {
+            SpecError::new(
+                spec,
+                span,
+                format!("unknown technology `{piece}`; expected current|projected"),
+            )
+        })
+    })
+}
+
+/// Parses a code value set (comma list of code slugs).
+///
+/// # Errors
+///
+/// A [`SpecError`] naming the unknown code.
+pub fn parse_code_set(
+    spec: &str,
+    values: &str,
+    values_start: usize,
+) -> Result<Vec<Code>, SpecError> {
+    parse_items(spec, values, values_start, |piece, span| {
+        Code::parse(piece).map(|c| vec![c]).ok_or_else(|| {
+            SpecError::new(
+                spec,
+                span,
+                format!("unknown code `{piece}`; expected steane|bacon-shor"),
+            )
+        })
+    })
+}
+
+/// Parses an integer value set (comma list of values and ranges).
+///
+/// # Errors
+///
+/// A [`SpecError`] from [`parse_int_item`].
+pub fn parse_int_set(spec: &str, values: &str, values_start: usize) -> Result<Vec<u32>, SpecError> {
+    parse_items(spec, values, values_start, |piece, span| {
+        parse_int_item(spec, piece, span)
+    })
+}
+
+/// Parses a positive-decimal value set; `noun` names the quantity in the
+/// error message (`"cache ratio"`, `"ratio"`, …).
+///
+/// # Errors
+///
+/// A [`SpecError`] naming the rejected decimal.
+pub fn parse_ratio_set(
+    spec: &str,
+    values: &str,
+    values_start: usize,
+    noun: &str,
+) -> Result<Vec<f64>, SpecError> {
+    parse_items(spec, values, values_start, |piece, span| {
+        super::api::parse_pos_ratio(piece)
+            .map(|x| vec![x])
+            .ok_or_else(|| {
+                SpecError::new(
+                    spec,
+                    span,
+                    format!("bad {noun} `{piece}`; expected a positive decimal"),
+                )
+            })
+    })
+}
+
+/// Parses one value set in `domain`, returning the validated values as
+/// strings ready to feed [`super::Experiment::set`]. Integer ranges are
+/// expanded; labels and decimals keep the user's spelling (which `set`
+/// accepts by construction — both layers validate through [`Domain`]).
+///
+/// # Errors
+///
+/// A [`SpecError`] pointing at the rejected item.
+pub fn parse_value_set(
+    spec: &str,
+    domain: Domain,
+    values: &str,
+    values_start: usize,
+) -> Result<Vec<String>, SpecError> {
+    match domain {
+        Domain::Tech => parse_tech_set(spec, values, values_start)
+            .map(|v| v.iter().map(|t| t.label().to_owned()).collect()),
+        Domain::Code => parse_code_set(spec, values, values_start)
+            .map(|v| v.iter().map(|c| c.slug().to_owned()).collect()),
+        Domain::PosInt => parse_int_set(spec, values, values_start)
+            .map(|v| v.iter().map(u32::to_string).collect()),
+        Domain::Ratio => parse_items(spec, values, values_start, |piece, span| {
+            // Validate as a decimal but keep the user's spelling:
+            // `1.50` and `1.5` are the same value and both parse in
+            // `set` (the same `admits` predicate backs it).
+            if Domain::Ratio.admits(piece) {
+                Ok(vec![piece.to_owned()])
+            } else {
+                Err(SpecError::new(
+                    spec,
+                    span,
+                    format!("bad ratio `{piece}`; expected a positive decimal"),
+                ))
+            }
+        }),
+    }
+}
+
+/// Whether one `key=value` override uses value-*set* syntax — a comma
+/// list, a range, or a `base.` pin — and therefore selects a grid run
+/// rather than a single-value run. The one predicate every front end
+/// (CLI `run`, HTTP `/v1/run/{id}`) consults, so they can never drift
+/// on which requests grid out: plain `key=value` overrides stay on the
+/// byte-identical single-run path. Matches bare `..` (not just `..=`)
+/// so the exclusive-range typo `32..128` reaches the grammar's
+/// "ranges are inclusive" diagnostic; no valid single value in any
+/// domain contains `..`.
+#[must_use]
+pub fn is_set_clause(key: &str, value: &str) -> bool {
+    key.starts_with("base.") || value.contains(',') || value.contains("..")
+}
+
+/// A parsed grid over one experiment: pinned `base.` overrides plus the
+/// value-set axes, in clause order.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_core::experiments::{find, grid::Grid};
+///
+/// let exp = find("fig2").unwrap();
+/// let grid = Grid::parse("fig2", &exp.specs(), "bits=32..=128:*2").unwrap();
+/// assert_eq!(grid.len(), 3);
+/// assert_eq!(grid.points()[1], [("bits".to_owned(), "64".to_owned())]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    id: String,
+    spec: String,
+    base: Vec<(String, String)>,
+    axes: Vec<(String, Vec<String>)>,
+}
+
+impl Grid {
+    /// Parses a `key=value-set` expression against the declared
+    /// parameter surface of experiment `id`. An empty expression is the
+    /// single paper-default point.
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`SpecError`]: unknown or duplicate keys (with
+    /// did-you-mean suggestions), values outside the key's domain,
+    /// multi-value `base.` clauses, or a grid past [`MAX_POINTS`].
+    pub fn parse(id: &str, specs: &[ParamSpec], input: &str) -> Result<Self, SpecError> {
+        let mut base: Vec<(String, String)> = Vec::new();
+        let mut axes: Vec<(String, Vec<String>)> = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for word in words(input) {
+            let Some(eq) = word.text.find('=') else {
+                return Err(SpecError::new(
+                    input,
+                    (word.start, word.start + word.text.len()),
+                    "expected a `key=values` clause (e.g. `bits=32..=128:*2`)",
+                ));
+            };
+            let raw_key = &word.text[..eq];
+            let key_span = (word.start, word.start + eq);
+            let (key, pinned) = match raw_key.strip_prefix("base.") {
+                Some(rest) => (rest, true),
+                None => (raw_key, false),
+            };
+            let Some(spec) = specs.iter().find(|s| s.key == key) else {
+                return Err(SpecError::new(
+                    input,
+                    key_span,
+                    unknown_parameter(key, specs),
+                ));
+            };
+            if seen.contains(&spec.key) {
+                return Err(SpecError::new(
+                    input,
+                    key_span,
+                    format!("duplicate parameter `{key}`"),
+                ));
+            }
+            seen.push(spec.key);
+            let values = &word.text[eq + 1..];
+            let values_start = word.start + eq + 1;
+            let parsed = parse_value_set(input, spec.domain, values, values_start)?;
+            if pinned {
+                if parsed.len() != 1 {
+                    return Err(SpecError::new(
+                        input,
+                        (values_start, values_start + values.len()),
+                        format!("base.{key} pins exactly one value, got {}", parsed.len()),
+                    ));
+                }
+                base.push((spec.key.to_owned(), parsed.into_iter().next().unwrap()));
+            } else {
+                axes.push((spec.key.to_owned(), parsed));
+            }
+        }
+        let points = axes
+            .iter()
+            .try_fold(1usize, |acc, (_, values)| acc.checked_mul(values.len()));
+        match points {
+            Some(points) if points <= MAX_POINTS => {}
+            _ => {
+                let shown =
+                    points.map_or_else(|| format!("over {}", usize::MAX), |p| p.to_string());
+                return Err(SpecError::new(
+                    input,
+                    (0, input.len()),
+                    format!("grid expands to {shown} points; the cap is {MAX_POINTS}"),
+                ));
+            }
+        }
+        Ok(Self {
+            id: id.to_owned(),
+            spec: input.trim().to_owned(),
+            base,
+            axes,
+        })
+    }
+
+    /// The experiment id the grid runs.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The (trimmed) expression text the grid was parsed from.
+    #[must_use]
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Whether any clause used value-set syntax (more than one value on
+    /// some axis) or pinned a `base.` override — i.e. whether this is a
+    /// real grid rather than a plain single-value run.
+    #[must_use]
+    pub fn is_single(&self) -> bool {
+        self.base.is_empty() && self.axes.iter().all(|(_, v)| v.len() == 1)
+    }
+
+    /// Number of points the grid expands to (1 for the empty expression).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// Whether the grid has no points. Never true for a parsed grid —
+    /// the grammar rejects empty value sets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The parameter assignments, in deterministic submission order:
+    /// `base.` overrides first (clause order), then one `key=value` pair
+    /// per axis, later clauses varying fastest — exactly like nested
+    /// `for` loops, and exactly like the sweep engine orders its points.
+    #[must_use]
+    pub fn points(&self) -> Vec<Vec<(String, String)>> {
+        let mut points = vec![self.base.clone()];
+        for (key, values) in &self.axes {
+            points = points
+                .into_iter()
+                .flat_map(|p| {
+                    values.iter().map(move |v| {
+                        let mut q = p.clone();
+                        q.push((key.clone(), v.clone()));
+                        q
+                    })
+                })
+                .collect();
+        }
+        points
+    }
+
+    /// Renders the grid back into expression text: the inverse of
+    /// [`Grid::parse`] up to range sugar (expanded values render as
+    /// comma lists).
+    ///
+    /// ```
+    /// use cqla_core::experiments::{find, grid::Grid};
+    ///
+    /// let exp = find("fig2").unwrap();
+    /// let grid = Grid::parse("fig2", &exp.specs(), "cap=15 bits=32..=128:*2").unwrap();
+    /// assert_eq!(grid.render(), "cap=15 bits=32,64,128");
+    /// let again = Grid::parse("fig2", &exp.specs(), &grid.render()).unwrap();
+    /// assert_eq!(grid.points(), again.points());
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let base = self.base.iter().map(|(k, v)| format!("base.{k}={v}"));
+        let axes = self
+            .axes
+            .iter()
+            .map(|(k, values)| format!("{k}={}", values.join(",")));
+        base.chain(axes).collect::<Vec<_>>().join(" ")
+    }
+}
+
+/// The unknown-parameter message, word for word the one
+/// [`super::ParamError::UnknownKey`] displays, so grid and single-value
+/// diagnostics read the same.
+fn unknown_parameter(key: &str, specs: &[ParamSpec]) -> String {
+    let mut message = format!("unknown parameter `{key}`");
+    if let Some(s) = suggest(key, specs.iter().map(|s| s.key)) {
+        message = format!("{message} (did you mean `{s}`?)");
+    }
+    if specs.is_empty() {
+        format!("{message}; this experiment takes no parameters")
+    } else {
+        let valid: Vec<&str> = specs.iter().map(|s| s.key).collect();
+        format!("{message}; valid: {}", valid.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::find;
+
+    fn specs(id: &str) -> Vec<ParamSpec> {
+        find(id).unwrap().specs()
+    }
+
+    #[test]
+    fn issue_headline_grid_parses() {
+        let grid = Grid::parse("fig2", &specs("fig2"), "bits=32..=128:*2").unwrap();
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_single());
+        let points = grid.points();
+        assert_eq!(points[0], [("bits".to_owned(), "32".to_owned())]);
+        assert_eq!(points[2], [("bits".to_owned(), "128".to_owned())]);
+    }
+
+    #[test]
+    fn later_clauses_vary_fastest() {
+        let grid = Grid::parse("fig2", &specs("fig2"), "bits=32,64 cap=15,20").unwrap();
+        let points = grid.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            points[1],
+            [
+                ("bits".to_owned(), "32".to_owned()),
+                ("cap".to_owned(), "20".to_owned())
+            ]
+        );
+        assert_eq!(points[2][0].1, "64");
+    }
+
+    #[test]
+    fn base_overrides_pin_a_single_value_on_every_point() {
+        let grid = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "base.tech=current bits=64,128",
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 2);
+        for point in grid.points() {
+            assert_eq!(point[0], ("tech".to_owned(), "current".to_owned()));
+        }
+        let err =
+            Grid::parse("machine", &specs("machine"), "base.tech=current,projected").unwrap_err();
+        assert!(err.message.contains("pins exactly one value"), "{err}");
+    }
+
+    #[test]
+    fn empty_expression_is_the_single_default_point() {
+        let grid = Grid::parse("fig2", &specs("fig2"), "").unwrap();
+        assert_eq!(grid.len(), 1);
+        assert!(grid.is_single());
+        assert_eq!(grid.points(), [Vec::new()]);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_keys_are_spanned() {
+        let err = Grid::parse("fig2", &specs("fig2"), "bits=64 bist=32").unwrap_err();
+        assert_eq!(err.span, (8, 12));
+        assert!(err.message.contains("did you mean `bits`?"), "{err}");
+        assert!(err.message.contains("valid: bits, cap"), "{err}");
+        let err = Grid::parse("fig2", &specs("fig2"), "bits=64 base.bits=32").unwrap_err();
+        assert!(err.message.contains("duplicate parameter `bits`"), "{err}");
+        let err = Grid::parse("verify", &[], "bits=64").unwrap_err();
+        assert!(err.message.contains("takes no parameters"), "{err}");
+    }
+
+    #[test]
+    fn values_validate_through_the_declared_domain() {
+        let err = Grid::parse("table4", &specs("table4"), "tech=currant").unwrap_err();
+        assert!(err.message.contains("unknown technology"), "{err}");
+        let err = Grid::parse("machine", &specs("machine"), "code=surface").unwrap_err();
+        assert!(err.message.contains("unknown code"), "{err}");
+        let err = Grid::parse("machine", &specs("machine"), "cache=-1").unwrap_err();
+        assert!(err.message.contains("positive decimal"), "{err}");
+        let err = Grid::parse("fig2", &specs("fig2"), "bits=0").unwrap_err();
+        assert!(err.message.contains("expected an integer in 1..="), "{err}");
+        let err = Grid::parse("fig2", &specs("fig2"), "notakeyvalue").unwrap_err();
+        assert!(err.message.contains("key=values"), "{err}");
+    }
+
+    #[test]
+    fn point_explosion_is_capped() {
+        let err = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "bits=1..=200 blocks=1..=200 xfer=1..=10",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cap is 10000"), "{err}");
+        // Maxed-out ranges go through the checked product, not a wrap.
+        let err = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "bits=1..=1048576 blocks=1..=1048576 xfer=1..=1048576",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cap is 10000"), "{err}");
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let grid = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "base.code=steane tech=current,projected bits=64..=256:*2 cache=0.5,1.25",
+        )
+        .unwrap();
+        let rendered = grid.render();
+        assert_eq!(
+            rendered,
+            "base.code=steane tech=current,projected bits=64,128,256 cache=0.5,1.25"
+        );
+        let again = Grid::parse("machine", &specs("machine"), &rendered).unwrap();
+        assert_eq!(grid.points(), again.points());
+    }
+
+    #[test]
+    fn every_grid_value_is_accepted_by_set() {
+        // The dedupe contract: anything the grid grammar admits, the
+        // experiment's own `set` admits too.
+        let grid = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "tech=current code=bacon-shor bits=32..=64:+16 cache=1.5 base.xfer=5",
+        )
+        .unwrap();
+        for point in grid.points() {
+            let mut exp = find("machine").unwrap();
+            for (key, value) in &point {
+                exp.set(key, value)
+                    .unwrap_or_else(|e| panic!("set({key}, {value}): {e}"));
+            }
+        }
+    }
+}

@@ -8,8 +8,8 @@ use crate::json::{Json, ToJson};
 use crate::specialize::{CqlaConfig, SpecializationStudy};
 
 use super::api::{
-    parse_code, parse_positive, parse_tech, unknown_key, Experiment, ExperimentOutput, Param,
-    CODE_ACCEPTS, TECH_ACCEPTS,
+    parse_code, parse_positive, parse_ratio, parse_tech, unknown_key, Domain, Experiment,
+    ExperimentOutput, Param,
 };
 
 /// Prices one CQLA configuration: the flat specialization (Table 4
@@ -17,8 +17,9 @@ use super::api::{
 /// (Table 5 quantities).
 ///
 /// Defaults are the paper's headline machine: the 1024-bit Bacon-Shor
-/// CQLA on 100 compute blocks with 10 parallel transfers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// CQLA on 100 compute blocks with 10 parallel transfers and the 2×PE
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
     /// Technology operating point.
     pub tech: TechPoint,
@@ -30,6 +31,8 @@ pub struct Machine {
     pub blocks: u32,
     /// Parallel memory↔cache transfers for the hierarchy view.
     pub xfer: u32,
+    /// Cache capacity as a multiple of the compute-region qubits.
+    pub cache: f64,
 }
 
 impl Default for Machine {
@@ -40,6 +43,7 @@ impl Default for Machine {
             bits: 1024,
             blocks: 100,
             xfer: 10,
+            cache: 2.0,
         }
     }
 }
@@ -55,11 +59,12 @@ impl Experiment for Machine {
 
     fn params(&self) -> Vec<Param> {
         vec![
-            Param::new("tech", self.tech, TECH_ACCEPTS),
-            Param::new("code", self.code.slug(), CODE_ACCEPTS),
-            Param::new("bits", self.bits, "a positive integer"),
-            Param::new("blocks", self.blocks, "a positive integer"),
-            Param::new("xfer", self.xfer, "a positive integer"),
+            Param::new("tech", self.tech, Domain::Tech),
+            Param::new("code", self.code.slug(), Domain::Code),
+            Param::new("bits", self.bits, Domain::PosInt),
+            Param::new("blocks", self.blocks, Domain::PosInt),
+            Param::new("xfer", self.xfer, Domain::PosInt),
+            Param::new("cache", self.cache, Domain::Ratio),
         ]
     }
 
@@ -70,6 +75,7 @@ impl Experiment for Machine {
             "bits" => self.bits = parse_positive("bits", value)?,
             "blocks" => self.blocks = parse_positive("blocks", value)?,
             "xfer" => self.xfer = parse_positive("xfer", value)?,
+            "cache" => self.cache = parse_ratio("cache", value)?,
             _ => return Err(unknown_key(key, &self.params())),
         }
         Ok(())
@@ -80,12 +86,10 @@ impl Experiment for Machine {
         let tech = self.tech.params();
         let study = SpecializationStudy::new(&tech);
         let r = study.evaluate(CqlaConfig::new(self.code, self.bits, self.blocks));
-        let h = HierarchyStudy::new(&tech).evaluate(HierarchyConfig::new(
-            self.code,
-            self.bits,
-            self.xfer,
-            self.blocks,
-        ));
+        let mut hierarchy_config =
+            HierarchyConfig::new(self.code, self.bits, self.xfer, self.blocks);
+        hierarchy_config.cache_factor = self.cache;
+        let h = HierarchyStudy::new(&tech).evaluate(hierarchy_config);
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -142,11 +146,32 @@ mod tests {
         m.set("bits", "128").unwrap();
         m.set("blocks", "16").unwrap();
         m.set("xfer", "5").unwrap();
+        m.set("cache", "1.5").unwrap();
         assert_eq!(
             (m.code, m.bits, m.blocks, m.xfer),
             (Code::Steane713, 128, 16, 5)
         );
+        assert!((m.cache - 1.5).abs() < 1e-12);
         assert!(m.set("bits", "0").is_err());
         assert!(m.set("code", "surface").is_err());
+        assert!(m.set("cache", "-2").is_err());
+    }
+
+    #[test]
+    fn cache_ratio_changes_the_hierarchy_view_only() {
+        let default = Machine::default().run();
+        let mut m = Machine::default();
+        m.set("cache", "1").unwrap();
+        let small = m.run();
+        assert_eq!(
+            default.data.get("specialization"),
+            small.data.get("specialization"),
+            "the flat study ignores the cache ratio"
+        );
+        assert_ne!(
+            default.data.get("hierarchy"),
+            small.data.get("hierarchy"),
+            "the hierarchy study must see the cache ratio"
+        );
     }
 }

@@ -11,17 +11,25 @@
 //! per-cell functions ([`table4_row`], [`fig7_cell`], …) remain exported
 //! so the parallel experiment engine (`cqla-sweep`) can fan one job out
 //! per grid point and still match the registry output bitwise.
+//!
+//! Parameters are *typed*: every experiment declares [`ParamSpec`]s
+//! ([`Domain`] + paper default), and the [`grid`] module parses
+//! `key=value-set` expressions (`bits=32..=128:*2`, `base.tech=current`)
+//! against that declared surface — value sets are first-class on every
+//! registry entry, from every front end.
 
 mod api;
 mod apps;
 mod figures;
+pub mod grid;
 mod machine;
 mod tables;
 mod verify;
 
 pub use api::{
-    find, ids, listing_json, parse_code, parse_positive, parse_tech, registry, suggest,
-    unknown_key, Experiment, ExperimentOutput, Param, ParamError, CODE_ACCEPTS, TECH_ACCEPTS,
+    find, ids, listing_json, params_usage, parse_code, parse_positive, parse_ratio, parse_tech,
+    registry, suggest, unknown_key, Domain, Experiment, ExperimentOutput, Param, ParamError,
+    ParamSpec, CODE_ACCEPTS, INT_ACCEPTS, RATIO_ACCEPTS, TECH_ACCEPTS,
 };
 pub use apps::{fig8a_row, fig8b_row, AppTimeRow, Fig8a, Fig8b, FIG8A_SIZES, FIG8B_SIZES};
 pub use cqla_iontrap::TechPoint;
@@ -29,6 +37,7 @@ pub use figures::{
     fig6a_cell, fig6b_series, fig7_cell, Fig2, Fig2Data, Fig6a, Fig6aRow, Fig6b, Fig6bData, Fig7,
     Fig7Row, FIG6A_BLOCKS, FIG6A_SIZES, FIG6B_BLOCKS, FIG7_FACTORS, FIG7_SIZES,
 };
+pub use grid::{is_set_clause, Grid};
 pub use machine::Machine;
 pub use tables::{
     primary_blocks, table4_row, table5_row, Table1, Table2, Table3, Table3Data, Table4, Table4Row,

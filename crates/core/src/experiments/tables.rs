@@ -9,7 +9,7 @@ use crate::json::{Json, ToJson};
 use crate::report::{fmt3, TextTable};
 use crate::specialize::{CqlaConfig, SpecializationResult, SpecializationStudy, TABLE4_GRID};
 
-use super::api::{parse_tech, unknown_key, Experiment, ExperimentOutput, Param, TECH_ACCEPTS};
+use super::api::{parse_tech, unknown_key, Domain, Experiment, ExperimentOutput, Param};
 
 /// Table 1: the two ion-trap technology operating points, side by side.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,7 +93,7 @@ impl Experiment for Table2 {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
@@ -168,7 +168,7 @@ impl Experiment for Table3 {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
@@ -281,7 +281,7 @@ impl Experiment for Table4 {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {
@@ -426,7 +426,7 @@ impl Experiment for Table5 {
     }
 
     fn params(&self) -> Vec<Param> {
-        vec![Param::new("tech", self.tech, TECH_ACCEPTS)]
+        vec![Param::new("tech", self.tech, Domain::Tech)]
     }
 
     fn set(&mut self, key: &str, value: &str) -> Result<(), super::ParamError> {

@@ -126,7 +126,11 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, RequestError> {
     String::from_utf8(buf).map_err(|_| RequestError::Malformed("header line is not UTF-8"))
 }
 
-/// Percent-decodes one URL component (`%41` → `A`, `+` → space).
+/// Percent-decodes one URL component (`%41` → `A`). A literal `+` stays
+/// a `+` — the `+`-means-space rule belongs to form encoding
+/// (`application/x-www-form-urlencoded`), not to URI components, and the
+/// grid grammar's arithmetic step (`?bits=4..=10:+3`) must survive a
+/// query string verbatim. Spaces travel as `%20`.
 /// Returns `None` for truncated or non-hex escapes and non-UTF-8 output.
 #[must_use]
 pub fn percent_decode(s: &str) -> Option<String> {
@@ -140,10 +144,6 @@ pub fn percent_decode(s: &str) -> Option<String> {
                 let hex = core::str::from_utf8(hex).ok()?;
                 out.push(u8::from_str_radix(hex, 16).ok()?);
                 i += 3;
-            }
-            b'+' => {
-                out.push(b' ');
-                i += 1;
             }
             b => {
                 out.push(b);
@@ -319,7 +319,7 @@ mod tests {
 
     #[test]
     fn percent_decoding_covers_query_and_path() {
-        let req = parse("GET /v1/run/table4?code=bacon%2Dshor&x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        let req = parse("GET /v1/run/table4?code=bacon%2Dshor&x=a%20b HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(
             req.query,
             [
@@ -329,6 +329,14 @@ mod tests {
         );
         assert_eq!(percent_decode("%zz"), None);
         assert_eq!(percent_decode("%4"), None);
+    }
+
+    #[test]
+    fn plus_survives_query_decoding_for_arithmetic_range_steps() {
+        // `+` is NOT form-decoded to a space: the grid grammar's
+        // arithmetic step must arrive verbatim off the query string.
+        let req = parse("GET /v1/run/fig2?bits=4..=10:+3 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query, [("bits".to_owned(), "4..=10:+3".to_owned())]);
     }
 
     #[test]

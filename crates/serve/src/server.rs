@@ -7,12 +7,16 @@
 //! queue); each of N workers pops connections and serves one request
 //! per connection (`Connection: close`). Every registry run is a pure
 //! function of `(experiment id, parameter overrides)`, so responses are
-//! cached under that key: once one request has computed a run, every
-//! later identical request is a cache hit. (Simultaneous *cold* misses
-//! may each compute — the lock is not held during evaluation and there
-//! is no in-flight coalescing; purity makes the duplicate work harmless.)
-//! A panicking handler is caught and answered with a 500 — it never
-//! takes the worker down with it.
+//! cached under that key in a bounded LRU: once one request has computed
+//! a run, every later identical request is a cache hit, and when the
+//! cache fills the least-recently-used entry is evicted (counted in
+//! `/v1/stats`). Grid requests (`?key=value-set`, `POST /v1/sweep/{id}`)
+//! read and populate the same cache *per point*: every point's entry is
+//! exactly the body a single-value request would produce. (Simultaneous
+//! *cold* misses may each compute — the lock is not held during
+//! evaluation and there is no in-flight coalescing; purity makes the
+//! duplicate work harmless.) A panicking handler is caught and answered
+//! with a 500 — it never takes the worker down with it.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -23,9 +27,11 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use cqla_core::experiments::{find, ids, listing_json, suggest};
+use cqla_core::experiments::{
+    find, ids, is_set_clause, listing_json, params_usage, suggest, Experiment, Grid,
+};
 use cqla_core::Json;
-use cqla_sweep::{Sweep, SweepRun};
+use cqla_sweep::{GridRun, PointCache, Sweep, SweepRun};
 
 use crate::http::{self, read_request, Request, RequestError, Response, Status};
 
@@ -33,10 +39,66 @@ use crate::http::{self, read_request, Request, RequestError, Response, Status};
 /// connection up. Keeps a stalled peer from pinning a worker forever.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// How many entries the results cache holds before it is wiped and
-/// rebuilt. The registry's parameter space is small; this is a backstop
-/// against unbounded memory in a long-running process, not an LRU.
+/// How many entries the results cache holds. Past this, inserting
+/// evicts the least-recently-used entry (see [`LruCache`]).
 const CACHE_CAPACITY: usize = 4096;
+
+/// A bounded least-recently-used results cache: canonical
+/// `(id, sorted params)` key → shared body, stamped with a logical
+/// clock on every touch. When full, inserting evicts the entry with
+/// the oldest stamp — an O(n) scan, which at this capacity is far
+/// cheaper than the experiment evaluation a miss implies (and runs
+/// only on insertions, never on hits).
+struct LruCache {
+    capacity: usize,
+    /// Logical clock: bumped on every get/insert, stamped per entry.
+    tick: u64,
+    map: HashMap<String, (Arc<String>, u64)>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks `key` up, refreshing its recency stamp on a hit.
+    fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|entry| {
+            entry.1 = tick;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when the
+    /// cache is full. Returns the number of evictions (0 or 1).
+    fn insert(&mut self, key: String, body: Arc<String>) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, stamp))| stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(lru) = lru {
+                self.map.remove(&lru);
+                evicted = 1;
+            }
+        }
+        self.map.insert(key, (body, self.tick));
+        evicted
+    }
+}
 
 /// State shared by the acceptor, the workers, and shutdown handles.
 struct Shared {
@@ -44,14 +106,16 @@ struct Shared {
     shutdown: AtomicBool,
     /// Where the listener actually bound (resolves port 0).
     addr: SocketAddr,
-    /// Response cache: canonical `(id, sorted params)` key → body.
-    cache: Mutex<HashMap<String, Arc<String>>>,
+    /// Bounded LRU response cache over `(id, sorted params)` keys.
+    cache: Mutex<LruCache>,
     /// Total requests answered (any status).
     requests: AtomicU64,
-    /// `/v1/run` responses served from the cache.
+    /// Run responses (or grid points) served from the cache.
     cache_hits: AtomicU64,
-    /// `/v1/run` responses that had to be computed.
+    /// Run responses (or grid points) that had to be computed.
     cache_misses: AtomicU64,
+    /// Entries evicted to make room (LRU policy).
+    cache_evictions: AtomicU64,
 }
 
 /// The HTTP service over the experiment registry.
@@ -113,10 +177,11 @@ impl Server {
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 addr,
-                cache: Mutex::new(HashMap::new()),
+                cache: Mutex::new(LruCache::new(CACHE_CAPACITY)),
                 requests: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
+                cache_evictions: AtomicU64::new(0),
             }),
         })
     }
@@ -287,19 +352,30 @@ fn route(request: &Request, shared: &Shared, pool_threads: usize) -> Response {
             }
             _ => method_not_allowed("POST"),
         },
-        path => match path.strip_prefix("/v1/run/") {
-            Some(id) if method == "GET" => run_endpoint(id, &request.query, shared),
-            Some(_) => method_not_allowed("GET"),
-            None => Response::error(
-                Status::NotFound,
-                format!("no route for `{path}`"),
-                Some(
-                    "endpoints: GET /healthz, GET /v1/experiments, GET /v1/run/{id}?key=value, \
-                     POST /v1/sweep, GET /v1/stats, POST /v1/shutdown"
-                        .to_owned(),
+        path => {
+            if let Some(id) = path.strip_prefix("/v1/sweep/") {
+                return match method {
+                    "POST" => sweep_grid_endpoint(id, &request.body, shared, pool_threads),
+                    _ => method_not_allowed("POST"),
+                };
+            }
+            match path.strip_prefix("/v1/run/") {
+                Some(id) if method == "GET" => {
+                    run_endpoint(id, &request.query, shared, pool_threads)
+                }
+                Some(_) => method_not_allowed("GET"),
+                None => Response::error(
+                    Status::NotFound,
+                    format!("no route for `{path}`"),
+                    Some(
+                        "endpoints: GET /healthz, GET /v1/experiments, \
+                         GET /v1/run/{id}?key=value-set, POST /v1/sweep, \
+                         POST /v1/sweep/{id}, GET /v1/stats, POST /v1/shutdown"
+                            .to_owned(),
+                    ),
                 ),
-            ),
-        },
+            }
+        }
     }
 }
 
@@ -336,6 +412,10 @@ fn stats_json(shared: &Shared) -> Json {
             "cache_misses",
             Json::Int(shared.cache_misses.load(Ordering::Relaxed) as i64),
         ),
+        (
+            "cache_evictions",
+            Json::Int(shared.cache_evictions.load(Ordering::Relaxed) as i64),
+        ),
         ("cache_entries", Json::Int(entries as i64)),
     ])
 }
@@ -345,45 +425,138 @@ fn stats_json(shared: &Shared) -> Json {
 /// The body is byte-identical to `cqla run <id> --format json`: the
 /// pretty-printed artifact document plus the trailing newline `println!`
 /// appends. Overrides are applied in sorted key order, which is also the
-/// cache key order, so equivalent queries share one cache entry.
-fn run_endpoint(id: &str, query: &[(String, String)], shared: &Shared) -> Response {
+/// cache key order, so equivalent queries share one cache entry. A query
+/// using value-*set* syntax (`?bits=32..=128:*2`, comma lists, `base.`
+/// pins) fans out into a grid run instead — byte-identical to
+/// `cqla run <id> key=value-set… --format json`.
+fn run_endpoint(
+    id: &str,
+    query: &[(String, String)],
+    shared: &Shared,
+    pool_threads: usize,
+) -> Response {
     let Some(mut experiment) = find(id) else {
         let all = ids();
         let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
         return Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint);
     };
+    if query.iter().any(|(k, v)| is_set_clause(k, v)) {
+        let expr = query
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        return grid_endpoint(experiment.as_ref(), &expr, shared, pool_threads);
+    }
     let mut params: Vec<(String, String)> = query.to_vec();
     params.sort();
     let key = canonical_key(id, &params);
-    if let Some(body) = shared.cache.lock().expect("cache lock").get(&key).cloned() {
+    if let Some(body) = shared.cache.lock().expect("cache lock").get(&key) {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Response::shared(body);
     }
     for (param, value) in &params {
         if let Err(e) = experiment.set(param, value) {
-            let usage = experiment
-                .params()
-                .iter()
-                .map(|p| format!("{}=<{}>", p.key, p.accepts))
-                .collect::<Vec<_>>()
-                .join(" ");
             return Response::error(
                 Status::BadRequest,
                 e.to_string(),
-                Some(format!("{id} takes: {usage}")),
+                Some(format!("{id} takes: {}", params_usage(experiment.as_ref()))),
             );
         }
     }
     let output = experiment.run();
     let body = Arc::new(format!("{}\n", output.document(id).to_pretty()));
     shared.cache_misses.fetch_add(1, Ordering::Relaxed);
-    let mut cache = shared.cache.lock().expect("cache lock");
-    if cache.len() >= CACHE_CAPACITY {
-        cache.clear();
+    // Failing runs (a broken `verify`) are never cached: cached bodies
+    // carry no verdict, and the grid executor reports hits as passed.
+    if output.passed {
+        let evicted = shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&body));
+        shared.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
     }
-    cache.insert(key, Arc::clone(&body));
-    drop(cache);
     Response::shared(body)
+}
+
+/// Plugs the server's results cache into the grid executor: each grid
+/// point reads and writes exactly the entry a single `/v1/run/{id}`
+/// request with the same overrides would, so grids warm the cache for
+/// single runs and vice versa. Hit/miss/eviction counters tick per
+/// point.
+struct SharedPointCache<'a> {
+    shared: &'a Shared,
+    id: &'a str,
+}
+
+impl PointCache for SharedPointCache<'_> {
+    fn get(&self, overrides: &[(String, String)]) -> Option<String> {
+        let mut params = overrides.to_vec();
+        params.sort();
+        let key = canonical_key(self.id, &params);
+        let hit = self.shared.cache.lock().expect("cache lock").get(&key);
+        let body = hit?;
+        self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some((*body).clone())
+    }
+
+    fn put(&self, overrides: &[(String, String)], body: &str) {
+        let mut params = overrides.to_vec();
+        params.sort();
+        let key = canonical_key(self.id, &params);
+        self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let evicted = self
+            .shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::new(body.to_owned()));
+        self.shared
+            .cache_evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+/// Executes a grid expression over one experiment and answers with the
+/// merged document — byte-identical to the CLI's grid output. Behind
+/// both `GET /v1/run/{id}?key=value-set` and `POST /v1/sweep/{id}`.
+fn grid_endpoint(
+    experiment: &dyn Experiment,
+    expr: &str,
+    shared: &Shared,
+    pool_threads: usize,
+) -> Response {
+    let id = experiment.id();
+    let grid = match Grid::parse(id, &experiment.specs(), expr) {
+        Ok(grid) => grid,
+        Err(e) => {
+            return Response::error(
+                Status::BadRequest,
+                e.to_string(),
+                Some(format!("{id} takes: {}", params_usage(experiment))),
+            );
+        }
+    };
+    let cache = SharedPointCache { shared, id };
+    let run = GridRun::execute_cached(&grid, pool_threads, &cache);
+    Response::ok(format!("{}\n", run.to_json().to_pretty()))
+}
+
+/// `POST /v1/sweep/{id}` — the body is one `key=value-set` expression
+/// over the experiment's declared parameters, executed as a grid on the
+/// work-stealing pool. The response is the same merged document the
+/// grid-query form of `GET /v1/run/{id}` produces.
+fn sweep_grid_endpoint(id: &str, body: &[u8], shared: &Shared, pool_threads: usize) -> Response {
+    let Some(experiment) = find(id) else {
+        let all = ids();
+        let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
+        return Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint);
+    };
+    let Ok(expr) = core::str::from_utf8(body) else {
+        return Response::error(Status::BadRequest, "grid expression is not UTF-8", None);
+    };
+    grid_endpoint(experiment.as_ref(), expr.trim(), shared, pool_threads)
 }
 
 /// The canonical cache key: id plus the sorted, decoded overrides. Two
@@ -478,7 +651,7 @@ mod tests {
     fn run_endpoint_matches_the_registry_document() {
         let server = Server::bind("127.0.0.1:0", 1).unwrap();
         let shared = &server.shared;
-        let resp = run_endpoint("table4", &[], shared);
+        let resp = run_endpoint("table4", &[], shared, 1);
         assert_eq!(resp.status, Status::Ok);
         let expected = format!(
             "{}\n",
@@ -487,15 +660,17 @@ mod tests {
         assert_eq!(*resp.body, expected);
         // Second identical request hits the cache — and shares the
         // cached allocation instead of copying it.
-        let again = run_endpoint("table4", &[], shared);
+        let again = run_endpoint("table4", &[], shared, 1);
         assert_eq!(*again.body, expected);
         let cached = shared
             .cache
             .lock()
             .unwrap()
+            .map
             .values()
             .next()
             .unwrap()
+            .0
             .clone();
         assert!(Arc::ptr_eq(&again.body, &cached), "hits must share the Arc");
         assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 1);
@@ -509,11 +684,61 @@ mod tests {
             "table4",
             &[("tech".to_owned(), "warp".to_owned())],
             &server.shared,
+            1,
         );
         assert_eq!(resp.status, Status::BadRequest);
         assert!(resp.body.contains("bad value"), "{}", resp.body);
-        let resp = run_endpoint("table9", &[], &server.shared);
+        let resp = run_endpoint("table9", &[], &server.shared, 1);
         assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn lru_cache_evicts_the_least_recently_used_entry() {
+        let mut cache = LruCache::new(2);
+        let body = |s: &str| Arc::new(s.to_owned());
+        assert_eq!(cache.insert("a".to_owned(), body("A")), 0);
+        assert_eq!(cache.insert("b".to_owned(), body("B")), 0);
+        // Touch `a` so `b` becomes the least recently used…
+        assert!(cache.get("a").is_some());
+        // …then overflow: `b` must go, `a` must stay.
+        assert_eq!(cache.insert("c".to_owned(), body("C")), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b").is_none(), "LRU entry must be evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        // Re-inserting an existing key is an update, not an eviction.
+        assert_eq!(cache.insert("c".to_owned(), body("C2")), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn grid_queries_fan_out_and_share_the_point_cache() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        // Warm one point through the single-run path…
+        let single = run_endpoint("fig2", &[("bits".to_owned(), "8".to_owned())], shared, 1);
+        assert_eq!(single.status, Status::Ok);
+        assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 1);
+        // …then a grid covering it: one hit (the warm point), one miss.
+        let grid = run_endpoint("fig2", &[("bits".to_owned(), "8,16".to_owned())], shared, 1);
+        assert_eq!(grid.status, Status::Ok);
+        assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 2);
+        let doc = cqla_core::json::parse(&grid.body).unwrap();
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(2.0));
+        // The grid's second point now serves single runs from the cache.
+        let warm = run_endpoint("fig2", &[("bits".to_owned(), "16".to_owned())], shared, 1);
+        assert_eq!(warm.status, Status::Ok);
+        assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 2);
+        // Bad grid values are spanned 400s.
+        let bad = run_endpoint(
+            "fig2",
+            &[("bits".to_owned(), "8,nope".to_owned())],
+            shared,
+            1,
+        );
+        assert_eq!(bad.status, Status::BadRequest);
+        assert!(bad.body.contains("expected an integer"), "{}", bad.body);
     }
 
     #[test]

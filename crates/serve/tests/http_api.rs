@@ -224,6 +224,76 @@ fn concurrent_identical_requests_hit_the_cache() {
 }
 
 #[test]
+fn grid_queries_and_the_sweep_id_route_merge_per_point_documents() {
+    let live = Live::start(2);
+    // A value-set query fans out into a grid document…
+    let (status, via_query) = get(live.addr, "/v1/run/fig2?bits=8,16&cap=15");
+    assert_eq!(status, 200, "{via_query}");
+    let doc = json::parse(&via_query).expect("grid document is JSON");
+    assert_eq!(doc.get("artifact").and_then(|v| v.as_str()), Some("fig2"));
+    assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(2.0));
+    let results = doc.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[1]
+            .get("params")
+            .and_then(|p| p.get("bits"))
+            .and_then(|v| v.as_str()),
+        Some("16")
+    );
+    // …and the per-experiment sweep route answers identically.
+    let (status, via_post) = post(live.addr, "/v1/sweep/fig2", "bits=8,16 cap=15");
+    assert_eq!(status, 200, "{via_post}");
+    assert_eq!(via_query, via_post, "both grid spellings must agree");
+    // Each grid point left a cache entry a single run now hits.
+    let (_, before) = get(live.addr, "/v1/stats");
+    let hits_before = json::parse(&before)
+        .unwrap()
+        .get("cache_hits")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let (status, _) = get(live.addr, "/v1/run/fig2?bits=8&cap=15");
+    assert_eq!(status, 200);
+    let (_, after) = get(live.addr, "/v1/stats");
+    let after = json::parse(&after).unwrap();
+    assert_eq!(
+        after.get("cache_hits").unwrap().as_f64(),
+        Some(hits_before + 1.0),
+        "grid points must warm the single-run cache"
+    );
+    assert!(
+        after
+            .get("cache_evictions")
+            .and_then(|v| v.as_f64())
+            .is_some(),
+        "stats must report evictions"
+    );
+    // The arithmetic-step range form survives the query string (`+` is
+    // not form-decoded to a space).
+    let (status, body) = get(live.addr, "/v1/run/fig2?bits=8..=16:+4&cap=15");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json::parse(&body)
+            .unwrap()
+            .get("points")
+            .and_then(|v| v.as_f64()),
+        Some(3.0),
+        "8, 12, 16"
+    );
+    // Grid parse errors are spanned 400s; unknown artifacts stay 404;
+    // GET on the sweep route is a 405.
+    let (status, body) = post(live.addr, "/v1/sweep/fig2", "bits=8..4");
+    assert_eq!(status, 400);
+    assert!(body.contains("inclusive"), "{body}");
+    let (status, body) = post(live.addr, "/v1/sweep/fgi2", "bits=8");
+    assert_eq!(status, 404);
+    assert!(body.contains("did you mean `fig2`?"), "{body}");
+    let (status, _) = get(live.addr, "/v1/sweep/fig2");
+    assert_eq!(status, 405);
+}
+
+#[test]
 fn malformed_requests_get_400_and_the_server_survives() {
     let live = Live::start(2);
     let (status, body) = raw(live.addr, "NOT A REQUEST\r\n\r\n");

@@ -1,0 +1,362 @@
+//! Grid execution: run a registry-driven [`Grid`] on the work-stealing
+//! pool and merge the per-point artifact documents.
+//!
+//! A [`Grid`] (parsed by [`cqla_core::experiments::grid`] against an
+//! experiment's declared parameters) expands to a deterministic,
+//! submission-order list of parameter assignments. [`GridRun::execute`]
+//! fans one job out per point — each job resolves a fresh registry
+//! instance, applies the point's overrides, and runs it — and the
+//! results merge into one JSON document:
+//!
+//! ```json
+//! {
+//!   "artifact": "fig2",
+//!   "grid": "bits=32..=128:*2",
+//!   "points": 3,
+//!   "results": [{"params": {"bits": "32", "cap": "15"}, "data": …}, …]
+//! }
+//! ```
+//!
+//! Determinism contract: like [`crate::SweepRun::to_json`], the merged
+//! document depends only on the grid description — byte-identical across
+//! runs and thread counts. The CLI (`cqla run <id> k=set…`,
+//! `cqla sweep <id> k=set…`) and the HTTP service (`GET /v1/run/{id}`,
+//! `POST /v1/sweep/{id}`) all emit exactly this document, which is what
+//! lets the service cache *per point*: every point's single-run body is
+//! the same bytes a direct single-value request would produce, exposed
+//! through the [`PointCache`] hook.
+
+use cqla_core::experiments::{find, Grid};
+use cqla_core::json::Json;
+
+use crate::pool;
+
+/// One executed grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The clause-level overrides that select this point (base + axis
+    /// assignments, in clause order) — what a user would pass to
+    /// `cqla run <id>` to reproduce it alone.
+    pub overrides: Vec<(String, String)>,
+    /// The fully resolved parameter surface after applying the
+    /// overrides (declared order, rendered values).
+    pub params: Vec<(String, String)>,
+    /// The structured result (the single-run document's `data`).
+    pub data: Json,
+    /// The paper-style text rendering. Empty when the point was served
+    /// from a [`PointCache`] (cached bodies carry only the JSON).
+    pub text: String,
+    /// Whether the experiment's self-checks passed.
+    pub passed: bool,
+}
+
+/// A per-point result cache the grid executor can read through and
+/// populate — the HTTP service plugs its results cache in here, so a
+/// grid run reuses previously computed single-run documents and leaves
+/// one cache entry per point behind.
+///
+/// `get` returns the cached *single-run body* for a point's overrides
+/// (the pretty `{"artifact", "data"}` document plus trailing newline —
+/// exactly what a single-value request produces); `put` stores a body
+/// the executor just computed. Only *passing* runs are ever `put` (the
+/// body format does not record the verdict, so a cached point is
+/// reported as passed); implementations should uphold the same
+/// invariant for entries they populate elsewhere.
+pub trait PointCache: Sync {
+    /// The cached single-run body for these overrides, if any.
+    fn get(&self, overrides: &[(String, String)]) -> Option<String>;
+    /// Stores a freshly computed single-run body for these overrides.
+    fn put(&self, overrides: &[(String, String)], body: &str);
+}
+
+/// The no-op cache behind plain [`GridRun::execute`].
+struct NoCache;
+
+impl PointCache for NoCache {
+    fn get(&self, _overrides: &[(String, String)]) -> Option<String> {
+        None
+    }
+
+    fn put(&self, _overrides: &[(String, String)], _body: &str) {}
+}
+
+/// A completed grid run: every point's document in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRun {
+    id: String,
+    spec: String,
+    points: Vec<GridPoint>,
+}
+
+impl GridRun {
+    /// Executes every grid point on `threads` workers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cqla_core::experiments::{find, Grid};
+    /// use cqla_sweep::grid::GridRun;
+    ///
+    /// let exp = find("fig2").unwrap();
+    /// let grid = Grid::parse("fig2", &exp.specs(), "bits=8,16").unwrap();
+    /// let run = GridRun::execute(&grid, 2);
+    /// assert_eq!(run.points().len(), 2);
+    /// assert!(run.passed());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid names an experiment the registry no longer
+    /// has, or a value `Experiment::set` rejects — both impossible for
+    /// grids produced by [`Grid::parse`], which validates id and values
+    /// against the same registry surface (the completeness test in
+    /// `tests/registry.rs` pins that contract).
+    #[must_use]
+    pub fn execute(grid: &Grid, threads: usize) -> Self {
+        Self::execute_cached(grid, threads, &NoCache)
+    }
+
+    /// Executes the grid, reading each point through `cache` and
+    /// populating it on misses. Cached points keep their JSON but have
+    /// no text rendering (cached bodies are JSON documents).
+    ///
+    /// # Panics
+    ///
+    /// As [`GridRun::execute`].
+    #[must_use]
+    pub fn execute_cached(grid: &Grid, threads: usize, cache: &dyn PointCache) -> Self {
+        let id = grid.id().to_owned();
+        let assignments = grid.points();
+        let points = pool::map(&assignments, threads, |_, overrides| {
+            let mut exp = find(&id).expect("grid experiment is registered");
+            for (key, value) in overrides {
+                exp.set(key, value)
+                    .expect("grid-validated value accepted by set");
+            }
+            let params: Vec<(String, String)> = exp
+                .params()
+                .iter()
+                .map(|p| (p.key.to_owned(), p.value.clone()))
+                .collect();
+            if let Some(point) = cached_point(cache, overrides, &params) {
+                return point;
+            }
+            let output = exp.run();
+            // Failing runs are never cached: the cached body cannot
+            // carry the verdict, so a hit is reported as passed.
+            if output.passed {
+                let body = format!("{}\n", output.document(&id).to_pretty());
+                cache.put(overrides, &body);
+            }
+            GridPoint {
+                overrides: overrides.clone(),
+                params,
+                data: output.data,
+                text: output.text,
+                passed: output.passed,
+            }
+        })
+        .into_iter()
+        .map(|t| t.value)
+        .collect();
+        Self {
+            id,
+            spec: grid.spec().to_owned(),
+            points,
+        }
+    }
+
+    /// The experiment id the grid ran.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The expression text the grid was parsed from.
+    #[must_use]
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Per-point results in submission order.
+    #[must_use]
+    pub fn points(&self) -> &[GridPoint] {
+        &self.points
+    }
+
+    /// Whether every point's self-checks passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.points.iter().all(|p| p.passed)
+    }
+
+    /// The merged grid document. Deterministic: depends only on the
+    /// grid description, never on thread count or cache state.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("artifact", Json::from(self.id.as_str())),
+            ("grid", Json::from(self.spec.as_str())),
+            ("points", Json::Int(self.points.len() as i64)),
+            (
+                "results",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                (
+                                    "params",
+                                    Json::obj(
+                                        p.params
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::from(v.as_str()))),
+                                    ),
+                                ),
+                                ("data", p.data.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the paper-style text for terminal output: one banner and
+    /// rendering per point.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "grid {}: {} point(s){}\n",
+            self.id,
+            self.points.len(),
+            if self.spec.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", self.spec)
+            }
+        );
+        for p in &self.points {
+            let assignment = p
+                .overrides
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "\n== {}{}{} ==\n{}\n",
+                self.id,
+                if assignment.is_empty() { "" } else { " " },
+                assignment,
+                p.text
+            ));
+        }
+        out
+    }
+}
+
+/// Rebuilds a [`GridPoint`] from a cached single-run body, if present
+/// and parseable.
+fn cached_point(
+    cache: &dyn PointCache,
+    overrides: &[(String, String)],
+    params: &[(String, String)],
+) -> Option<GridPoint> {
+    let body = cache.get(overrides)?;
+    let data = cqla_core::json::parse(&body).ok()?.get("data")?.clone();
+    Some(GridPoint {
+        overrides: overrides.to_vec(),
+        params: params.to_vec(),
+        data,
+        text: String::new(),
+        passed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqla_core::experiments;
+    use std::sync::Mutex;
+
+    fn grid(id: &str, expr: &str) -> Grid {
+        let exp = find(id).unwrap();
+        Grid::parse(id, &exp.specs(), expr).unwrap()
+    }
+
+    #[test]
+    fn grid_run_matches_single_runs_pointwise() {
+        let run = GridRun::execute(&grid("fig2", "bits=8..=32:*2"), 3);
+        assert_eq!(run.points().len(), 3);
+        for (point, bits) in run.points().iter().zip(["8", "16", "32"]) {
+            let mut exp = find("fig2").unwrap();
+            exp.set("bits", bits).unwrap();
+            let single = exp.run();
+            assert_eq!(point.data, single.data, "bits={bits}");
+            assert_eq!(point.text, single.text, "bits={bits}");
+            assert_eq!(point.params[0], ("bits".to_owned(), bits.to_owned()));
+        }
+        assert!(run.passed());
+    }
+
+    #[test]
+    fn merged_document_is_deterministic_across_thread_counts() {
+        let g = grid("fig2", "bits=8,16,24 cap=4,8");
+        let serial = GridRun::execute(&g, 1).to_json().to_pretty();
+        let parallel = GridRun::execute(&g, 4).to_json().to_pretty();
+        assert_eq!(serial, parallel);
+        let doc = cqla_core::json::parse(&serial).unwrap();
+        assert_eq!(doc.get("artifact").and_then(Json::as_str), Some("fig2"));
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(6.0));
+        assert_eq!(
+            doc.get("results").and_then(Json::as_arr).map(<[_]>::len),
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn point_cache_is_read_through_and_populated() {
+        struct MapCache(Mutex<std::collections::HashMap<String, String>>);
+        impl PointCache for MapCache {
+            fn get(&self, overrides: &[(String, String)]) -> Option<String> {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .get(&format!("{overrides:?}"))
+                    .cloned()
+            }
+            fn put(&self, overrides: &[(String, String)], body: &str) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .insert(format!("{overrides:?}"), body.to_owned());
+            }
+        }
+        let cache = MapCache(Mutex::new(std::collections::HashMap::new()));
+        let g = grid("fig2", "bits=8,16");
+        let cold = GridRun::execute_cached(&g, 2, &cache);
+        assert_eq!(cache.0.lock().unwrap().len(), 2, "one entry per point");
+        // Every cached body is the exact single-run document.
+        for point in cold.points() {
+            let mut exp = find("fig2").unwrap();
+            for (k, v) in &point.overrides {
+                exp.set(k, v).unwrap();
+            }
+            let expected = format!("{}\n", exp.run().document("fig2").to_pretty());
+            assert_eq!(cache.get(&point.overrides).as_deref(), Some(&*expected));
+        }
+        // A warm run produces the same merged document without text.
+        let warm = GridRun::execute_cached(&g, 2, &cache);
+        assert_eq!(warm.to_json().to_pretty(), cold.to_json().to_pretty());
+        assert!(warm.points().iter().all(|p| p.text.is_empty()));
+    }
+
+    #[test]
+    fn empty_expression_runs_the_default_point() {
+        let run = GridRun::execute(&grid("table2", ""), 1);
+        assert_eq!(run.points().len(), 1);
+        let default = experiments::find("table2").unwrap().run();
+        assert_eq!(run.points()[0].data, default.data);
+        assert!(run.render_text().contains("== table2 =="));
+    }
+}

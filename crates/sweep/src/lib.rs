@@ -15,7 +15,14 @@
 //!   built-in specs `cqla sweep <spec>` accepts;
 //! * [`parse`] — the sweep-spec expression language: parse strings like
 //!   `"tech=current,projected width=64..=512:*2 xfer=5,10"` into
-//!   [`Sweep`]s, with spanned error messages;
+//!   [`Sweep`]s, with spanned error messages (a thin client of the
+//!   registry-driven grammar in `cqla_core::experiments::grid`);
+//! * [`grid`] — [`GridRun`]: execute a per-experiment parameter [`Grid`]
+//!   (`cqla run fig2 bits=32..=128:*2`) on the pool and merge the
+//!   per-point artifact documents, with a [`PointCache`] hook for the
+//!   HTTP service's results cache;
+//!
+//! [`Grid`]: cqla_core::experiments::Grid
 //! * [`pool`] — a scoped-thread work-stealing executor
 //!   ([`std::thread::scope`], zero dependencies) with per-job timing and
 //!   deterministic result ordering;
@@ -56,6 +63,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod grid;
 pub mod parse;
 pub mod pool;
 pub mod regress;
@@ -64,6 +72,7 @@ pub mod spec;
 pub use cqla_core::json;
 pub use cqla_core::json::{Json, ToJson};
 pub use engine::{JobResult, PointOutcome, SweepRun};
+pub use grid::{GridPoint, GridRun, PointCache};
 pub use parse::SpecError;
 pub use regress::{BenchDiff, BenchDoc, DocError};
 pub use spec::{Axis, DesignPoint, Sweep, TechPoint};

@@ -24,13 +24,26 @@
 //! order is axis order: later clauses vary fastest, exactly like nested
 //! `for` loops.
 //!
+//! A clause `base.<key>=v` moves the *base point* instead of adding an
+//! axis: `base.xfer=10 code=steane,bacon-shor width=64..=512:*2` runs the
+//! code×width grid with every point on ten transfer channels. This is
+//! how table4/table5-style "grid over a shifted base" studies are spelled
+//! without a code-defined builtin.
+//!
 //! Errors are *spanned*: [`SpecError`] carries the byte range of the
 //! offending token and renders a caret underline, so a typo in a long
 //! spec is pinpointed rather than guessed at.
+//!
+//! The tokenizer, the value-set parsers, and [`SpecError`] itself live in
+//! [`cqla_core::experiments::grid`] — the registry-driven grammar layer
+//! that `cqla run <id> key=value-set` grids also parse through. This
+//! module is a thin client: it only maps the seven fixed design-space
+//! keys onto [`Axis`] values.
 
-use cqla_core::experiments::suggest;
-use cqla_ecc::Code;
-use cqla_iontrap::TechPoint;
+use cqla_core::experiments::grid;
+use cqla_core::experiments::{primary_blocks, suggest};
+
+pub use cqla_core::experiments::grid::{SpecError, MAX_INT, MAX_POINTS};
 
 use crate::spec::{Axis, DesignPoint, Sweep};
 
@@ -54,80 +67,6 @@ pub const KEYS: [(&str, &str); 7] = [
     ),
 ];
 
-/// Hard cap on the points one spec may expand to.
-pub const MAX_POINTS: usize = 10_000;
-
-/// Hard cap on any integer axis value (adders beyond this would not fit
-/// in memory anyway).
-pub const MAX_INT: u32 = 1 << 20;
-
-/// A parse error with the byte span of the offending token.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError {
-    /// The full spec text, kept for caret rendering.
-    pub spec: String,
-    /// Byte range `[start, end)` the error points at.
-    pub span: (usize, usize),
-    /// What went wrong.
-    pub message: String,
-}
-
-impl SpecError {
-    fn new(spec: &str, span: (usize, usize), message: impl Into<String>) -> Self {
-        Self {
-            spec: spec.to_owned(),
-            span,
-            message: message.into(),
-        }
-    }
-}
-
-impl core::fmt::Display for SpecError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let (start, end) = self.span;
-        writeln!(f, "spec error at {start}..{end}: {}", self.message)?;
-        writeln!(f, "  {}", self.spec)?;
-        let pad = self.spec[..start.min(self.spec.len())].chars().count();
-        let width = self.spec[start.min(self.spec.len())..end.min(self.spec.len())]
-            .chars()
-            .count()
-            .max(1);
-        write!(f, "  {}{}", " ".repeat(pad), "^".repeat(width))
-    }
-}
-
-impl std::error::Error for SpecError {}
-
-/// One whitespace-delimited token with its byte span.
-struct Word<'a> {
-    text: &'a str,
-    start: usize,
-}
-
-fn words(input: &str) -> Vec<Word<'_>> {
-    let mut out = Vec::new();
-    let mut start = None;
-    for (i, c) in input.char_indices() {
-        if c.is_whitespace() {
-            if let Some(s) = start.take() {
-                out.push(Word {
-                    text: &input[s..i],
-                    start: s,
-                });
-            }
-        } else if start.is_none() {
-            start = Some(i);
-        }
-    }
-    if let Some(s) = start {
-        out.push(Word {
-            text: &input[s..],
-            start: s,
-        });
-    }
-    out
-}
-
 /// Parses a spec expression into a [`Sweep`] over the paper-default base
 /// point. The sweep is named by the (trimmed) spec text itself.
 ///
@@ -135,7 +74,8 @@ fn words(input: &str) -> Vec<Word<'_>> {
 ///
 /// A [`SpecError`] pointing at the offending token: unknown or duplicate
 /// keys (with did-you-mean suggestions), unparseable values, degenerate
-/// ranges, or a grid exceeding [`MAX_POINTS`].
+/// ranges, multi-value `base.` clauses, or a grid exceeding
+/// [`MAX_POINTS`].
 pub fn parse(input: &str) -> Result<Sweep, SpecError> {
     let trimmed = input.trim();
     if trimmed.is_empty() {
@@ -145,9 +85,10 @@ pub fn parse(input: &str) -> Result<Sweep, SpecError> {
             "empty spec; expected key=values clauses (e.g. `tech=projected width=64,128`)",
         ));
     }
+    let mut base = DesignPoint::paper_default();
     let mut axes: Vec<Axis> = Vec::new();
     let mut seen: Vec<&str> = Vec::new();
-    for word in words(input) {
+    for word in grid::words(input) {
         let Some(eq) = word.text.find('=') else {
             let mut message = "expected a `key=values` clause".to_owned();
             let builtins = Sweep::BUILTIN.map(|(name, _)| name);
@@ -160,10 +101,12 @@ pub fn parse(input: &str) -> Result<Sweep, SpecError> {
                 message,
             ));
         };
-        let key = &word.text[..eq];
+        let raw_key = &word.text[..eq];
         let key_span = (word.start, word.start + eq);
-        let values = &word.text[eq + 1..];
-        let values_start = word.start + eq + 1;
+        let (key, pinned) = match raw_key.strip_prefix("base.") {
+            Some(rest) => (rest, true),
+            None => (raw_key, false),
+        };
         if !KEYS.iter().any(|&(k, _)| k == key) {
             let mut message = format!("unknown axis `{key}`");
             if let Some(s) = suggest(key, KEYS.iter().map(|&(k, _)| k)) {
@@ -183,7 +126,21 @@ pub fn parse(input: &str) -> Result<Sweep, SpecError> {
         // `seen` borrows from `input` via `word.text`.
         let key: &str = key;
         seen.push(key);
-        axes.push(parse_axis(input, key, values, values_start)?);
+        let values = &word.text[eq + 1..];
+        let values_start = word.start + eq + 1;
+        let axis = parse_axis(input, key, values, values_start)?;
+        if pinned {
+            if axis.len() != 1 {
+                return Err(SpecError::new(
+                    input,
+                    (values_start, values_start + values.len()),
+                    format!("base.{key} pins exactly one value, got {}", axis.len()),
+                ));
+            }
+            apply_base(&mut base, &axis);
+        } else {
+            axes.push(axis);
+        }
     }
     // Checked product: four maxed-out range axes multiply to 2^80, which
     // would wrap a plain `product()` back under the cap.
@@ -201,88 +158,47 @@ pub fn parse(input: &str) -> Result<Sweep, SpecError> {
             ));
         }
     }
-    Ok(Sweep::cartesian(
-        trimmed,
-        DesignPoint::paper_default(),
-        &axes,
-    ))
+    Ok(Sweep::cartesian(trimmed, base, &axes))
 }
 
-/// Splits `values` on commas (tracking spans) and parses each item with
-/// `item`, flattening range expansions.
-fn parse_items<T>(
-    spec: &str,
-    values: &str,
-    values_start: usize,
-    mut item: impl FnMut(&str, (usize, usize)) -> Result<Vec<T>, SpecError>,
-) -> Result<Vec<T>, SpecError> {
-    if values.is_empty() {
-        return Err(SpecError::new(
-            spec,
-            (values_start.saturating_sub(1), values_start),
-            "expected at least one value after `=`",
-        ));
-    }
-    let mut out = Vec::new();
-    let mut offset = 0;
-    for piece in values.split(',') {
-        let span = (values_start + offset, values_start + offset + piece.len());
-        if piece.is_empty() {
-            return Err(SpecError::new(spec, span, "empty value in comma list"));
+/// Applies a single-value `base.` clause to the base design point, with
+/// the same field semantics as the matching axis (`width` couples the
+/// block count, `xfer` enables the hierarchy).
+fn apply_base(base: &mut DesignPoint, axis: &Axis) {
+    match axis {
+        Axis::Tech(v) => base.tech = v[0],
+        Axis::Code(v) => base.code = v[0],
+        Axis::InputBits(v) => base.input_bits = v[0],
+        Axis::InputBitsPrimaryBlocks(v) => {
+            base.input_bits = v[0];
+            base.blocks = primary_blocks(v[0]);
         }
-        out.extend(item(piece, span)?);
-        offset += piece.len() + 1;
+        Axis::Blocks(v) => base.blocks = v[0],
+        Axis::ParXfer(v) => base.par_xfer = Some(v[0]),
+        Axis::CacheFactor(v) => base.cache_factor = v[0],
     }
-    Ok(out)
 }
 
 fn parse_axis(spec: &str, key: &str, values: &str, values_start: usize) -> Result<Axis, SpecError> {
     match key {
-        "tech" => {
-            let v = parse_items(spec, values, values_start, |piece, span| {
-                TechPoint::parse(piece).map(|t| vec![t]).ok_or_else(|| {
-                    SpecError::new(
-                        spec,
-                        span,
-                        format!("unknown technology `{piece}`; expected current|projected"),
-                    )
-                })
-            })?;
-            Ok(Axis::Tech(v))
-        }
-        "code" => {
-            let v = parse_items(spec, values, values_start, |piece, span| {
-                Code::parse(piece).map(|c| vec![c]).ok_or_else(|| {
-                    SpecError::new(
-                        spec,
-                        span,
-                        format!("unknown code `{piece}`; expected steane|bacon-shor"),
-                    )
-                })
-            })?;
-            Ok(Axis::Code(v))
-        }
-        "cache" => {
-            let v = parse_items(spec, values, values_start, |piece, span| {
-                piece
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|x| x.is_finite() && *x > 0.0)
-                    .map(|x| vec![x])
-                    .ok_or_else(|| {
-                        SpecError::new(
-                            spec,
-                            span,
-                            format!("bad cache ratio `{piece}`; expected a positive decimal"),
-                        )
-                    })
-            })?;
-            Ok(Axis::CacheFactor(v))
-        }
+        "tech" => Ok(Axis::Tech(grid::parse_tech_set(
+            spec,
+            values,
+            values_start,
+        )?)),
+        "code" => Ok(Axis::Code(grid::parse_code_set(
+            spec,
+            values,
+            values_start,
+        )?)),
+        "cache" => Ok(Axis::CacheFactor(grid::parse_ratio_set(
+            spec,
+            values,
+            values_start,
+            "cache ratio",
+        )?)),
         _ => {
-            let v = parse_items(spec, values, values_start, |piece, span| {
-                parse_int_item(spec, piece, span)
-            })?;
+            let v = grid::parse_int_set(spec, values, values_start)?;
             Ok(match key {
                 "width" => Axis::InputBitsPrimaryBlocks(v),
                 "bits" => Axis::InputBits(v),
@@ -292,87 +208,6 @@ fn parse_axis(spec: &str, key: &str, values: &str, values_start: usize) -> Resul
             })
         }
     }
-}
-
-/// Parses one integer item: a plain value or an inclusive range
-/// `a..=b[:*k|:+k]`.
-fn parse_int_item(spec: &str, piece: &str, span: (usize, usize)) -> Result<Vec<u32>, SpecError> {
-    let int = |text: &str| -> Result<u32, SpecError> {
-        text.parse::<u32>()
-            .ok()
-            .filter(|&n| (1..=MAX_INT).contains(&n))
-            .ok_or_else(|| {
-                SpecError::new(
-                    spec,
-                    span,
-                    format!("bad value `{text}`; expected an integer in 1..={MAX_INT}"),
-                )
-            })
-    };
-    let Some(dots) = piece.find("..=") else {
-        if piece.contains("..") {
-            return Err(SpecError::new(
-                spec,
-                span,
-                format!("bad range `{piece}`; ranges are inclusive: `a..=b[:*k|:+k]`"),
-            ));
-        }
-        return Ok(vec![int(piece)?]);
-    };
-    let start = int(&piece[..dots])?;
-    let rest = &piece[dots + 3..];
-    let (end_text, step_text) = match rest.find(':') {
-        Some(colon) => (&rest[..colon], Some(&rest[colon + 1..])),
-        None => (rest, None),
-    };
-    let end = int(end_text)?;
-    if start > end {
-        return Err(SpecError::new(
-            spec,
-            span,
-            format!("empty range `{piece}`; start {start} exceeds end {end}"),
-        ));
-    }
-    enum Step {
-        Mul(u32),
-        Add(u32),
-    }
-    let step = match step_text {
-        None => Step::Add(1),
-        Some(s) if s.starts_with('*') => {
-            let k = int(&s[1..])?;
-            if k < 2 {
-                return Err(SpecError::new(
-                    spec,
-                    span,
-                    "geometric step must be >= 2 (e.g. `64..=512:*2`)",
-                ));
-            }
-            Step::Mul(k)
-        }
-        Some(s) if s.starts_with('+') => Step::Add(int(&s[1..])?),
-        Some(s) => {
-            return Err(SpecError::new(
-                spec,
-                span,
-                format!("bad step `{s}`; expected `*k` (geometric) or `+k` (arithmetic)"),
-            ));
-        }
-    };
-    let mut out = Vec::new();
-    let mut v = start;
-    loop {
-        out.push(v);
-        let next = match step {
-            Step::Mul(k) => v.checked_mul(k),
-            Step::Add(k) => v.checked_add(k),
-        };
-        match next {
-            Some(n) if n <= end => v = n,
-            _ => break,
-        }
-    }
-    Ok(out)
 }
 
 /// Renders cartesian axes back into spec-expression text, the inverse of
@@ -409,6 +244,8 @@ pub fn render(axes: &[Axis]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqla_ecc::Code;
+    use cqla_iontrap::TechPoint;
 
     #[test]
     fn issue_headline_spec_parses() {
@@ -428,6 +265,42 @@ mod tests {
                 .unwrap();
         let builtin = Sweep::builtin("grid").unwrap();
         assert_eq!(expr.points(), builtin.points());
+    }
+
+    #[test]
+    fn base_xfer_matches_the_axis_spelling_of_the_builtin_grid() {
+        // `base.xfer=10` moves the base point; a one-value `xfer=10` axis
+        // appends the same field. The grids coincide.
+        let via_base =
+            parse("base.xfer=10 tech=current,projected code=steane,bacon-shor width=32..=1024:*2")
+                .unwrap();
+        let builtin = Sweep::builtin("grid").unwrap();
+        assert_eq!(via_base.points(), builtin.points());
+    }
+
+    #[test]
+    fn base_clauses_shift_every_point() {
+        let sweep = parse("base.tech=current base.cache=1.5 blocks=4,9").unwrap();
+        assert_eq!(sweep.len(), 2);
+        for p in sweep.points() {
+            assert_eq!(p.tech, TechPoint::Current);
+            assert!((p.cache_factor - 1.5).abs() < 1e-12);
+        }
+        // base.width couples the primary block count, like the axis.
+        let sweep = parse("base.width=256 code=steane,bacon-shor").unwrap();
+        for p in sweep.points() {
+            assert_eq!((p.input_bits, p.blocks), (256, 36));
+        }
+    }
+
+    #[test]
+    fn base_misuse_is_rejected() {
+        let err = parse("base.tech=current,projected").unwrap_err();
+        assert!(err.message.contains("pins exactly one value"), "{err}");
+        let err = parse("base.widht=64").unwrap_err();
+        assert!(err.message.contains("did you mean `width`?"), "{err}");
+        let err = parse("base.tech=current tech=projected").unwrap_err();
+        assert!(err.message.contains("duplicate axis `tech`"), "{err}");
     }
 
     #[test]

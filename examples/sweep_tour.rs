@@ -1,14 +1,16 @@
 //! Sweep tour: drive the parallel experiment engine end to end —
 //! describe an architecture-space sweep three ways (built-in name,
-//! spec-expression string, typed axes), execute it on all cores, and
-//! serialize the results as JSON.
+//! spec-expression string, typed axes), execute it on all cores,
+//! serialize the results as JSON, and grid-run a registry artifact over
+//! a value-set expression.
 //!
 //! ```text
 //! cargo run --release --example sweep_tour
 //! ```
 
+use cqla_repro::core::experiments::{find, Grid};
 use cqla_repro::ecc::Code;
-use cqla_repro::sweep::{pool, Axis, DesignPoint, Sweep, SweepRun, TechPoint, ToJson};
+use cqla_repro::sweep::{pool, Axis, DesignPoint, GridRun, Sweep, SweepRun, TechPoint, ToJson};
 
 fn main() {
     // 1. A built-in spec: the multi-technology grid behind `cqla sweep`.
@@ -101,4 +103,30 @@ fn main() {
         "\nfirst point as JSON:\n{}",
         first.outcome.specialization.to_json().to_pretty()
     );
+
+    // 9. Value sets are first-class on *every* registry artifact, not
+    //    just the design-space sweep: a grid expression parses against
+    //    the experiment's own declared parameters (`cqla run fig2
+    //    bits=32..=128:*2` at the CLI). `base.<key>=v` pins a value on
+    //    every point without adding an axis.
+    let fig2 = find("fig2").expect("fig2 is registered");
+    let grid = Grid::parse("fig2", &fig2.specs(), "base.cap=15 bits=32..=128:*2")
+        .expect("the grid expression parses");
+    let grid_run = GridRun::execute(&grid, threads);
+    println!(
+        "\ngrid over fig2 (`{}`): {} points, merged document {} bytes",
+        grid.spec(),
+        grid_run.points().len(),
+        grid_run.to_json().to_pretty().len()
+    );
+    for point in grid_run.points() {
+        let stretch = point
+            .data
+            .get("capped_makespan")
+            .zip(point.data.get("unlimited_makespan"))
+            .and_then(|(c, u)| Some(c.as_f64()? / u.as_f64()?))
+            .expect("fig2 data carries both makespans");
+        let bits = &point.overrides[1].1;
+        println!("  {bits:>4}-bit adder on 15 blocks: {stretch:.2}x stretch");
+    }
 }

@@ -3,8 +3,14 @@
 //! ```text
 //! cqla list                     list every paper artifact and sweep spec
 //! cqla run <id> [key=value ...] run one artifact from the registry
+//! cqla run <id> [key=value-set ...]
+//!                               grid-run one artifact: any parameter takes
+//!                               value sets (`bits=32..=128:*2`, `tech=current,
+//!                               projected`) and `base.<key>=v` pins, expanded
+//!                               against the registry's declared parameters
 //! cqla sweep [SPEC]             run a parallel architecture-space sweep
 //!                               (built-in name or key=values expression)
+//! cqla sweep <id> [k=set ...]   the same per-experiment grid, sweep-spelled
 //! cqla sweep --spec-file FILE   run every spec in FILE (one per line)
 //! cqla bench-diff OLD NEW [--threshold X]
 //!                               compare two BENCH_sweep.json documents
@@ -27,16 +33,18 @@
 
 use std::process::ExitCode;
 
-use cqla_repro::core::experiments::{find, listing_json, registry, suggest, Experiment};
+use cqla_repro::core::experiments::{
+    find, is_set_clause, listing_json, params_usage, registry, suggest, Experiment, Grid,
+};
 use cqla_repro::core::{Json, ToJson};
 use cqla_repro::iontrap::TileFloorplan;
 use cqla_repro::serve::Server;
 use cqla_repro::sweep::regress::{BenchDiff, BenchDoc, DEFAULT_THRESHOLD};
-use cqla_repro::sweep::{pool, Sweep, SweepRun};
+use cqla_repro::sweep::{pool, GridRun, Sweep, SweepRun};
 
 /// The one-line usage summary (`cqla help` / `cqla --help`).
 const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
-     <list | run ID [k=v...] | sweep [SPEC | --spec-file FILE] | \
+     <list | run ID [k=v|k=set...] | sweep [SPEC | ID [k=set...] | --spec-file FILE] | \
      bench-diff OLD NEW [--threshold X] | serve [--addr HOST:PORT] | \
      machine BITS BLOCKS [CODE] | table N | figure N | floorplan | verify>";
 
@@ -207,7 +215,7 @@ fn main() -> ExitCode {
 fn list(cli: &Cli) -> ExitCode {
     cli.emit(
         || {
-            let mut out = String::from("artifacts (cqla run <id> [key=value ...]):\n");
+            let mut out = String::from("artifacts (cqla run <id> [key=value-set ...]):\n");
             for exp in registry() {
                 let params = exp
                     .params()
@@ -223,7 +231,11 @@ fn list(cli: &Cli) -> ExitCode {
             }
             out.push_str(
                 "  or a key=values expression, e.g. \
-                 `tech=current,projected width=64..=512:*2 xfer=5,10`",
+                 `tech=current,projected width=64..=512:*2 xfer=5,10`\n",
+            );
+            out.push_str(
+                "\nany artifact parameter takes value sets too \
+                 (`cqla run fig2 bits=32..=128:*2`, `base.<key>=v` pins)",
             );
             out
         },
@@ -234,8 +246,42 @@ fn list(cli: &Cli) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Whether any override uses value-*set* syntax (comma lists, inclusive
+/// ranges, or `base.` pins) and therefore selects a grid run. Plain
+/// `key=value` overrides keep the legacy single-run path byte for byte.
+/// The per-clause predicate is the grammar's own (`is_set_clause`), the
+/// same one the HTTP service consults, so the front ends cannot drift.
+fn is_grid_syntax(overrides: &[String]) -> bool {
+    overrides.iter().any(|o| {
+        let (key, value) = o.split_once('=').unwrap_or((o, ""));
+        is_set_clause(key, value)
+    })
+}
+
+/// Grid-runs one registry artifact over a `key=value-set` expression:
+/// parse against the experiment's declared parameters, execute every
+/// point on the work-stealing pool, emit the merged document. Shared by
+/// `cqla run <id> k=set…` and `cqla sweep <id> k=set…`.
+fn run_grid(cli: &Cli, exp: &dyn Experiment, clauses: &[String]) -> Result<ExitCode, UsageError> {
+    let expr = clauses.join(" ");
+    let grid = Grid::parse(exp.id(), &exp.specs(), &expr).map_err(|e| {
+        UsageError::with_hint(
+            e.to_string(),
+            format!("{} takes: {}", exp.id(), params_usage(exp)),
+        )
+    })?;
+    let run = GridRun::execute(&grid, cli.threads);
+    cli.emit(|| run.render_text(), || run.to_json());
+    Ok(if run.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 /// `cqla run <id> [key=value ...]`: the registry path every artifact
-/// alias funnels into.
+/// alias funnels into. Overrides with value-set syntax fan out into a
+/// grid run instead.
 fn run(cli: &Cli, id: Option<&String>, overrides: &[String]) -> Result<ExitCode, UsageError> {
     let Some(id) = id else {
         return Err(UsageError::new("run expects an artifact id"));
@@ -248,6 +294,9 @@ fn run(cli: &Cli, id: Option<&String>, overrides: &[String]) -> Result<ExitCode,
             hint,
         });
     };
+    if is_grid_syntax(overrides) {
+        return run_grid(cli, exp.as_ref(), overrides);
+    }
     for pair in overrides {
         let Some((key, value)) = pair.split_once('=') else {
             return Err(UsageError::with_hint(
@@ -269,19 +318,6 @@ fn run(cli: &Cli, id: Option<&String>, overrides: &[String]) -> Result<ExitCode,
     } else {
         ExitCode::FAILURE
     })
-}
-
-/// Renders an experiment's parameter surface for usage messages.
-fn params_usage(exp: &dyn Experiment) -> String {
-    let params = exp.params();
-    if params.is_empty() {
-        return "no parameters".to_owned();
-    }
-    params
-        .iter()
-        .map(|p| format!("{}=<{}>", p.key, p.accepts))
-        .collect::<Vec<_>>()
-        .join(" ")
 }
 
 /// Legacy `cqla table N` / `cqla figure N` spellings.
@@ -320,8 +356,23 @@ fn machine_alias(cli: &Cli) -> Result<ExitCode, UsageError> {
         .map_err(|e| UsageError::with_hint(e.message, usage))
 }
 
-/// `cqla sweep [SPEC]` / `cqla sweep --spec-file FILE`.
+/// `cqla sweep [SPEC]` / `cqla sweep <id> [k=set ...]` /
+/// `cqla sweep --spec-file FILE`.
 fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
+    // `cqla sweep <id> [key=value-set ...]`: the per-experiment grid,
+    // byte-identical to `cqla run <id> key=value-set…`. Built-in sweep
+    // names win for bare invocations (`sweep table4` stays the paper
+    // grid); with clauses present, the registry id wins.
+    if let Some(first) = cli.arg(1) {
+        if first != "--spec-file" {
+            let has_clauses = cli.args.len() > 2;
+            if let Some(exp) = find(first) {
+                if has_clauses || Sweep::builtin(first).is_none() {
+                    return run_grid(cli, exp.as_ref(), &cli.args[2..]);
+                }
+            }
+        }
+    }
     // Spec files always emit a JSON *array* of runs — even with one
     // spec — so scripts get a stable shape regardless of file length.
     let from_file = cli.arg(1) == Some("--spec-file");

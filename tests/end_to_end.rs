@@ -320,6 +320,102 @@ mod cli {
     }
 
     #[test]
+    fn grid_runs_match_the_committed_golden_document() {
+        // The grid-run contract: `cqla run fig2 bits=32..=128:*2` emits
+        // the merged grid document, byte-stable (deterministic across
+        // runs and thread counts), pinned by tests/golden/fig2_grid.json.
+        // Regenerate deliberately (cargo run --release --bin cqla -- run
+        // fig2 "bits=32..=128:*2" --format json) when the model changes.
+        let golden = include_str!("golden/fig2_grid.json");
+        let one = cqla(&["run", "fig2", "bits=32..=128:*2", "--format", "json"]);
+        assert!(one.status.success(), "exit: {:?}", one.status);
+        assert_eq!(stdout(&one), golden, "grid JSON drifted from the golden");
+        let threaded = cqla(&[
+            "run",
+            "fig2",
+            "bits=32..=128:*2",
+            "--format",
+            "json",
+            "--threads",
+            "3",
+        ]);
+        assert_eq!(stdout(&threaded), golden, "thread count must not matter");
+        // `cqla sweep <id> clauses…` is the same grid path, byte for byte.
+        let sweep_spelled = cqla(&["sweep", "fig2", "bits=32..=128:*2", "--format", "json"]);
+        assert!(sweep_spelled.status.success());
+        assert_eq!(stdout(&sweep_spelled), golden, "sweep spelling must agree");
+    }
+
+    #[test]
+    fn grid_single_value_runs_stay_on_the_legacy_path() {
+        // A plain key=value override must stay byte-identical to the
+        // pre-grid output (here: the default, since 64 is the default).
+        let default = cqla(&["run", "fig2", "--format", "json"]);
+        let explicit = cqla(&["run", "fig2", "bits=64", "--format", "json"]);
+        assert!(default.status.success() && explicit.status.success());
+        assert_eq!(default.stdout, explicit.stdout);
+        // Set syntax with one expanded value still produces a grid
+        // document (syntax selects the shape, not the point count).
+        let ranged = cqla(&["run", "fig2", "bits=64..=64", "--format", "json"]);
+        assert!(ranged.status.success());
+        let doc = cqla_repro::sweep::json::parse(&stdout(&ranged)).unwrap();
+        assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn grid_base_overrides_pin_values() {
+        let out = cqla(&[
+            "run",
+            "machine",
+            "base.code=steane",
+            "bits=32,64",
+            "--format",
+            "json",
+        ]);
+        assert!(out.status.success(), "exit: {:?}", out.status);
+        let doc = cqla_repro::sweep::json::parse(&stdout(&out)).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        for r in results {
+            let code = r.get("params").unwrap().get("code").unwrap();
+            assert_eq!(code.as_str(), Some("steane"));
+        }
+    }
+
+    #[test]
+    fn grid_usage_errors_exit_two_with_spanned_diagnostics() {
+        let out = cqla(&["run", "fig2", "bits=32,nope"]);
+        assert_eq!(out.status.code(), Some(2));
+        let err = stderr(&out);
+        assert!(err.contains("expected an integer"), "{err}");
+        assert!(err.contains('^'), "caret underline: {err}");
+        let out = cqla(&["run", "fig2", "bist=32,64"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(
+            stderr(&out).contains("did you mean `bits`?"),
+            "{}",
+            stderr(&out)
+        );
+        // The exclusive-range typo reaches the grammar's dedicated
+        // diagnostic even without any other set syntax in the clause.
+        let out = cqla(&["run", "fig2", "bits=32..128"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(
+            stderr(&out).contains("ranges are inclusive"),
+            "{}",
+            stderr(&out)
+        );
+        // Unknown parameters on a grid-ineligible artifact say so.
+        let out = cqla(&["run", "verify", "bits=32,64"]);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(
+            stderr(&out).contains("takes no parameters"),
+            "{}",
+            stderr(&out)
+        );
+    }
+
+    #[test]
     fn every_artifact_emits_parseable_self_describing_json() {
         for id in ids() {
             let out = cqla(&["--format", "json", "run", id]);
@@ -618,6 +714,33 @@ mod cli {
             assert_eq!(status, 200);
             let exit = serve.child.wait().expect("child exits");
             assert!(exit.success(), "clean shutdown must exit 0, got {exit:?}");
+        }
+
+        #[test]
+        fn serves_grids_byte_identical_to_the_cli() {
+            // The grid acceptance contract over HTTP: a value-set query
+            // and the per-experiment sweep route both produce the CLI's
+            // merged grid document byte for byte.
+            let serve = Serve::start("2");
+            let cli = cqla(&["run", "fig2", "bits=32..=128:*2", "--format", "json"]);
+            assert!(cli.status.success());
+            let expected = stdout(&cli);
+            let (status, body) = serve.get("/v1/run/fig2?bits=32..=128:*2");
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(body, expected, "grid query must match CLI stdout");
+            let (status, body) = serve.request(&format!(
+                "POST /v1/sweep/fig2 HTTP/1.1\r\nHost: cqla\r\nContent-Length: {}\r\n\r\nbits=32..=128:*2",
+                "bits=32..=128:*2".len()
+            ));
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(body, expected, "sweep route must match CLI stdout");
+            // A grid point is now a cache entry for single runs.
+            let single = cqla(&["run", "fig2", "bits=32", "--format", "json"]);
+            let (status, body) = serve.get("/v1/run/fig2?bits=32");
+            assert_eq!(status, 200);
+            assert_eq!(body, stdout(&single), "per-point cache entry");
+            let _ = serve
+                .request("POST /v1/shutdown HTTP/1.1\r\nHost: cqla\r\nContent-Length: 0\r\n\r\n");
         }
 
         #[test]

@@ -290,6 +290,94 @@ mod json_escaping {
 }
 
 // ---------------------------------------------------------------------------
+// Registry-driven grid grammar: random `key=value-set` expressions over
+// the machine artifact's declared parameters survive the
+// expression -> Grid -> expression round trip.
+
+mod grid_spec {
+    use proptest::prelude::*;
+
+    use cqla_repro::core::experiments::{find, Grid};
+
+    /// Builds one clause over the `machine` surface from raw seeds; the
+    /// mapping is total, so every sampled seed is a valid clause.
+    /// `pinned` spells the clause as a single-value `base.` override.
+    fn clause(kind: u8, seeds: &[u32], pinned: bool) -> String {
+        let label = |v: u32, a: &str, b: &str| if v % 2 == 0 { a } else { b }.to_owned();
+        let (key, values): (&str, Vec<String>) = match kind % 6 {
+            0 => (
+                "tech",
+                seeds
+                    .iter()
+                    .map(|&v| label(v, "current", "projected"))
+                    .collect(),
+            ),
+            1 => (
+                "code",
+                seeds
+                    .iter()
+                    .map(|&v| label(v, "steane", "bacon-shor"))
+                    .collect(),
+            ),
+            2 => ("bits", seeds.iter().map(u32::to_string).collect()),
+            3 => ("blocks", seeds.iter().map(u32::to_string).collect()),
+            4 => ("xfer", seeds.iter().map(u32::to_string).collect()),
+            // Quarter steps exercise non-integer decimals exactly.
+            _ => (
+                "cache",
+                seeds
+                    .iter()
+                    .map(|&v| (f64::from(v) / 4.0).to_string())
+                    .collect(),
+            ),
+        };
+        let values = if pinned {
+            vec![values[0].clone()]
+        } else {
+            values
+        };
+        let prefix = if pinned { "base." } else { "" };
+        format!("{prefix}{key}={}", values.join(","))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn grid_expression_round_trips(
+            raw in prop::collection::vec(
+                (0u8..6, prop::collection::vec(1u32..2048, 1..4), any::<bool>()),
+                1..6,
+            ),
+        ) {
+            // One clause per key: the grammar rejects duplicates.
+            let mut used = [false; 6];
+            let clauses: Vec<String> = raw
+                .iter()
+                .filter(|(kind, _, _)| {
+                    !std::mem::replace(&mut used[usize::from(kind % 6)], true)
+                })
+                .map(|(kind, seeds, pinned)| clause(*kind, seeds, *pinned))
+                .collect();
+            let expr = clauses.join(" ");
+            let specs = find("machine").unwrap().specs();
+            let grid = Grid::parse("machine", &specs, &expr)
+                .unwrap_or_else(|e| panic!("generated expression must parse: {e}"));
+            let rendered = grid.render();
+            let again = Grid::parse("machine", &specs, &rendered)
+                .unwrap_or_else(|e| panic!("rendered expression must reparse: {e}\n{rendered}"));
+            prop_assert_eq!(
+                grid.points(),
+                again.points(),
+                "expr: {} rendered: {}",
+                expr,
+                rendered
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Sweep-spec expression language: random axis lists survive the
 // Sweep -> spec string -> Sweep round trip.
 

@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use cqla_repro::core::experiments::{find, registry, ParamError};
+use cqla_repro::core::experiments::{find, registry, Grid, ParamError};
 use cqla_repro::core::json;
 
 #[test]
@@ -96,6 +96,61 @@ fn unknown_keys_and_bad_values_are_structured_errors() {
             assert_eq!(value, "futuristic");
         }
         other => panic!("expected BadValue, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_declared_spec_parses_its_default_and_rejects_junk() {
+    // The grid-grammar completeness contract: for every experiment,
+    // every declared `ParamSpec` (1) accepts its own paper default as a
+    // grid clause — so `specs()`, the grid grammar, and `set()` speak
+    // one language — and (2) rejects a junk value with a *spanned*
+    // error whose caret points at the value, not the key.
+    for exp in registry() {
+        let specs = exp.specs();
+        for spec in &specs {
+            assert!(
+                spec.domain.admits(&spec.default),
+                "{}: default `{}` must be in its own domain",
+                exp.id(),
+                spec.default
+            );
+            let clause = format!("{}={}", spec.key, spec.default);
+            let grid = Grid::parse(exp.id(), &specs, &clause)
+                .unwrap_or_else(|e| panic!("{}: `{clause}` must parse: {e}", exp.id()));
+            assert_eq!(grid.len(), 1, "{}: `{clause}` is one point", exp.id());
+            // And the grid-validated default feeds straight back into
+            // `set` (the single value-parsing layer guarantees it).
+            let mut fresh = find(exp.id()).unwrap();
+            for (key, value) in grid.points().remove(0) {
+                fresh
+                    .set(&key, &value)
+                    .unwrap_or_else(|e| panic!("{}: set({key}, {value}): {e}", exp.id()));
+            }
+            let junk = format!("{}=@junk@", spec.key);
+            let err = Grid::parse(exp.id(), &specs, &junk)
+                .expect_err(&format!("{}: `{junk}` must be rejected", exp.id()));
+            assert_eq!(
+                err.span,
+                (spec.key.len() + 1, junk.len()),
+                "{}: `{junk}` error must span the value, got {:?} in `{}`",
+                exp.id(),
+                err.span,
+                err.message
+            );
+            assert!(
+                err.to_string().contains('^'),
+                "{}: error must render a caret:\n{err}",
+                exp.id()
+            );
+        }
+        // Unknown keys are rejected against the declared surface too.
+        let err = Grid::parse(exp.id(), &specs, "definitely-not-a-key=1").unwrap_err();
+        assert!(
+            err.message.contains("unknown parameter"),
+            "{}: {err}",
+            exp.id()
+        );
     }
 }
 
