@@ -23,6 +23,13 @@
 //! "explicit point list over a shifted base" studies are written down
 //! without a code-defined builtin.
 //!
+//! A parsed [`Grid`] round-trips: [`Grid::render`] prints it back as
+//! expression text (range sugar expanded to comma lists) that
+//! [`Grid::parse`] accepts and expands to the same points — the
+//! property that lets sweep documents, HTTP job records, and CLI
+//! transcripts all carry a grid as its `spec` string and reconstruct
+//! it losslessly.
+//!
 //! The low-level machinery — [`SpecError`], [`words`], [`parse_items`],
 //! [`parse_int_item`] and the typed set parsers — is shared with (and
 //! was lifted out of) the sweep-spec parser, which is now a thin client

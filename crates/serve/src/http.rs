@@ -3,11 +3,21 @@
 //!
 //! Hand-rolled on purpose — the build environment has no crates.io
 //! access, and the service needs exactly one verb pair (GET/POST), one
-//! content type (JSON), and `Connection: close` semantics. Every bound
-//! is explicit: request lines and headers are length-capped, header
-//! count is capped, and bodies beyond [`MAX_BODY_BYTES`] are rejected
-//! before they are read, so a malformed or hostile client costs one
-//! bounded read and one error response, never a worker.
+//! content type (JSON), and persistent-connection semantics. Every
+//! bound is explicit: request lines and headers are length-capped,
+//! header count is capped, and bodies beyond [`MAX_BODY_BYTES`] are
+//! rejected before they are read, so a malformed or hostile client
+//! costs one bounded read and one error response, never a worker.
+//!
+//! Connections are **keep-alive by default** (HTTP/1.1 semantics):
+//! [`read_request`] records whether the client asked to close
+//! ([`Request::close`] — a `Connection: close` header, or HTTP/1.0
+//! without `keep-alive`), and every response writer takes an explicit
+//! `close` flag so the server can honor the client, its own
+//! per-connection request cap, and shutdown. Responses are either
+//! `Content-Length`-framed ([`Response`]) or chunked streams
+//! ([`ChunkedWriter`]) — both self-delimiting, which is what makes
+//! request pipelining on one connection safe.
 
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
@@ -30,16 +40,22 @@ const MAX_HEADERS: usize = 100;
 pub enum Status {
     /// 200 — the request produced a document.
     Ok,
+    /// 202 — the request started a background job; poll or stream it.
+    Accepted,
     /// 400 — the request line, query, parameters, or body are invalid.
     BadRequest,
-    /// 404 — no such route or artifact.
+    /// 404 — no such route, artifact, or job.
     NotFound,
     /// 405 — the route exists but not for this method.
     MethodNotAllowed,
+    /// 410 — the job existed but its results have been retired.
+    Gone,
     /// 413 — the declared body exceeds [`MAX_BODY_BYTES`].
     PayloadTooLarge,
     /// 500 — a handler failed; the connection still gets a response.
     InternalError,
+    /// 503 — the active-job cap is reached; retry after one completes.
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -48,11 +64,14 @@ impl Status {
     pub fn code(self) -> u16 {
         match self {
             Self::Ok => 200,
+            Self::Accepted => 202,
             Self::BadRequest => 400,
             Self::NotFound => 404,
             Self::MethodNotAllowed => 405,
+            Self::Gone => 410,
             Self::PayloadTooLarge => 413,
             Self::InternalError => 500,
+            Self::ServiceUnavailable => 503,
         }
     }
 
@@ -61,17 +80,21 @@ impl Status {
     pub fn reason(self) -> &'static str {
         match self {
             Self::Ok => "OK",
+            Self::Accepted => "Accepted",
             Self::BadRequest => "Bad Request",
             Self::NotFound => "Not Found",
             Self::MethodNotAllowed => "Method Not Allowed",
+            Self::Gone => "Gone",
             Self::PayloadTooLarge => "Payload Too Large",
             Self::InternalError => "Internal Server Error",
+            Self::ServiceUnavailable => "Service Unavailable",
         }
     }
 }
 
 /// One parsed request: method, percent-decoded path, decoded query
-/// pairs in request order, and the raw body.
+/// pairs in request order, the raw body, and the client's connection
+/// intent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method (`GET`, `POST`, …), uppercased by the client.
@@ -83,6 +106,11 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client asked for this to be the connection's last
+    /// exchange: a `Connection: close` header, or HTTP/1.0 without an
+    /// explicit `Connection: keep-alive`. HTTP/1.1 defaults to
+    /// persistent.
+    pub close: bool,
 }
 
 /// Why a request could not be parsed off the wire.
@@ -190,6 +218,9 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
         percent_decode(raw_path).ok_or(RequestError::Malformed("undecodable request path"))?;
     let query = parse_query(raw_query).ok_or(RequestError::Malformed("undecodable query"))?;
 
+    // HTTP/1.0 closes by default and must opt *in* to keep-alive;
+    // HTTP/1.1 persists by default and must opt *out* with `close`.
+    let mut close = version == "HTTP/1.0";
     let mut content_length = 0usize;
     for _ in 0..MAX_HEADERS {
         let line = read_line(reader)?;
@@ -201,6 +232,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
                 path,
                 query,
                 body,
+                close,
             });
         }
         let Some((name, value)) = line.split_once(':') else {
@@ -214,14 +246,26 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
             if content_length > MAX_BODY_BYTES {
                 return Err(RequestError::BodyTooLarge);
             }
+        } else if name.eq_ignore_ascii_case("connection") {
+            // The header is a comma-separated option list; only the
+            // `close` / `keep-alive` tokens matter to this server.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
         }
     }
     Err(RequestError::Malformed("too many headers"))
 }
 
-/// One response: status plus a JSON body. Every route — success or
-/// failure — answers with `Content-Type: application/json` and
-/// `Connection: close`.
+/// One `Content-Length`-framed response: status plus a JSON body.
+/// Every route — success or failure — answers with
+/// `Content-Type: application/json`; the `Connection` header is chosen
+/// per exchange by [`Response::write_to`]'s `close` flag.
 ///
 /// The body is an [`Arc`] so cached documents are shared, not copied:
 /// a cache hit costs a pointer clone, never a multi-kilobyte memcpy.
@@ -263,24 +307,94 @@ impl Response {
         }
     }
 
-    /// Serializes the response onto the wire.
+    /// Serializes the response onto the wire. `close` selects the
+    /// `Connection` header: `true` announces this as the connection's
+    /// final exchange, `false` keeps it alive for the next request.
     ///
     /// # Errors
     ///
     /// Propagates the underlying write failure (typically a client that
     /// hung up first; callers log and move on).
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
         let mut head = String::new();
         let _ = write!(
             head,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status.code(),
             self.status.reason(),
             self.body.len(),
+            if close { "close" } else { "keep-alive" },
         );
         w.write_all(head.as_bytes())?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
+    }
+}
+
+/// A chunked (`Transfer-Encoding: chunked`) response in progress: the
+/// status line and headers go out on construction, each [`chunk`]
+/// frames one payload, and [`finish`] writes the terminal zero chunk.
+/// The stream is self-delimiting, so a finished chunked response keeps
+/// the connection usable for the next pipelined request exactly like a
+/// `Content-Length` response does.
+///
+/// Dropping the writer without calling [`finish`] leaves the stream
+/// unterminated — the client sees an unambiguous truncation instead of
+/// a silently short document.
+///
+/// [`chunk`]: ChunkedWriter::chunk
+/// [`finish`]: ChunkedWriter::finish
+pub struct ChunkedWriter<'a, W: Write> {
+    w: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the response head and returns the body writer. `close`
+    /// picks the `Connection` header, exactly as [`Response::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the head's write failure.
+    pub fn start(w: &'a mut W, status: Status, close: bool) -> io::Result<Self> {
+        let mut head = String::new();
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            status.code(),
+            status.reason(),
+            if close { "close" } else { "keep-alive" },
+        );
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Frames and flushes one non-empty payload as a single chunk (an
+    /// empty payload is skipped — a zero-length chunk would terminate
+    /// the stream). Flushing per chunk is the point: each grid point's
+    /// fragment reaches the client as soon as it is computed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure (the client hung up mid-stream).
+    pub fn chunk(&mut self, payload: &str) -> io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", payload.len())?;
+        self.w.write_all(payload.as_bytes())?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn finish(self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
     }
 }
 
@@ -365,14 +479,55 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn responses_carry_length_and_the_chosen_connection_header() {
         let mut out = Vec::new();
-        Response::ok("{}\n".to_owned()).write_to(&mut out).unwrap();
+        Response::ok("{}\n".to_owned())
+            .write_to(&mut out, true)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 3\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}\n"), "{text}");
+        let mut out = Vec::new();
+        Response::ok("{}\n".to_owned())
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn connection_intent_follows_version_and_header() {
+        // HTTP/1.1 persists by default…
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert!(!req.close);
+        // …unless the client opts out.
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        // Case and list syntax are tolerated.
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: Keep-Alive, TE\r\n\r\n").unwrap();
+        assert!(!req.close);
+        // HTTP/1.0 closes by default and must opt in to keep-alive.
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.close);
+        let req = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn chunked_writer_frames_payloads_and_terminates() {
+        let mut out = Vec::new();
+        let mut body = ChunkedWriter::start(&mut out, Status::Ok, false).unwrap();
+        body.chunk("{\"a\":").unwrap();
+        body.chunk("").unwrap(); // skipped, not a premature terminator
+        body.chunk(" 1}\n").unwrap();
+        body.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        let payload = text.split_once("\r\n\r\n").unwrap().1;
+        assert_eq!(payload, "5\r\n{\"a\":\r\n4\r\n 1}\n\r\n0\r\n\r\n");
     }
 
     #[test]

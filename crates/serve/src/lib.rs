@@ -8,10 +8,23 @@
 //!
 //! Hand-rolled HTTP/1.1 over [`std::net::TcpListener`] — no external
 //! dependencies, consistent with the offline `third_party/` policy. A
-//! bounded accept loop feeds a fixed pool of worker threads; sweep
-//! bodies execute on the `cqla-sweep` work-stealing pool; and because
-//! every registry run is a pure function of `(id, params)`, run
-//! responses are cached and served byte-identically forever after.
+//! bounded accept loop feeds a fixed pool of worker threads serving
+//! **keep-alive** connections (pipelining included, bounded by a
+//! per-connection request cap and an idle timeout); sweep bodies
+//! execute on the `cqla-sweep` work-stealing pool; and because every
+//! registry run is a pure function of `(id, params)`, run responses are
+//! cached, **single-flight** (concurrent cold misses coalesce onto one
+//! execution), and served byte-identically forever after.
+//!
+//! Grid responses *stream*: each point's result goes out as a chunk the
+//! moment the pool finishes it, and the concatenated chunks are
+//! byte-identical to the merged document a batch run prints. Sweep
+//! *jobs* decouple execution from the connection entirely — create,
+//! poll, stream, and resume a dropped stream from any fragment offset
+//! without recomputing a point.
+//!
+//! The full route reference — grammar, status codes, chunk framing, the
+//! job lifecycle — lives in `docs/HTTP_API.md` at the repository root.
 //!
 //! # Endpoints
 //!
@@ -19,16 +32,20 @@
 //! |---|---|
 //! | `GET /healthz` | liveness document |
 //! | `GET /v1/experiments` | the registry listing (same JSON as `cqla list --format json`) |
-//! | `GET /v1/run/{id}?key=value…` | one run's artifact document (byte-identical to `cqla run <id> --format json`) |
+//! | `GET /v1/run/{id}?key=value…` | one run's artifact document (byte-identical to `cqla run <id> --format json`); value-set syntax streams a grid |
 //! | `POST /v1/sweep` | body is a sweep-spec expression; returns the sweep document (byte-identical to `cqla sweep SPEC --format json`) |
-//! | `GET /v1/stats` | request and cache counters |
-//! | `POST /v1/shutdown` | acknowledges, then stops the server cleanly |
+//! | `POST /v1/sweep/{id}` | body is a `key=value-set` grid expression; streams the merged grid document chunk by chunk |
+//! | `POST /v1/jobs/{id}` | starts a grid as a background job; answers 202 with the job document |
+//! | `GET /v1/jobs/{jid}` | job progress: points done/total, status, verdict |
+//! | `GET /v1/jobs/{jid}/stream?from=K` | streams the job's fragments from offset `K` (resume after a drop) |
+//! | `GET /v1/stats` | request, cache, coalescing, and job/stream counters |
+//! | `POST /v1/shutdown` | acknowledges, drains in-flight work, then stops |
 //!
 //! Errors come back as `{"error": …, "hint": …}` with the same
 //! diagnostics the CLI prints: unknown artifacts are 404 with a
 //! did-you-mean hint, bad parameters and specs are 400, method
-//! mismatches are 405, and malformed requests are 400 — never a worker
-//! panic.
+//! mismatches are 405, retired jobs are 410, the active-job cap is 503,
+//! and malformed requests are 400 — never a worker panic.
 //!
 //! # Examples
 //!
@@ -53,5 +70,5 @@
 pub mod http;
 pub mod server;
 
-pub use http::{percent_decode, Request, Response, Status};
-pub use server::{Server, ServerHandle};
+pub use http::{percent_decode, ChunkedWriter, Request, Response, Status};
+pub use server::{ServeConfig, Server, ServerHandle};

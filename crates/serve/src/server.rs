@@ -1,47 +1,103 @@
 //! The service itself: a bounded accept loop feeding a fixed worker
-//! pool, a deterministic results cache, and the route table over the
-//! experiment registry.
+//! pool, a deterministic results cache, single-flight execution, sweep
+//! jobs, and the route table over the experiment registry.
 //!
 //! Concurrency model: the acceptor thread pushes connections into a
 //! bounded channel (`4 × workers` deep — backpressure, not an unbounded
-//! queue); each of N workers pops connections and serves one request
-//! per connection (`Connection: close`). Every registry run is a pure
-//! function of `(experiment id, parameter overrides)`, so responses are
-//! cached under that key in a bounded LRU: once one request has computed
-//! a run, every later identical request is a cache hit, and when the
-//! cache fills the least-recently-used entry is evicted (counted in
-//! `/v1/stats`). Grid requests (`?key=value-set`, `POST /v1/sweep/{id}`)
-//! read and populate the same cache *per point*: every point's entry is
-//! exactly the body a single-value request would produce. (Simultaneous
-//! *cold* misses may each compute — the lock is not held during
-//! evaluation and there is no in-flight coalescing; purity makes the
-//! duplicate work harmless.) A panicking handler is caught and answered
-//! with a 500 — it never takes the worker down with it.
+//! queue); each of N workers pops connections and serves them
+//! **keep-alive**: requests are read off one connection until the
+//! client asks to close, the per-connection request cap is reached, the
+//! idle timeout expires, or shutdown begins. Pipelined requests are
+//! answered in order (every response is self-delimiting — see
+//! [`crate::http`]).
+//!
+//! Every registry run is a pure function of `(experiment id, parameter
+//! overrides)`, so responses are cached under that key in a bounded
+//! LRU: once one request has computed a run, every later identical
+//! request is a cache hit, and when the cache fills the
+//! least-recently-used entry is evicted (counted in `/v1/stats`). Grid
+//! requests (`?key=value-set`, `POST /v1/sweep/{id}`) read and populate
+//! the same cache *per point*, and stream each point's fragment to the
+//! client as the pool finishes it — the concatenated chunks are
+//! byte-identical to the merged document. Concurrent *cold* misses on
+//! one key are **single-flight**: the first arrival computes, later
+//! arrivals park on the in-flight entry and reuse its body (counted as
+//! `coalesced`), so a thundering herd costs one evaluation.
+//!
+//! Sweep jobs (`POST /v1/jobs/{id}`) run the same grid machinery on a
+//! background thread: creation answers immediately with a job id,
+//! `GET /v1/jobs/{jid}` polls progress, and
+//! `GET /v1/jobs/{jid}/stream?from=K` streams fragments — resumable
+//! after a dropped connection from any fragment offset, with no point
+//! recomputed. Completed jobs keep their merged document in the LRU and
+//! are retired after `job_retention` newer completions.
+//!
+//! Shutdown (`POST /v1/shutdown` or [`ServerHandle::shutdown`]) drains:
+//! workers finish the request or stream they are serving, idle
+//! keep-alive connections close within one poll slice, job threads are
+//! joined, and only then does [`Server::run`] return. A panicking
+//! handler is caught and answered with a 500 — it never takes the
+//! worker down with it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use cqla_core::experiments::{
     find, ids, is_set_clause, listing_json, params_usage, suggest, Experiment, Grid,
 };
 use cqla_core::Json;
+use cqla_sweep::grid::{document_prologue, point_fragment, PointSink, DOCUMENT_EPILOGUE};
 use cqla_sweep::{GridRun, PointCache, Sweep, SweepRun};
 
-use crate::http::{self, read_request, Request, RequestError, Response, Status};
+use crate::http::{self, read_request, ChunkedWriter, Request, RequestError, Response, Status};
 
-/// How long a worker waits for a slow client before giving the
+/// How long a worker waits on one read or write before giving the
 /// connection up. Keeps a stalled peer from pinning a worker forever.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How many requests one connection may issue before the server closes
+/// it (announced via `Connection: close` on the final response). Bounds
+/// how long a single client can monopolize a worker.
+const MAX_REQUESTS_PER_CONNECTION: usize = 100;
+
+/// The poll slice for idle keep-alive connections: how often a waiting
+/// worker re-checks the shutdown flag while parked on `peek`.
+const IDLE_SLICE: Duration = Duration::from_millis(200);
 
 /// How many entries the results cache holds. Past this, inserting
 /// evicts the least-recently-used entry (see [`LruCache`]).
 const CACHE_CAPACITY: usize = 4096;
+
+/// The most jobs that may run concurrently; creation past the cap is
+/// answered 503 until one completes.
+const MAX_ACTIVE_JOBS: usize = 8;
+
+/// Tunables for a [`Server`], set from `cqla serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// How many *completed* jobs stay pollable/streamable before the
+    /// oldest is retired (its id then answers 410 Gone). Active jobs
+    /// are never retired.
+    pub job_retention: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: Duration::from_secs(30),
+            job_retention: 16,
+        }
+    }
+}
 
 /// A bounded least-recently-used results cache: canonical
 /// `(id, sorted params)` key → shared body, stamped with a logical
@@ -100,14 +156,177 @@ impl LruCache {
     }
 }
 
+/// One in-flight computation other requests for the same key can park
+/// on instead of recomputing.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The owner is still computing.
+    Pending,
+    /// The owner finished; the body is ready for every waiter.
+    Done(Arc<String>),
+    /// The owner gave up (failed self-checks, invalid params, panic);
+    /// waiters retry and one of them becomes the new owner.
+    Abandoned,
+}
+
+/// What a cache lookup resolved to.
+enum Lookup {
+    /// The body was already in the LRU.
+    Hit(Arc<String>),
+    /// Another request computed it while we waited on its flight.
+    Coalesced(Arc<String>),
+    /// Cold miss: the caller now owns the flight for this key and
+    /// *must* end it with [`resolve_flight`] or [`abandon_flight`].
+    Owned,
+}
+
+/// Looks `key` up in the results cache, joining (or registering) the
+/// single-flight entry on a miss. See [`Lookup::Owned`] for the
+/// contract a cold miss imposes on the caller.
+fn lookup(shared: &Shared, key: &str) -> Lookup {
+    loop {
+        if let Some(body) = shared.cache.lock().expect("cache lock").get(key) {
+            return Lookup::Hit(body);
+        }
+        let (flight, owned) = {
+            let mut flights = shared.flights.lock().expect("flight table lock");
+            match flights.get(key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key.to_owned(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if owned {
+            // Another owner may have resolved between our cache miss
+            // and our flight registration; re-check so we never
+            // recompute a body the cache already has.
+            if let Some(body) = shared.cache.lock().expect("cache lock").get(key) {
+                abandon_flight(shared, key);
+                return Lookup::Hit(body);
+            }
+            return Lookup::Owned;
+        }
+        let mut state = flight.state.lock().expect("flight state lock");
+        loop {
+            match &*state {
+                FlightState::Pending => state = flight.cv.wait(state).expect("flight wait"),
+                FlightState::Done(body) => return Lookup::Coalesced(Arc::clone(body)),
+                FlightState::Abandoned => break,
+            }
+        }
+        // Abandoned: loop back — either the cache has it by now, or we
+        // (or another waiter) become the new owner.
+    }
+}
+
+/// Ends an owned flight with a body: inserts it into the LRU *first*
+/// (so new arrivals hit), then releases every waiter with the body.
+fn resolve_flight(shared: &Shared, key: &str, body: Arc<String>) {
+    let evicted = shared
+        .cache
+        .lock()
+        .expect("cache lock")
+        .insert(key.to_owned(), Arc::clone(&body));
+    shared.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+    complete_flight(shared, key, FlightState::Done(body));
+}
+
+/// Ends an owned flight without a body; parked waiters retry.
+fn abandon_flight(shared: &Shared, key: &str) {
+    complete_flight(shared, key, FlightState::Abandoned);
+}
+
+fn complete_flight(shared: &Shared, key: &str, outcome: FlightState) {
+    let flight = shared
+        .flights
+        .lock()
+        .expect("flight table lock")
+        .remove(key);
+    if let Some(flight) = flight {
+        *flight.state.lock().expect("flight state lock") = outcome;
+        flight.cv.notify_all();
+    }
+}
+
+/// Abandons an owned flight on drop unless disarmed — keeps the
+/// single-flight promise across early returns and panics.
+struct FlightGuard<'a> {
+    shared: &'a Shared,
+    key: String,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            abandon_flight(self.shared, &self.key);
+        }
+    }
+}
+
+/// One background sweep job: a grid run on its own thread, its
+/// streamed fragments retained for polling and resumable streaming.
+struct Job {
+    /// The job id (`j1`, `j2`, …).
+    id: String,
+    /// The experiment the grid runs.
+    artifact: String,
+    /// The normalized grid expression.
+    spec: String,
+    /// Total points the grid expands to.
+    total: usize,
+    /// The streamed document's head (fragment offset 0 resumes here).
+    prologue: String,
+    state: Mutex<JobState>,
+    /// Signaled on every new fragment and on completion.
+    cv: Condvar,
+}
+
+struct JobState {
+    /// Completed fragments in submission order; `fragments.len()` is
+    /// the progress offset a resuming client passes as `?from=K`.
+    fragments: Vec<String>,
+    done: bool,
+    passed: bool,
+}
+
+/// The job registry: id allocation, live jobs, completion order for
+/// retention.
+struct JobTable {
+    /// Ids handed out so far; `jN` with `N <= next` once existed.
+    next: u64,
+    map: HashMap<String, Arc<Job>>,
+    /// Completed job ids, oldest first; trimmed to `job_retention`.
+    finished: VecDeque<String>,
+}
+
 /// State shared by the acceptor, the workers, and shutdown handles.
 struct Shared {
-    /// Set once; the accept loop exits at the next connection.
+    /// Set once; workers finish their current exchange and exit.
     shutdown: AtomicBool,
     /// Where the listener actually bound (resolves port 0).
     addr: SocketAddr,
+    /// Tunables from `cqla serve` flags.
+    config: ServeConfig,
     /// Bounded LRU response cache over `(id, sorted params)` keys.
     cache: Mutex<LruCache>,
+    /// In-flight computations keyed like the cache (single-flight).
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Background sweep jobs.
+    jobs: Mutex<JobTable>,
+    /// Join handles for job threads, drained by [`Server::run`] so
+    /// shutdown waits for every job.
+    job_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Total requests answered (any status).
     requests: AtomicU64,
     /// Run responses (or grid points) served from the cache.
@@ -116,6 +335,28 @@ struct Shared {
     cache_misses: AtomicU64,
     /// Entries evicted to make room (LRU policy).
     cache_evictions: AtomicU64,
+    /// Requests that reused another request's in-flight computation.
+    coalesced: AtomicU64,
+    /// Jobs currently running (gauge).
+    jobs_active: AtomicU64,
+    /// Chunked streams currently open (gauge).
+    streams_open: AtomicU64,
+}
+
+/// Bumps a gauge for its lifetime.
+struct Gauge<'a>(&'a AtomicU64);
+
+impl<'a> Gauge<'a> {
+    fn new(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Self(counter)
+    }
+}
+
+impl Drop for Gauge<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// The HTTP service over the experiment registry.
@@ -144,7 +385,8 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Asks the server to stop accepting connections. In-flight
-    /// requests finish; [`Server::run`] then returns.
+    /// requests, streams, and jobs finish; [`Server::run`] then
+    /// returns.
     pub fn shutdown(&self) {
         trigger_shutdown(&self.shared);
     }
@@ -161,6 +403,16 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 impl Server {
+    /// Binds `addr` with the default [`ServeConfig`]. See
+    /// [`Server::bind_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, no permission, …).
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+        Self::bind_with(addr, workers, ServeConfig::default())
+    }
+
     /// Binds `addr` (use port 0 for an ephemeral port) and sizes the
     /// worker pool. A zero worker count is clamped to one — the pool
     /// invariant the CLI also enforces with a usage error.
@@ -168,7 +420,11 @@ impl Server {
     /// # Errors
     ///
     /// Propagates the bind failure (address in use, no permission, …).
-    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
@@ -177,11 +433,22 @@ impl Server {
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 addr,
+                config,
                 cache: Mutex::new(LruCache::new(CACHE_CAPACITY)),
+                flights: Mutex::new(HashMap::new()),
+                jobs: Mutex::new(JobTable {
+                    next: 0,
+                    map: HashMap::new(),
+                    finished: VecDeque::new(),
+                }),
+                job_threads: Mutex::new(Vec::new()),
                 requests: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 cache_misses: AtomicU64::new(0),
                 cache_evictions: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                jobs_active: AtomicU64::new(0),
+                streams_open: AtomicU64::new(0),
             }),
         })
     }
@@ -208,8 +475,9 @@ impl Server {
     }
 
     /// Serves until [`ServerHandle::shutdown`] (or `POST /v1/shutdown`)
-    /// fires: accepts connections into the bounded queue and joins every
-    /// worker before returning.
+    /// fires, then drains: accepts connections into the bounded queue,
+    /// joins every worker (each finishes the exchange or stream it is
+    /// serving), joins every job thread, and only then returns.
     ///
     /// # Errors
     ///
@@ -223,7 +491,7 @@ impl Server {
         } = self;
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 4);
         let rx = Arc::new(Mutex::new(rx));
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let shared = Arc::clone(&shared);
@@ -234,7 +502,15 @@ impl Server {
             // errors out once the queue is empty, and the scope joins.
             drop(tx);
             result
-        })
+        });
+        // Workers are gone; finish the drain by waiting for every job
+        // thread (a resumed stream may have been reading one until a
+        // moment ago, and `/v1/shutdown` promises completed work).
+        let handles = std::mem::take(&mut *shared.job_threads.lock().expect("job threads lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        result
     }
 }
 
@@ -272,7 +548,7 @@ fn accept_loop(
 
 /// One worker: pop connections until the channel closes, serving each
 /// behind a panic barrier so a handler bug costs one 500, not a thread.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, pool_threads: usize) {
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Arc<Shared>, pool_threads: usize) {
     loop {
         let stream = match rx.lock().expect("connection queue lock").recv() {
             Ok(stream) => stream,
@@ -288,57 +564,142 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, shared: &Shared, pool_threads: u
                 "internal error: handler panicked",
                 None,
             )
-            .write_to(&mut &stream);
+            .write_to(&mut &stream, true);
         }
     }
 }
 
-/// Serves one `Connection: close` request/response exchange.
-fn serve_connection(stream: &TcpStream, shared: &Shared, pool_threads: usize) {
-    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+/// Serves one keep-alive connection: requests are read and answered in
+/// order until the client opts out, the request cap is reached, the
+/// idle timeout expires, or shutdown begins.
+fn serve_connection(stream: &TcpStream, shared: &Arc<Shared>, pool_threads: usize) {
     let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
     let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, shared, pool_threads),
-        Err(RequestError::Malformed(what)) => Response::error(
-            Status::BadRequest,
-            format!("malformed request: {what}"),
-            None,
-        ),
-        Err(RequestError::BodyTooLarge) => Response::error(
-            Status::PayloadTooLarge,
-            format!("request body exceeds {} bytes", http::MAX_BODY_BYTES),
-            None,
-        ),
-        // The peer vanished or stalled; nobody is listening for errors.
-        Err(RequestError::Io(_)) => return,
-    };
-    shared.requests.fetch_add(1, Ordering::Relaxed);
-    let _ = response.write_to(&mut &*stream);
+    for served in 1..=MAX_REQUESTS_PER_CONNECTION {
+        if !wait_for_request(&mut reader, shared) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(RequestError::Malformed(what)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(
+                    Status::BadRequest,
+                    format!("malformed request: {what}"),
+                    None,
+                )
+                .write_to(&mut &*stream, true);
+                return;
+            }
+            Err(RequestError::BodyTooLarge) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(
+                    Status::PayloadTooLarge,
+                    format!("request body exceeds {} bytes", http::MAX_BODY_BYTES),
+                    None,
+                )
+                .write_to(&mut &*stream, true);
+                return;
+            }
+            // The peer vanished or stalled; nobody is listening for errors.
+            Err(RequestError::Io(_)) => return,
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let routed = route(&request, shared, pool_threads);
+        // Close when the client asked to, when this response exhausts
+        // the connection's request budget, or when shutdown started
+        // (possibly via this very request).
+        let close = request.close
+            || served == MAX_REQUESTS_PER_CONNECTION
+            || shared.shutdown.load(Ordering::SeqCst);
+        let written = match routed {
+            Routed::Full(response) => response.write_to(&mut &*stream, close).is_ok(),
+            Routed::GridStream(grid) => {
+                stream_grid(stream, &grid, shared, pool_threads, close).is_ok()
+            }
+            Routed::JobStream { job, from } => {
+                stream_job(stream, &job, from, shared, close).is_ok()
+            }
+        };
+        if !written || close {
+            return;
+        }
+    }
+}
+
+/// Waits for the next request's first byte. Pipelined bytes already
+/// sitting in the read buffer win immediately; otherwise the worker
+/// parks on `peek` in short slices so it notices shutdown fast, and
+/// gives the connection up at the idle timeout or when the peer closes.
+fn wait_for_request(reader: &mut BufReader<&TcpStream>, shared: &Shared) -> bool {
+    if !reader.buffer().is_empty() {
+        return true;
+    }
+    let stream: &TcpStream = reader.get_ref();
+    let deadline = Instant::now() + shared.config.idle_timeout;
+    let slice = IDLE_SLICE
+        .min(shared.config.idle_timeout)
+        .max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(slice));
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return false, // peer closed
+            Ok(_) => return true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// What the route table decided: a complete response, or a stream the
+/// connection loop must drive (streams need the socket, which handlers
+/// never touch directly).
+enum Routed {
+    /// A `Content-Length`-framed response, ready to write.
+    Full(Response),
+    /// Execute this grid now, streaming each point's fragment.
+    GridStream(Grid),
+    /// Stream a job's fragments starting at offset `from`.
+    JobStream { job: Arc<Job>, from: usize },
 }
 
 /// The route table. Method mismatches on known paths are 405; unknown
 /// paths are 404.
-fn route(request: &Request, shared: &Shared, pool_threads: usize) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed {
     let method = request.method.as_str();
+    let full = Routed::Full;
     match request.path.as_str() {
-        "/healthz" => match method {
+        "/healthz" => full(match method {
             "GET" => Response::ok(format!("{}\n", health_json().to_pretty())),
             _ => method_not_allowed("GET"),
-        },
-        "/v1/experiments" => match method {
+        }),
+        "/v1/experiments" => full(match method {
             "GET" => Response::ok(format!("{}\n", listing_json().to_pretty())),
             _ => method_not_allowed("GET"),
-        },
-        "/v1/stats" => match method {
+        }),
+        "/v1/stats" => full(match method {
             "GET" => Response::ok(format!("{}\n", stats_json(shared).to_pretty())),
             _ => method_not_allowed("GET"),
-        },
-        "/v1/sweep" => match method {
+        }),
+        "/v1/sweep" => full(match method {
             "POST" => sweep_endpoint(&request.body, pool_threads),
             _ => method_not_allowed("POST"),
-        },
-        "/v1/shutdown" => match method {
+        }),
+        "/v1/shutdown" => full(match method {
             "POST" => {
                 trigger_shutdown(shared);
                 Response::ok(format!(
@@ -351,29 +712,39 @@ fn route(request: &Request, shared: &Shared, pool_threads: usize) -> Response {
                 ))
             }
             _ => method_not_allowed("POST"),
-        },
+        }),
         path => {
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return jobs_route(
+                    rest,
+                    method,
+                    &request.query,
+                    &request.body,
+                    shared,
+                    pool_threads,
+                );
+            }
             if let Some(id) = path.strip_prefix("/v1/sweep/") {
                 return match method {
-                    "POST" => sweep_grid_endpoint(id, &request.body, shared, pool_threads),
-                    _ => method_not_allowed("POST"),
+                    "POST" => sweep_grid_endpoint(id, &request.body),
+                    _ => full(method_not_allowed("POST")),
                 };
             }
             match path.strip_prefix("/v1/run/") {
-                Some(id) if method == "GET" => {
-                    run_endpoint(id, &request.query, shared, pool_threads)
-                }
-                Some(_) => method_not_allowed("GET"),
-                None => Response::error(
+                Some(id) if method == "GET" => run_endpoint(id, &request.query, shared),
+                Some(_) => full(method_not_allowed("GET")),
+                None => full(Response::error(
                     Status::NotFound,
                     format!("no route for `{path}`"),
                     Some(
                         "endpoints: GET /healthz, GET /v1/experiments, \
                          GET /v1/run/{id}?key=value-set, POST /v1/sweep, \
-                         POST /v1/sweep/{id}, GET /v1/stats, POST /v1/shutdown"
+                         POST /v1/sweep/{id}, POST /v1/jobs/{id}, \
+                         GET /v1/jobs/{jid}, GET /v1/jobs/{jid}/stream?from=K, \
+                         GET /v1/stats, POST /v1/shutdown"
                             .to_owned(),
                     ),
-                ),
+                )),
             }
         }
     }
@@ -396,49 +767,36 @@ fn health_json() -> Json {
     ])
 }
 
-/// The observability document: request and cache counters.
+/// The observability document: request, cache, coalescing, and
+/// job/stream counters.
 fn stats_json(shared: &Shared) -> Json {
     let entries = shared.cache.lock().expect("cache lock").len();
+    let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
     Json::obj([
-        (
-            "requests",
-            Json::Int(shared.requests.load(Ordering::Relaxed) as i64),
-        ),
-        (
-            "cache_hits",
-            Json::Int(shared.cache_hits.load(Ordering::Relaxed) as i64),
-        ),
-        (
-            "cache_misses",
-            Json::Int(shared.cache_misses.load(Ordering::Relaxed) as i64),
-        ),
-        (
-            "cache_evictions",
-            Json::Int(shared.cache_evictions.load(Ordering::Relaxed) as i64),
-        ),
+        ("requests", load(&shared.requests)),
+        ("cache_hits", load(&shared.cache_hits)),
+        ("cache_misses", load(&shared.cache_misses)),
+        ("coalesced", load(&shared.coalesced)),
+        ("cache_evictions", load(&shared.cache_evictions)),
         ("cache_entries", Json::Int(entries as i64)),
+        ("jobs_active", load(&shared.jobs_active)),
+        ("streams_open", load(&shared.streams_open)),
     ])
 }
 
-/// `GET /v1/run/{id}?key=value…` — one registry run, cached.
+/// `GET /v1/run/{id}?key=value…` — one registry run, cached and
+/// single-flight.
 ///
 /// The body is byte-identical to `cqla run <id> --format json`: the
 /// pretty-printed artifact document plus the trailing newline `println!`
 /// appends. Overrides are applied in sorted key order, which is also the
 /// cache key order, so equivalent queries share one cache entry. A query
 /// using value-*set* syntax (`?bits=32..=128:*2`, comma lists, `base.`
-/// pins) fans out into a grid run instead — byte-identical to
-/// `cqla run <id> key=value-set… --format json`.
-fn run_endpoint(
-    id: &str,
-    query: &[(String, String)],
-    shared: &Shared,
-    pool_threads: usize,
-) -> Response {
+/// pins) fans out into a streamed grid run instead — its concatenated
+/// chunks byte-identical to `cqla run <id> key=value-set… --format json`.
+fn run_endpoint(id: &str, query: &[(String, String)], shared: &Shared) -> Routed {
     let Some(mut experiment) = find(id) else {
-        let all = ids();
-        let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
-        return Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint);
+        return Routed::Full(unknown_artifact(id));
     };
     if query.iter().any(|(k, v)| is_set_clause(k, v)) {
         let expr = query
@@ -446,22 +804,40 @@ fn run_endpoint(
             .map(|(k, v)| format!("{k}={v}"))
             .collect::<Vec<_>>()
             .join(" ");
-        return grid_endpoint(experiment.as_ref(), &expr, shared, pool_threads);
+        return match parse_grid(experiment.as_ref(), &expr) {
+            Ok(grid) => Routed::GridStream(grid),
+            Err(response) => Routed::Full(response),
+        };
     }
     let mut params: Vec<(String, String)> = query.to_vec();
     params.sort();
     let key = canonical_key(id, &params);
-    if let Some(body) = shared.cache.lock().expect("cache lock").get(&key) {
-        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Response::shared(body);
+    match lookup(shared, &key) {
+        Lookup::Hit(body) => {
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Routed::Full(Response::shared(body));
+        }
+        Lookup::Coalesced(body) => {
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Routed::Full(Response::shared(body));
+        }
+        Lookup::Owned => {}
     }
+    // We own the flight now; the guard abandons it on every path that
+    // does not produce a cacheable body (param errors, failed checks,
+    // a panicking run).
+    let mut guard = FlightGuard {
+        shared,
+        key,
+        armed: true,
+    };
     for (param, value) in &params {
         if let Err(e) = experiment.set(param, value) {
-            return Response::error(
+            return Routed::Full(Response::error(
                 Status::BadRequest,
                 e.to_string(),
                 Some(format!("{id} takes: {}", params_usage(experiment.as_ref()))),
-            );
+            ));
         }
     }
     let output = experiment.run();
@@ -470,93 +846,441 @@ fn run_endpoint(
     // Failing runs (a broken `verify`) are never cached: cached bodies
     // carry no verdict, and the grid executor reports hits as passed.
     if output.passed {
-        let evicted = shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&body));
-        shared.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+        guard.armed = false;
+        resolve_flight(shared, &guard.key, Arc::clone(&body));
     }
-    Response::shared(body)
+    drop(guard);
+    Routed::Full(Response::shared(body))
+}
+
+fn unknown_artifact(id: &str) -> Response {
+    let all = ids();
+    let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
+    Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint)
 }
 
 /// Plugs the server's results cache into the grid executor: each grid
 /// point reads and writes exactly the entry a single `/v1/run/{id}`
 /// request with the same overrides would, so grids warm the cache for
-/// single runs and vice versa. Hit/miss/eviction counters tick per
-/// point.
+/// single runs and vice versa, and concurrent cold misses on one point
+/// coalesce onto a single execution. Hit/miss/coalesced/eviction
+/// counters tick per point.
 struct SharedPointCache<'a> {
     shared: &'a Shared,
     id: &'a str,
 }
 
-impl PointCache for SharedPointCache<'_> {
-    fn get(&self, overrides: &[(String, String)]) -> Option<String> {
+impl SharedPointCache<'_> {
+    fn key(&self, overrides: &[(String, String)]) -> String {
         let mut params = overrides.to_vec();
         params.sort();
-        let key = canonical_key(self.id, &params);
-        let hit = self.shared.cache.lock().expect("cache lock").get(&key);
-        let body = hit?;
-        self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-        Some((*body).clone())
-    }
-
-    fn put(&self, overrides: &[(String, String)], body: &str) {
-        let mut params = overrides.to_vec();
-        params.sort();
-        let key = canonical_key(self.id, &params);
-        self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let evicted = self
-            .shared
-            .cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::new(body.to_owned()));
-        self.shared
-            .cache_evictions
-            .fetch_add(evicted, Ordering::Relaxed);
+        canonical_key(self.id, &params)
     }
 }
 
-/// Executes a grid expression over one experiment and answers with the
-/// merged document — byte-identical to the CLI's grid output. Behind
-/// both `GET /v1/run/{id}?key=value-set` and `POST /v1/sweep/{id}`.
-fn grid_endpoint(
-    experiment: &dyn Experiment,
-    expr: &str,
-    shared: &Shared,
-    pool_threads: usize,
-) -> Response {
-    let id = experiment.id();
-    let grid = match Grid::parse(id, &experiment.specs(), expr) {
-        Ok(grid) => grid,
-        Err(e) => {
-            return Response::error(
-                Status::BadRequest,
-                e.to_string(),
-                Some(format!("{id} takes: {}", params_usage(experiment))),
-            );
+impl PointCache for SharedPointCache<'_> {
+    fn get(&self, overrides: &[(String, String)]) -> Option<String> {
+        match lookup(self.shared, &self.key(overrides)) {
+            Lookup::Hit(body) => {
+                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Some((*body).clone())
+            }
+            Lookup::Coalesced(body) => {
+                self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                Some((*body).clone())
+            }
+            Lookup::Owned => None,
         }
-    };
-    let cache = SharedPointCache { shared, id };
-    let run = GridRun::execute_cached(&grid, pool_threads, &cache);
-    Response::ok(format!("{}\n", run.to_json().to_pretty()))
+    }
+
+    fn put(&self, overrides: &[(String, String)], body: &str) {
+        self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        resolve_flight(self.shared, &self.key(overrides), Arc::new(body.to_owned()));
+    }
+
+    fn abandon(&self, overrides: &[(String, String)]) {
+        abandon_flight(self.shared, &self.key(overrides));
+    }
+}
+
+/// Parses a grid expression against one experiment, mapping parse
+/// errors to the 400 the CLI's usage message mirrors.
+fn parse_grid(experiment: &dyn Experiment, expr: &str) -> Result<Grid, Response> {
+    let id = experiment.id();
+    Grid::parse(id, &experiment.specs(), expr).map_err(|e| {
+        Response::error(
+            Status::BadRequest,
+            e.to_string(),
+            Some(format!("{id} takes: {}", params_usage(experiment))),
+        )
+    })
 }
 
 /// `POST /v1/sweep/{id}` — the body is one `key=value-set` expression
 /// over the experiment's declared parameters, executed as a grid on the
-/// work-stealing pool. The response is the same merged document the
-/// grid-query form of `GET /v1/run/{id}` produces.
-fn sweep_grid_endpoint(id: &str, body: &[u8], shared: &Shared, pool_threads: usize) -> Response {
+/// work-stealing pool and streamed point by point. The concatenated
+/// chunks are the same merged document the grid-query form of
+/// `GET /v1/run/{id}` produces.
+fn sweep_grid_endpoint(id: &str, body: &[u8]) -> Routed {
     let Some(experiment) = find(id) else {
-        let all = ids();
-        let hint = suggest(id, all.iter().copied()).map(|s| format!("did you mean `{s}`?"));
-        return Response::error(Status::NotFound, format!("unknown artifact `{id}`"), hint);
+        return Routed::Full(unknown_artifact(id));
+    };
+    let Ok(expr) = core::str::from_utf8(body) else {
+        return Routed::Full(Response::error(
+            Status::BadRequest,
+            "grid expression is not UTF-8",
+            None,
+        ));
+    };
+    match parse_grid(experiment.as_ref(), expr.trim()) {
+        Ok(grid) => Routed::GridStream(grid),
+        Err(response) => Routed::Full(response),
+    }
+}
+
+/// Streams one [`PointSink`] fragment per completed point into a
+/// [`ChunkedWriter`], remembering (rather than propagating — the pool
+/// must finish either way) the first write failure.
+struct StreamSink<'w, W: std::io::Write> {
+    writer: Mutex<ChunkedWriter<'w, W>>,
+    failed: AtomicBool,
+}
+
+impl<W: std::io::Write + Send> PointSink for StreamSink<'_, W> {
+    fn point(&self, index: usize, point: &cqla_sweep::grid::GridPoint) {
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let fragment = point_fragment(index, point);
+        let mut writer = self.writer.lock().expect("stream writer lock");
+        if writer.chunk(&fragment).is_err() {
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Executes a grid and streams it: prologue chunk, one chunk per point
+/// as the pool finishes it, epilogue chunk, terminal chunk. If the
+/// client hangs up mid-stream the execution still completes (points
+/// land in the cache for the retry), but the connection is reported
+/// dead so the loop closes it.
+fn stream_grid(
+    stream: &TcpStream,
+    grid: &Grid,
+    shared: &Shared,
+    pool_threads: usize,
+    close: bool,
+) -> std::io::Result<()> {
+    let _open = Gauge::new(&shared.streams_open);
+    let total = grid.points().len();
+    let mut w: &TcpStream = stream;
+    let mut body = ChunkedWriter::start(&mut w, Status::Ok, close)?;
+    body.chunk(&document_prologue(grid.id(), grid.spec(), total))?;
+    let cache = SharedPointCache {
+        shared,
+        id: grid.id(),
+    };
+    let sink = StreamSink {
+        writer: Mutex::new(body),
+        failed: AtomicBool::new(false),
+    };
+    let _run = GridRun::execute_streamed(grid, pool_threads, &cache, &sink);
+    let failed = sink.failed.load(Ordering::Relaxed);
+    let mut body = sink.writer.into_inner().expect("stream writer lock");
+    if failed {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "client left mid-stream",
+        ));
+    }
+    body.chunk(DOCUMENT_EPILOGUE)?;
+    body.finish()
+}
+
+/// The `/v1/jobs/…` subtree: create (POST `{id}`), poll (GET `{jid}`),
+/// stream (GET `{jid}/stream?from=K`).
+fn jobs_route(
+    rest: &str,
+    method: &str,
+    query: &[(String, String)],
+    body: &[u8],
+    shared: &Arc<Shared>,
+    pool_threads: usize,
+) -> Routed {
+    if let Some(jid) = rest.strip_suffix("/stream") {
+        if method != "GET" {
+            return Routed::Full(method_not_allowed("GET"));
+        }
+        let job = match find_job(shared, jid) {
+            Ok(job) => job,
+            Err(response) => return Routed::Full(response),
+        };
+        let from = match resume_offset(query) {
+            Ok(from) => from,
+            Err(response) => return Routed::Full(response),
+        };
+        if from > job.total {
+            return Routed::Full(Response::error(
+                Status::BadRequest,
+                format!(
+                    "resume offset {from} is past the job's {} point(s)",
+                    job.total
+                ),
+                Some("`from` is the number of result fragments already received".to_owned()),
+            ));
+        }
+        return Routed::JobStream { job, from };
+    }
+    match method {
+        "POST" => Routed::Full(jobs_create_endpoint(rest, body, shared, pool_threads)),
+        "GET" => match find_job(shared, rest) {
+            Ok(job) => Routed::Full(Response::ok(format!("{}\n", job_json(&job).to_pretty()))),
+            Err(response) => Routed::Full(response),
+        },
+        _ => Routed::Full(method_not_allowed("GET, POST")),
+    }
+}
+
+/// Parses `?from=K` (default 0).
+fn resume_offset(query: &[(String, String)]) -> Result<usize, Response> {
+    let Some((_, raw)) = query.iter().find(|(k, _)| k == "from") else {
+        return Ok(0);
+    };
+    raw.parse().map_err(|_| {
+        Response::error(
+            Status::BadRequest,
+            format!("unparseable resume offset `{raw}`"),
+            Some("`from` is a fragment count, e.g. /v1/jobs/j1/stream?from=3".to_owned()),
+        )
+    })
+}
+
+/// Resolves a job id: live jobs by table lookup; ids that were once
+/// handed out but have been retired answer 410 Gone (re-POST to
+/// recompute — the points are still in the results cache); everything
+/// else is 404.
+fn find_job(shared: &Shared, jid: &str) -> Result<Arc<Job>, Response> {
+    let table = shared.jobs.lock().expect("job table lock");
+    if let Some(job) = table.map.get(jid) {
+        return Ok(Arc::clone(job));
+    }
+    let once_existed = jid
+        .strip_prefix('j')
+        .and_then(|n| n.parse::<u64>().ok())
+        .is_some_and(|n| n >= 1 && n <= table.next);
+    Err(if once_existed {
+        Response::error(
+            Status::Gone,
+            format!("job `{jid}` has been retired"),
+            Some(
+                "completed jobs are retained only up to --job-retention; \
+                 re-POST /v1/jobs/{id} — cached points are not recomputed"
+                    .to_owned(),
+            ),
+        )
+    } else {
+        Response::error(
+            Status::NotFound,
+            format!("unknown job `{jid}`"),
+            Some("jobs are created by POST /v1/jobs/{id}".to_owned()),
+        )
+    })
+}
+
+/// One job's status document (also the 202 creation body).
+fn job_json(job: &Job) -> Json {
+    let state = job.state.lock().expect("job state lock");
+    Json::obj([
+        ("job", Json::from(job.id.as_str())),
+        ("artifact", Json::from(job.artifact.as_str())),
+        ("grid", Json::from(job.spec.as_str())),
+        ("points", Json::Int(job.total as i64)),
+        ("done", Json::Int(state.fragments.len() as i64)),
+        (
+            "status",
+            Json::from(if !state.done {
+                "running"
+            } else if state.passed {
+                "done"
+            } else {
+                "failed"
+            }),
+        ),
+        (
+            "passed",
+            if state.done {
+                Json::Bool(state.passed)
+            } else {
+                Json::Null
+            },
+        ),
+    ])
+}
+
+/// `POST /v1/jobs/{id}` — parse the grid, register a job, start its
+/// thread, answer 202 immediately with the job document.
+fn jobs_create_endpoint(
+    id: &str,
+    body: &[u8],
+    shared: &Arc<Shared>,
+    pool_threads: usize,
+) -> Response {
+    let Some(experiment) = find(id) else {
+        return unknown_artifact(id);
     };
     let Ok(expr) = core::str::from_utf8(body) else {
         return Response::error(Status::BadRequest, "grid expression is not UTF-8", None);
     };
-    grid_endpoint(experiment.as_ref(), expr.trim(), shared, pool_threads)
+    let grid = match parse_grid(experiment.as_ref(), expr.trim()) {
+        Ok(grid) => grid,
+        Err(response) => return response,
+    };
+    if shared.jobs_active.load(Ordering::Relaxed) >= MAX_ACTIVE_JOBS as u64 {
+        return Response::error(
+            Status::ServiceUnavailable,
+            format!("{MAX_ACTIVE_JOBS} jobs already running"),
+            Some("poll /v1/stats for jobs_active and retry".to_owned()),
+        );
+    }
+    let total = grid.points().len();
+    let job = {
+        let mut table = shared.jobs.lock().expect("job table lock");
+        table.next += 1;
+        let jid = format!("j{}", table.next);
+        let job = Arc::new(Job {
+            id: jid.clone(),
+            artifact: id.to_owned(),
+            spec: grid.spec().to_owned(),
+            total,
+            prologue: document_prologue(id, grid.spec(), total),
+            state: Mutex::new(JobState {
+                fragments: Vec::new(),
+                done: false,
+                passed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        table.map.insert(jid, Arc::clone(&job));
+        job
+    };
+    shared.jobs_active.fetch_add(1, Ordering::Relaxed);
+    let handle = std::thread::spawn({
+        let shared = Arc::clone(shared);
+        let job = Arc::clone(&job);
+        move || run_job(&shared, &job, &grid, pool_threads)
+    });
+    shared
+        .job_threads
+        .lock()
+        .expect("job threads lock")
+        .push(handle);
+    Response {
+        status: Status::Accepted,
+        body: Arc::new(format!("{}\n", job_json(&job).to_pretty())),
+    }
+}
+
+/// Appends each completed point's fragment to the job log and wakes
+/// pollers/streamers.
+struct JobSink<'a> {
+    job: &'a Job,
+}
+
+impl PointSink for JobSink<'_> {
+    fn point(&self, index: usize, point: &cqla_sweep::grid::GridPoint) {
+        let fragment = point_fragment(index, point);
+        let mut state = self.job.state.lock().expect("job state lock");
+        debug_assert_eq!(state.fragments.len(), index, "fragments arrive in order");
+        state.fragments.push(fragment);
+        self.job.cv.notify_all();
+    }
+}
+
+/// The job thread: execute the grid through the shared point cache,
+/// park the merged document in the LRU, mark the job done, apply
+/// retention. A panicking run still marks the job done (failed) so
+/// streams and shutdown never wait forever.
+fn run_job(shared: &Arc<Shared>, job: &Arc<Job>, grid: &Grid, pool_threads: usize) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let cache = SharedPointCache {
+            shared,
+            id: &job.artifact,
+        };
+        let sink = JobSink { job };
+        GridRun::execute_streamed(grid, pool_threads, &cache, &sink)
+    }));
+    let passed = match &outcome {
+        Ok(run) => {
+            let merged = Arc::new(format!("{}\n", run.to_json().to_pretty()));
+            let evicted = shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(grid_document_key(&job.artifact, &job.spec), merged);
+            shared.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+            run.passed()
+        }
+        Err(_) => {
+            eprintln!("cqla-serve: job {} panicked; marked failed", job.id);
+            false
+        }
+    };
+    {
+        let mut state = job.state.lock().expect("job state lock");
+        state.done = true;
+        state.passed = passed;
+        job.cv.notify_all();
+    }
+    {
+        let mut table = shared.jobs.lock().expect("job table lock");
+        table.finished.push_back(job.id.clone());
+        while table.finished.len() > shared.config.job_retention {
+            if let Some(old) = table.finished.pop_front() {
+                table.map.remove(&old);
+            }
+        }
+    }
+    shared.jobs_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Streams a job from fragment offset `from`: the prologue only at
+/// offset 0 (a resuming client already has it), then every fragment as
+/// the job produces it, then the epilogue. Concatenating a stream from
+/// 0 — or a prefix up to K glued to a `?from=K` resume — yields exactly
+/// the merged grid document.
+fn stream_job(
+    stream: &TcpStream,
+    job: &Job,
+    from: usize,
+    shared: &Shared,
+    close: bool,
+) -> std::io::Result<()> {
+    let _open = Gauge::new(&shared.streams_open);
+    let mut w: &TcpStream = stream;
+    let mut body = ChunkedWriter::start(&mut w, Status::Ok, close)?;
+    if from == 0 {
+        body.chunk(&job.prologue)?;
+    }
+    let mut next = from;
+    loop {
+        let fragment = {
+            let mut state = job.state.lock().expect("job state lock");
+            loop {
+                if next < state.fragments.len() {
+                    break Some(state.fragments[next].clone());
+                }
+                if state.done {
+                    break None;
+                }
+                state = job.cv.wait(state).expect("job state wait");
+            }
+        };
+        let Some(fragment) = fragment else { break };
+        body.chunk(&fragment)?;
+        next += 1;
+    }
+    body.chunk(DOCUMENT_EPILOGUE)?;
+    body.finish()
 }
 
 /// The canonical cache key: id plus the sorted, decoded overrides. Two
@@ -573,6 +1297,13 @@ fn canonical_key(id: &str, sorted_params: &[(String, String)]) -> String {
         let _ = write!(key, "|{}:{param}|{}:{value}", param.len(), value.len());
     }
     key
+}
+
+/// The cache key a completed job's *merged* document lands under.
+/// Starts with a letter, so it can never collide with [`canonical_key`]
+/// (whose first byte is always a digit of the id's length).
+fn grid_document_key(id: &str, spec: &str) -> String {
+    format!("grid|{}:{id}|{}:{spec}", id.len(), spec.len())
 }
 
 /// `POST /v1/sweep` — the body is one sweep-spec expression (or builtin
@@ -614,6 +1345,33 @@ fn sweep_endpoint(body: &[u8], pool_threads: usize) -> Response {
 mod tests {
     use super::*;
 
+    /// Unwraps a [`Routed::Full`] response.
+    fn full(routed: Routed) -> Response {
+        match routed {
+            Routed::Full(response) => response,
+            Routed::GridStream(_) => panic!("expected a full response, got a grid stream"),
+            Routed::JobStream { .. } => panic!("expected a full response, got a job stream"),
+        }
+    }
+
+    /// Materializes a routed outcome into a full response, executing
+    /// grid streams inline through the shared point cache exactly as
+    /// the connection loop would.
+    fn materialize(routed: Routed, shared: &Shared) -> Response {
+        match routed {
+            Routed::Full(response) => response,
+            Routed::GridStream(grid) => {
+                let cache = SharedPointCache {
+                    shared,
+                    id: grid.id(),
+                };
+                let run = GridRun::execute_cached(&grid, 1, &cache);
+                Response::ok(format!("{}\n", run.to_json().to_pretty()))
+            }
+            Routed::JobStream { .. } => panic!("expected a grid outcome, got a job stream"),
+        }
+    }
+
     #[test]
     fn canonical_keys_are_order_insensitive_but_value_sensitive() {
         let a = [
@@ -645,13 +1403,18 @@ mod tests {
                 "{smuggled:?} must not forge the two-param key"
             );
         }
+        // A job's merged-document key lives in its own namespace.
+        assert_ne!(
+            grid_document_key("fig2", "bits=8"),
+            canonical_key("fig2", &[("bits".to_owned(), "8".to_owned())])
+        );
     }
 
     #[test]
     fn run_endpoint_matches_the_registry_document() {
         let server = Server::bind("127.0.0.1:0", 1).unwrap();
         let shared = &server.shared;
-        let resp = run_endpoint("table4", &[], shared, 1);
+        let resp = full(run_endpoint("table4", &[], shared));
         assert_eq!(resp.status, Status::Ok);
         let expected = format!(
             "{}\n",
@@ -660,7 +1423,7 @@ mod tests {
         assert_eq!(*resp.body, expected);
         // Second identical request hits the cache — and shares the
         // cached allocation instead of copying it.
-        let again = run_endpoint("table4", &[], shared, 1);
+        let again = full(run_endpoint("table4", &[], shared));
         assert_eq!(*again.body, expected);
         let cached = shared
             .cache
@@ -675,21 +1438,58 @@ mod tests {
         assert!(Arc::ptr_eq(&again.body, &cached), "hits must share the Arc");
         assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 1);
+        // The flight was resolved, not leaked.
+        assert!(shared.flights.lock().unwrap().is_empty());
     }
 
     #[test]
-    fn run_endpoint_maps_param_errors_to_400() {
+    fn run_endpoint_maps_param_errors_to_400_and_releases_the_flight() {
         let server = Server::bind("127.0.0.1:0", 1).unwrap();
-        let resp = run_endpoint(
+        let resp = full(run_endpoint(
             "table4",
             &[("tech".to_owned(), "warp".to_owned())],
             &server.shared,
-            1,
-        );
+        ));
         assert_eq!(resp.status, Status::BadRequest);
         assert!(resp.body.contains("bad value"), "{}", resp.body);
-        let resp = run_endpoint("table9", &[], &server.shared, 1);
+        assert!(
+            server.shared.flights.lock().unwrap().is_empty(),
+            "a 400 must abandon its flight"
+        );
+        let resp = full(run_endpoint("table9", &[], &server.shared));
         assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn single_flight_protocol_resolves_hits_and_retries_abandons() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        // Cold miss: the caller owns the flight.
+        assert!(matches!(lookup(shared, "k"), Lookup::Owned));
+        // Abandoning re-opens the key: the next lookup owns a new flight.
+        abandon_flight(shared, "k");
+        assert!(matches!(lookup(shared, "k"), Lookup::Owned));
+        // Resolving lands the body in the cache; later lookups hit.
+        resolve_flight(shared, "k", Arc::new("body".to_owned()));
+        match lookup(shared, "k") {
+            Lookup::Hit(body) => assert_eq!(*body, "body"),
+            _ => panic!("resolved key must hit"),
+        }
+        assert!(shared.flights.lock().unwrap().is_empty());
+        // A parked waiter receives the owner's body as coalesced.
+        assert!(matches!(lookup(shared, "k2"), Lookup::Owned));
+        let waiter = std::thread::spawn({
+            let shared = Arc::clone(shared);
+            move || match lookup(&shared, "k2") {
+                // Coalesced if it parked before the resolve, a plain
+                // hit if it arrived after — both must carry the body.
+                Lookup::Hit(body) | Lookup::Coalesced(body) => (*body).clone(),
+                Lookup::Owned => panic!("waiter must never own a resolved key"),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        resolve_flight(shared, "k2", Arc::new("body2".to_owned()));
+        assert_eq!(waiter.join().unwrap(), "body2");
     }
 
     #[test]
@@ -716,29 +1516,99 @@ mod tests {
         let server = Server::bind("127.0.0.1:0", 1).unwrap();
         let shared = &server.shared;
         // Warm one point through the single-run path…
-        let single = run_endpoint("fig2", &[("bits".to_owned(), "8".to_owned())], shared, 1);
+        let single = full(run_endpoint(
+            "fig2",
+            &[("bits".to_owned(), "8".to_owned())],
+            shared,
+        ));
         assert_eq!(single.status, Status::Ok);
         assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 1);
         // …then a grid covering it: one hit (the warm point), one miss.
-        let grid = run_endpoint("fig2", &[("bits".to_owned(), "8,16".to_owned())], shared, 1);
+        let grid = materialize(
+            run_endpoint("fig2", &[("bits".to_owned(), "8,16".to_owned())], shared),
+            shared,
+        );
         assert_eq!(grid.status, Status::Ok);
         assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 2);
         let doc = cqla_core::json::parse(&grid.body).unwrap();
         assert_eq!(doc.get("points").and_then(Json::as_f64), Some(2.0));
         // The grid's second point now serves single runs from the cache.
-        let warm = run_endpoint("fig2", &[("bits".to_owned(), "16".to_owned())], shared, 1);
+        let warm = full(run_endpoint(
+            "fig2",
+            &[("bits".to_owned(), "16".to_owned())],
+            shared,
+        ));
         assert_eq!(warm.status, Status::Ok);
         assert_eq!(shared.cache_hits.load(Ordering::Relaxed), 2);
         // Bad grid values are spanned 400s.
-        let bad = run_endpoint(
+        let bad = full(run_endpoint(
             "fig2",
             &[("bits".to_owned(), "8,nope".to_owned())],
             shared,
-            1,
-        );
+        ));
         assert_eq!(bad.status, Status::BadRequest);
         assert!(bad.body.contains("expected an integer"), "{}", bad.body);
+    }
+
+    #[test]
+    fn jobs_lifecycle_create_poll_retire() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            1,
+            ServeConfig {
+                job_retention: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let shared = &server.shared;
+        let created = jobs_create_endpoint("fig2", b"bits=8,16", shared, 1);
+        assert_eq!(created.status, Status::Accepted);
+        let doc = cqla_core::json::parse(&created.body).unwrap();
+        assert_eq!(doc.get("job").and_then(Json::as_str), Some("j1"));
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(2.0));
+        // Poll until done.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let job = find_job(shared, "j1").expect("job exists");
+            let doc = job_json(&job);
+            if doc.get("status").and_then(Json::as_str) == Some("done") {
+                assert_eq!(doc.get("done").and_then(Json::as_f64), Some(2.0));
+                assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));
+                break;
+            }
+            assert!(Instant::now() < deadline, "job never completed");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The merged document landed in the results cache.
+        let job = find_job(shared, "j1").unwrap();
+        let merged = shared
+            .cache
+            .lock()
+            .unwrap()
+            .get(&grid_document_key("fig2", &job.spec))
+            .expect("merged document cached");
+        assert!(merged.contains("\"artifact\": \"fig2\""));
+        // A second completed job retires the first (retention 1)…
+        let created = jobs_create_endpoint("fig2", b"bits=8", shared, 1);
+        let jid = cqla_core::json::parse(&created.body)
+            .unwrap()
+            .get("job")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_owned();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while find_job(shared, "j1").is_ok() {
+            assert!(Instant::now() < deadline, "first job never retired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let err_status = |r: Result<Arc<Job>, Response>| r.map_err(|resp| resp.status).err();
+        assert_eq!(err_status(find_job(shared, "j1")), Some(Status::Gone));
+        assert!(find_job(shared, &jid).is_ok());
+        // …and an id never handed out is 404, not 410.
+        assert_eq!(err_status(find_job(shared, "j99")), Some(Status::NotFound));
+        assert_eq!(err_status(find_job(shared, "nope")), Some(Status::NotFound));
     }
 
     #[test]

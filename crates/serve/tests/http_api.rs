@@ -1,15 +1,18 @@
 //! Integration tests driving a live server over real sockets with a
 //! plain [`TcpStream`] client: listing, parameterized runs, the
-//! `ParamError` → 400 mapping, sweep POSTs, cache behaviour under
-//! concurrent identical requests, and malformed-request resilience.
+//! `ParamError` → 400 mapping, sweep POSTs, streamed grid responses,
+//! background jobs (create/poll/stream/resume), keep-alive and
+//! pipelining, cache and single-flight behaviour under concurrent
+//! identical requests, shutdown drain, and malformed-request
+//! resilience.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cqla_core::experiments::{find, ids};
 use cqla_core::json;
-use cqla_serve::{Server, ServerHandle};
+use cqla_serve::{ServeConfig, Server, ServerHandle};
 use cqla_sweep::{Sweep, SweepRun};
 
 /// A live server on an ephemeral port, shut down (and joined) on drop.
@@ -21,7 +24,12 @@ struct Live {
 
 impl Live {
     fn start(workers: usize) -> Self {
-        let server = Server::bind("127.0.0.1:0", workers).expect("bind ephemeral port");
+        Self::start_with(workers, ServeConfig::default())
+    }
+
+    fn start_with(workers: usize, config: ServeConfig) -> Self {
+        let server =
+            Server::bind_with("127.0.0.1:0", workers, config).expect("bind ephemeral port");
         let addr = server.local_addr();
         let handle = server.handle();
         let join = std::thread::spawn(move || server.run());
@@ -44,31 +52,73 @@ impl Drop for Live {
     }
 }
 
-/// Sends raw bytes, returns `(status code, body)`.
-fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    stream.write_all(request.as_bytes()).expect("send request");
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("read response");
-    let status: u16 = text
+/// Reads one framed HTTP response off `reader`: status code, raw header
+/// block, and the body — `Content-Length`-framed or de-chunked, so
+/// callers compare streamed and full documents byte for byte.
+fn read_response(reader: &mut impl BufRead) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header line");
+        assert!(!line.is_empty(), "connection closed mid-response");
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
         .strip_prefix("HTTP/1.1 ")
         .and_then(|rest| rest.get(..3))
         .and_then(|code| code.parse().ok())
-        .unwrap_or_else(|| panic!("unparseable status line: {text:?}"));
-    let body = text
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_owned())
-        .unwrap_or_default();
+        .unwrap_or_else(|| panic!("unparseable status line: {head:?}"));
+    let lower = head.to_ascii_lowercase();
+    let body = if lower.contains("transfer-encoding: chunked") {
+        let mut out = String::new();
+        loop {
+            let mut size = String::new();
+            reader.read_line(&mut size).expect("read chunk size");
+            let len = usize::from_str_radix(size.trim(), 16)
+                .unwrap_or_else(|_| panic!("unparseable chunk size: {size:?}"));
+            // Payload plus its trailing CRLF.
+            let mut payload = vec![0u8; len + 2];
+            reader.read_exact(&mut payload).expect("read chunk");
+            if len == 0 {
+                break;
+            }
+            out.push_str(core::str::from_utf8(&payload[..len]).expect("chunk is UTF-8"));
+        }
+        out
+    } else {
+        let len: usize = lower
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("read body");
+        String::from_utf8(body).expect("body is UTF-8")
+    };
+    (status, head, body)
+}
+
+/// Sends raw bytes on a fresh connection, returns `(status code, body)`.
+fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    (&stream)
+        .write_all(request.as_bytes())
+        .expect("send request");
+    let mut reader = BufReader::new(&stream);
+    let (status, _, body) = read_response(&mut reader);
     (status, body)
 }
 
 fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     raw(
         addr,
-        &format!("GET {target} HTTP/1.1\r\nHost: cqla\r\n\r\n"),
+        &format!("GET {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n"),
     )
 }
 
@@ -76,10 +126,26 @@ fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
     raw(
         addr,
         &format!(
-            "POST {target} HTTP/1.1\r\nHost: cqla\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
+}
+
+/// Polls `/v1/jobs/{jid}` until its status leaves `running`.
+fn wait_for_job(addr: SocketAddr, jid: &str) -> json::Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{jid}"));
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("job document is JSON");
+        if doc.get("status").and_then(|v| v.as_str()) != Some("running") {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {jid} never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 #[test]
@@ -199,6 +265,98 @@ fn bad_sweep_specs_are_400_with_spec_diagnostics() {
 }
 
 #[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let live = Live::start(2);
+    let stream = TcpStream::connect(live.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    // Several exchanges ride the same connection; each response
+    // announces keep-alive.
+    for _ in 0..5 {
+        (&stream)
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: cqla\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+    }
+    // `Connection: close` ends it: the response says so and the peer
+    // then reads EOF.
+    (&stream)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty(), "no bytes may follow the final response");
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let live = Live::start(2);
+    let stream = TcpStream::connect(live.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Three requests in one write; the third opts out of keep-alive.
+    (&stream)
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: cqla\r\n\r\n\
+              GET /v1/experiments HTTP/1.1\r\nHost: cqla\r\n\r\n\
+              GET /v1/stats HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"service\""), "healthz first: {body}");
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"artifacts\""), "listing second: {body}");
+    let (status, head, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"requests\""), "stats third: {body}");
+    assert!(head.contains("Connection: close"), "{head}");
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed() {
+    let live = Live::start_with(
+        2,
+        ServeConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+    let stream = TcpStream::connect(live.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // One exchange keeps the connection open…
+    (&stream)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: cqla\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    // …then silence: the server hangs up at the idle timeout.
+    let start = Instant::now();
+    let mut rest = Vec::new();
+    reader
+        .read_to_end(&mut rest)
+        .expect("server closes cleanly");
+    assert!(rest.is_empty());
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "idle close must come from the timeout, not the client's"
+    );
+}
+
+#[test]
 fn concurrent_identical_requests_hit_the_cache() {
     let live = Live::start(4);
     // Warm the cache with one sequential request…
@@ -221,6 +379,34 @@ fn concurrent_identical_requests_hit_the_cache() {
     let misses = doc.get("cache_misses").unwrap().as_f64().unwrap();
     assert!(hits >= 8.0, "8 warm requests must all hit; stats: {stats}");
     assert_eq!(misses, 1.0, "only the first request computes; {stats}");
+}
+
+#[test]
+fn concurrent_cold_misses_coalesce_onto_one_execution() {
+    let live = Live::start(4);
+    // No warmup: everyone races for the same uncached key.
+    let bodies: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..8)
+            .map(|_| scope.spawn(|| get(live.addr, "/v1/run/table4")))
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let first = &bodies[0].1;
+    for (status, body) in &bodies {
+        assert_eq!(*status, 200);
+        assert_eq!(body, first, "every client sees identical bytes");
+    }
+    let (_, stats) = get(live.addr, "/v1/stats");
+    let doc = json::parse(&stats).unwrap();
+    let hits = doc.get("cache_hits").unwrap().as_f64().unwrap();
+    let misses = doc.get("cache_misses").unwrap().as_f64().unwrap();
+    let coalesced = doc.get("coalesced").unwrap().as_f64().unwrap();
+    assert_eq!(misses, 1.0, "single-flight: one execution; {stats}");
+    assert_eq!(
+        hits + coalesced,
+        7.0,
+        "the other seven reuse it (hit or coalesced); {stats}"
+    );
 }
 
 #[test]
@@ -294,6 +480,122 @@ fn grid_queries_and_the_sweep_id_route_merge_per_point_documents() {
 }
 
 #[test]
+fn grid_responses_stream_chunked_and_concatenate_byte_identically() {
+    let live = Live::start(2);
+    // Drive the exchange by hand to see the framing itself.
+    let stream = TcpStream::connect(live.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    (&stream)
+        .write_all(
+            b"GET /v1/run/fig2?bits=8,16,24 HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(&stream);
+    let (status, head, streamed) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Transfer-Encoding: chunked"),
+        "grid responses must stream: {head}"
+    );
+    // The de-chunked concatenation is byte-identical to the CLI's
+    // merged document for the same grid.
+    let grid =
+        cqla_core::experiments::Grid::parse("fig2", &find("fig2").unwrap().specs(), "bits=8,16,24")
+            .unwrap();
+    let expected = format!(
+        "{}\n",
+        cqla_sweep::GridRun::execute(&grid, 1).to_json().to_pretty()
+    );
+    assert_eq!(streamed, expected);
+}
+
+#[test]
+fn jobs_run_in_the_background_and_streams_resume_from_any_offset() {
+    let live = Live::start(2);
+    let (status, created) = post(live.addr, "/v1/jobs/fig2", "bits=8,16");
+    assert_eq!(status, 202, "{created}");
+    let doc = json::parse(&created).expect("job document is JSON");
+    let jid = doc.get("job").and_then(|v| v.as_str()).unwrap().to_owned();
+    assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(2.0));
+    // Poll until done.
+    let done = wait_for_job(live.addr, &jid);
+    assert_eq!(done.get("status").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(done.get("done").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(done.get("passed"), Some(&json::Json::Bool(true)));
+    // The full stream is byte-identical to the grid response.
+    let (status, full) = get(live.addr, &format!("/v1/jobs/{jid}/stream"));
+    assert_eq!(status, 200);
+    let (_, expected) = post(live.addr, "/v1/sweep/fig2", "bits=8,16");
+    assert_eq!(full, expected, "job stream == grid response");
+    // Resuming from offset K yields exactly the suffix after K
+    // fragments: prefix + resume == full document.
+    let (status, tail) = get(live.addr, &format!("/v1/jobs/{jid}/stream?from=1"));
+    assert_eq!(status, 200);
+    assert!(full.ends_with(&tail), "resume must be a suffix:\n{tail}");
+    assert!(tail.len() < full.len(), "resume skips delivered fragments");
+    // from == total: only the epilogue remains.
+    let (status, epilogue) = get(live.addr, &format!("/v1/jobs/{jid}/stream?from=2"));
+    assert_eq!(status, 200);
+    assert!(full.ends_with(&epilogue));
+    assert!(epilogue.contains(']'), "epilogue closes the results array");
+    // Past the end is a 400; bad offsets are 400; unknown jobs 404.
+    let (status, _) = get(live.addr, &format!("/v1/jobs/{jid}/stream?from=3"));
+    assert_eq!(status, 400);
+    let (status, _) = get(live.addr, &format!("/v1/jobs/{jid}/stream?from=x"));
+    assert_eq!(status, 400);
+    let (status, _) = get(live.addr, "/v1/jobs/j999/stream");
+    assert_eq!(status, 404);
+    let (status, body) = get(live.addr, "/v1/jobs/nope");
+    assert_eq!(status, 404, "{body}");
+    // Job stats gauges exist.
+    let (_, stats) = get(live.addr, "/v1/stats");
+    let doc = json::parse(&stats).unwrap();
+    assert!(doc.get("jobs_active").is_some(), "{stats}");
+    assert!(doc.get("streams_open").is_some(), "{stats}");
+    assert!(doc.get("coalesced").is_some(), "{stats}");
+}
+
+#[test]
+fn completed_jobs_retire_in_completion_order() {
+    let live = Live::start_with(
+        2,
+        ServeConfig {
+            job_retention: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let job = |expr: &str| {
+        let (status, body) = post(live.addr, "/v1/jobs/fig2", expr);
+        assert_eq!(status, 202, "{body}");
+        json::parse(&body)
+            .unwrap()
+            .get("job")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_owned()
+    };
+    let first = job("bits=8");
+    wait_for_job(live.addr, &first);
+    let second = job("bits=16");
+    wait_for_job(live.addr, &second);
+    // Retention 1: completing the second job retires the first.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = get(live.addr, &format!("/v1/jobs/{first}"));
+        if status == 410 {
+            assert!(body.contains("retired"), "{body}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "first job never retired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _) = get(live.addr, &format!("/v1/jobs/{second}"));
+    assert_eq!(status, 200, "newest completed job stays");
+}
+
+#[test]
 fn malformed_requests_get_400_and_the_server_survives() {
     let live = Live::start(2);
     let (status, body) = raw(live.addr, "NOT A REQUEST\r\n\r\n");
@@ -313,6 +615,8 @@ fn method_mismatches_are_405() {
     assert_eq!(status, 405);
     let (status, _) = post(live.addr, "/v1/run/table4", "");
     assert_eq!(status, 405);
+    let (status, _) = post(live.addr, "/v1/jobs/j1/stream", "");
+    assert_eq!(status, 405);
 }
 
 #[test]
@@ -326,4 +630,31 @@ fn shutdown_endpoint_stops_the_server() {
     join.join()
         .expect("server thread exits")
         .expect("clean shutdown after POST /v1/shutdown");
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_and_streams() {
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind");
+    let addr = server.local_addr();
+    let join = std::thread::spawn(move || server.run());
+    // Connection A starts a streamed grid…
+    let a = TcpStream::connect(addr).expect("connect");
+    a.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    (&a).write_all(
+        b"GET /v1/run/fig2?bits=8,16,24,32 HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    // …and shutdown lands while it is (or may be) in flight.
+    let (status, body) = post(addr, "/v1/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    // A's response still arrives complete and valid: the worker drains
+    // its exchange instead of racing teardown.
+    let mut reader = BufReader::new(&a);
+    let (status, _, streamed) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    let doc = json::parse(&streamed).expect("drained stream is complete JSON");
+    assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(4.0));
+    join.join()
+        .expect("server thread exits")
+        .expect("clean shutdown with a drained stream");
 }

@@ -50,6 +50,62 @@ pub struct GridPoint {
     pub passed: bool,
 }
 
+impl GridPoint {
+    /// This point's entry in the merged document's `results` array —
+    /// the unit the streamed-document framing re-indents into a
+    /// fragment (see [`point_fragment`]).
+    #[must_use]
+    pub fn result_json(&self) -> Json {
+        Json::obj([
+            (
+                "params",
+                Json::obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str()))),
+                ),
+            ),
+            ("data", self.data.clone()),
+        ])
+    }
+}
+
+/// The streamed grid document's head: everything up to and including
+/// the opening bracket of the `results` array. Concatenating
+/// `document_prologue` + [`point_fragment`] for every point in order +
+/// [`DOCUMENT_EPILOGUE`] is byte-identical to the merged document
+/// (`format!("{}\n", run.to_json().to_pretty())`) — the contract that
+/// lets the HTTP service stream a grid without buffering it.
+#[must_use]
+pub fn document_prologue(id: &str, spec: &str, points: usize) -> String {
+    let head = Json::obj([
+        ("artifact", Json::from(id)),
+        ("grid", Json::from(spec)),
+        ("points", Json::Int(points as i64)),
+    ])
+    .to_pretty();
+    let head = head
+        .strip_suffix("\n}")
+        .expect("pretty object ends with a closing brace");
+    format!("{head},\n  \"results\": [")
+}
+
+/// One point's streamed fragment: the separator (for every point after
+/// the first) plus the result object re-indented to its depth inside
+/// the `results` array. The re-indent is a plain string substitution on
+/// newlines, which is exact because the JSON printer never emits a
+/// literal newline inside a string (control characters are escaped).
+#[must_use]
+pub fn point_fragment(index: usize, point: &GridPoint) -> String {
+    let pretty = point.result_json().to_pretty().replace('\n', "\n    ");
+    let sep = if index == 0 { "" } else { "," };
+    format!("{sep}\n    {pretty}")
+}
+
+/// The streamed grid document's tail: closes the `results` array and
+/// the document, with the trailing newline every CLI/HTTP body carries.
+pub const DOCUMENT_EPILOGUE: &str = "\n  ]\n}\n";
+
 /// A per-point result cache the grid executor can read through and
 /// populate — the HTTP service plugs its results cache in here, so a
 /// grid run reuses previously computed single-run documents and leaves
@@ -62,11 +118,65 @@ pub struct GridPoint {
 /// body format does not record the verdict, so a cached point is
 /// reported as passed); implementations should uphold the same
 /// invariant for entries they populate elsewhere.
+///
+/// # The single-flight contract
+///
+/// An implementation may *coalesce* concurrent cold misses: `get` may
+/// block while another thread computes the same point, then return that
+/// thread's body. To support it, the executor promises that every `get`
+/// returning `None` is followed by exactly one of `put` (the computed
+/// body) or [`abandon`] (the run failed its self-checks, or the
+/// computation unwound) for the same overrides — `abandon` runs from a
+/// drop guard, so the promise holds even across a panic. A plain
+/// non-coalescing cache ignores `abandon` (the default no-op).
+///
+/// [`abandon`]: PointCache::abandon
 pub trait PointCache: Sync {
     /// The cached single-run body for these overrides, if any.
     fn get(&self, overrides: &[(String, String)]) -> Option<String>;
     /// Stores a freshly computed single-run body for these overrides.
     fn put(&self, overrides: &[(String, String)], body: &str);
+    /// Signals that the computation promised after a `None` from `get`
+    /// will not deliver a cacheable body, releasing any waiters a
+    /// single-flight implementation parked on it. Default: no-op.
+    fn abandon(&self, _overrides: &[(String, String)]) {}
+}
+
+/// Calls [`PointCache::abandon`] on drop unless disarmed by `put` —
+/// the executor's half of the single-flight contract, panic-safe.
+struct AbandonGuard<'a> {
+    cache: &'a dyn PointCache,
+    overrides: &'a [(String, String)],
+    armed: bool,
+}
+
+impl Drop for AbandonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon(self.overrides);
+        }
+    }
+}
+
+/// Receives grid points incrementally, **in submission order**, as the
+/// pool completes them: point `i` is delivered only after points
+/// `0..i`, no matter which worker finished first. The HTTP service
+/// streams each point's rendered fragment to the client from here;
+/// job runs append fragments to their progress log.
+///
+/// Called from pool worker threads (hence `Sync`), one call at a time
+/// (the executor serializes delivery behind its reorder lock) — but not
+/// necessarily from the same thread each time.
+pub trait PointSink: Sync {
+    /// One completed point, at its submission-order index.
+    fn point(&self, index: usize, point: &GridPoint);
+}
+
+/// The no-op sink behind the non-streaming executors.
+struct NoSink;
+
+impl PointSink for NoSink {
+    fn point(&self, _index: usize, _point: &GridPoint) {}
 }
 
 /// The no-op cache behind plain [`GridRun::execute`].
@@ -125,40 +235,62 @@ impl GridRun {
     /// As [`GridRun::execute`].
     #[must_use]
     pub fn execute_cached(grid: &Grid, threads: usize, cache: &dyn PointCache) -> Self {
+        Self::execute_streamed(grid, threads, cache, &NoSink)
+    }
+
+    /// Executes the grid, delivering each completed point to `sink` in
+    /// submission order as soon as it (and every earlier point) is
+    /// done — the incremental hook behind the HTTP service's streamed
+    /// grid responses and resumable jobs. The pool completes points in
+    /// whatever order work-stealing dictates; a reorder buffer holds
+    /// early finishers and flushes the contiguous prefix, so the sink
+    /// observes exactly the order [`GridRun::points`] will report.
+    ///
+    /// The sink runs on pool worker threads while the reorder lock is
+    /// held: a sink that blocks (say, on a slow client's socket) stalls
+    /// delivery, not correctness — callers on the serving path bound
+    /// that with write timeouts.
+    ///
+    /// # Panics
+    ///
+    /// As [`GridRun::execute`].
+    #[must_use]
+    pub fn execute_streamed(
+        grid: &Grid,
+        threads: usize,
+        cache: &dyn PointCache,
+        sink: &dyn PointSink,
+    ) -> Self {
         let id = grid.id().to_owned();
         let assignments = grid.points();
-        let points = pool::map(&assignments, threads, |_, overrides| {
-            let mut exp = find(&id).expect("grid experiment is registered");
-            for (key, value) in overrides {
-                exp.set(key, value)
-                    .expect("grid-validated value accepted by set");
+        let total = assignments.len();
+        // Reorder state: completed-but-undelivered points, plus the
+        // index of the next point to deliver.
+        struct Reorder {
+            slots: Vec<Option<GridPoint>>,
+            next: usize,
+        }
+        let reorder = std::sync::Mutex::new(Reorder {
+            slots: (0..total).map(|_| None).collect(),
+            next: 0,
+        });
+        pool::map(&assignments, threads, |index, overrides| {
+            let point = run_point(&id, overrides, cache);
+            let mut state = reorder.lock().expect("grid reorder lock");
+            state.slots[index] = Some(point);
+            while state.next < total && state.slots[state.next].is_some() {
+                let i = state.next;
+                sink.point(i, state.slots[i].as_ref().expect("flushed slot is filled"));
+                state.next += 1;
             }
-            let params: Vec<(String, String)> = exp
-                .params()
-                .iter()
-                .map(|p| (p.key.to_owned(), p.value.clone()))
-                .collect();
-            if let Some(point) = cached_point(cache, overrides, &params) {
-                return point;
-            }
-            let output = exp.run();
-            // Failing runs are never cached: the cached body cannot
-            // carry the verdict, so a hit is reported as passed.
-            if output.passed {
-                let body = format!("{}\n", output.document(&id).to_pretty());
-                cache.put(overrides, &body);
-            }
-            GridPoint {
-                overrides: overrides.clone(),
-                params,
-                data: output.data,
-                text: output.text,
-                passed: output.passed,
-            }
-        })
-        .into_iter()
-        .map(|t| t.value)
-        .collect();
+        });
+        let points = reorder
+            .into_inner()
+            .expect("grid reorder lock")
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every grid point completed"))
+            .collect();
         Self {
             id,
             spec: grid.spec().to_owned(),
@@ -200,24 +332,7 @@ impl GridRun {
             ("points", Json::Int(self.points.len() as i64)),
             (
                 "results",
-                Json::Arr(
-                    self.points
-                        .iter()
-                        .map(|p| {
-                            Json::obj([
-                                (
-                                    "params",
-                                    Json::obj(
-                                        p.params
-                                            .iter()
-                                            .map(|(k, v)| (k.clone(), Json::from(v.as_str()))),
-                                    ),
-                                ),
-                                ("data", p.data.clone()),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Arr(self.points.iter().map(GridPoint::result_json).collect()),
             ),
         ])
     }
@@ -252,6 +367,49 @@ impl GridRun {
             ));
         }
         out
+    }
+}
+
+/// Executes one grid point: resolve the experiment, apply the
+/// overrides, read through the cache (upholding the single-flight
+/// contract), run on a miss.
+fn run_point(id: &str, overrides: &[(String, String)], cache: &dyn PointCache) -> GridPoint {
+    let mut exp = find(id).expect("grid experiment is registered");
+    for (key, value) in overrides {
+        exp.set(key, value)
+            .expect("grid-validated value accepted by set");
+    }
+    let params: Vec<(String, String)> = exp
+        .params()
+        .iter()
+        .map(|p| (p.key.to_owned(), p.value.clone()))
+        .collect();
+    if let Some(point) = cached_point(cache, overrides, &params) {
+        return point;
+    }
+    // `get` returned None: if the cache coalesces, we now own the
+    // flight and must resolve it — `put` on success, `abandon` (via the
+    // guard, so a panicking run counts too) otherwise.
+    let mut guard = AbandonGuard {
+        cache,
+        overrides,
+        armed: true,
+    };
+    let output = exp.run();
+    // Failing runs are never cached: the cached body cannot
+    // carry the verdict, so a hit is reported as passed.
+    if output.passed {
+        let body = format!("{}\n", output.document(id).to_pretty());
+        cache.put(overrides, &body);
+        guard.armed = false;
+    }
+    drop(guard);
+    GridPoint {
+        overrides: overrides.to_vec(),
+        params,
+        data: output.data,
+        text: output.text,
+        passed: output.passed,
     }
 }
 
@@ -349,6 +507,82 @@ mod tests {
         let warm = GridRun::execute_cached(&g, 2, &cache);
         assert_eq!(warm.to_json().to_pretty(), cold.to_json().to_pretty());
         assert!(warm.points().iter().all(|p| p.text.is_empty()));
+    }
+
+    #[test]
+    fn streamed_framing_concatenates_to_the_merged_document() {
+        for expr in ["", "bits=8,16 cap=4,8", "bits=8..=32:*2"] {
+            let g = grid("fig2", expr);
+            let run = GridRun::execute(&g, 3);
+            let mut streamed = document_prologue(run.id(), run.spec(), run.points().len());
+            for (i, point) in run.points().iter().enumerate() {
+                streamed.push_str(&point_fragment(i, point));
+            }
+            streamed.push_str(DOCUMENT_EPILOGUE);
+            assert_eq!(
+                streamed,
+                format!("{}\n", run.to_json().to_pretty()),
+                "expr {expr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_point_in_submission_order() {
+        type Delivery = (usize, Vec<(String, String)>);
+        struct Recorder(Mutex<Vec<Delivery>>);
+        impl PointSink for Recorder {
+            fn point(&self, index: usize, point: &GridPoint) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((index, point.overrides.clone()));
+            }
+        }
+        let g = grid("fig2", "bits=8,16,24 cap=4,8");
+        for threads in [1, 4] {
+            let sink = Recorder(Mutex::new(Vec::new()));
+            let run = GridRun::execute_streamed(&g, threads, &NoCache, &sink);
+            let seen = sink.0.into_inner().unwrap();
+            assert_eq!(seen.len(), run.points().len(), "threads {threads}");
+            for (slot, (index, overrides)) in seen.iter().enumerate() {
+                assert_eq!(*index, slot, "threads {threads}");
+                assert_eq!(
+                    overrides,
+                    &run.points()[slot].overrides,
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_miss_is_resolved_with_a_put_and_never_abandoned() {
+        #[derive(Default)]
+        struct Flights {
+            puts: Mutex<usize>,
+            abandons: Mutex<usize>,
+        }
+        impl PointCache for Flights {
+            fn get(&self, _overrides: &[(String, String)]) -> Option<String> {
+                None
+            }
+            fn put(&self, _overrides: &[(String, String)], _body: &str) {
+                *self.puts.lock().unwrap() += 1;
+            }
+            fn abandon(&self, _overrides: &[(String, String)]) {
+                *self.abandons.lock().unwrap() += 1;
+            }
+        }
+        let cache = Flights::default();
+        let run = GridRun::execute_cached(&grid("fig2", "bits=8,16"), 2, &cache);
+        assert!(run.passed());
+        assert_eq!(*cache.puts.lock().unwrap(), 2, "one put per cold miss");
+        assert_eq!(
+            *cache.abandons.lock().unwrap(),
+            0,
+            "passing runs resolve via put"
+        );
     }
 
     #[test]

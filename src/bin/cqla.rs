@@ -14,7 +14,10 @@
 //! cqla sweep --spec-file FILE   run every spec in FILE (one per line)
 //! cqla bench-diff OLD NEW [--threshold X]
 //!                               compare two BENCH_sweep.json documents
-//! cqla serve [--addr HOST:PORT] serve the registry over HTTP (long-running)
+//! cqla serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N]
+//!                               serve the registry over HTTP: keep-alive
+//!                               connections, streamed grid responses, and
+//!                               resumable background sweep jobs
 //! cqla floorplan                draw the level-1 tile floorplans
 //!
 //! legacy aliases (kept for scripts):
@@ -38,14 +41,15 @@ use cqla_repro::core::experiments::{
 };
 use cqla_repro::core::{Json, ToJson};
 use cqla_repro::iontrap::TileFloorplan;
-use cqla_repro::serve::Server;
+use cqla_repro::serve::{ServeConfig, Server};
 use cqla_repro::sweep::regress::{BenchDiff, BenchDoc, DEFAULT_THRESHOLD};
 use cqla_repro::sweep::{pool, GridRun, Sweep, SweepRun};
 
 /// The one-line usage summary (`cqla help` / `cqla --help`).
 const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
      <list | run ID [k=v|k=set...] | sweep [SPEC | ID [k=set...] | --spec-file FILE] | \
-     bench-diff OLD NEW [--threshold X] | serve [--addr HOST:PORT] | \
+     bench-diff OLD NEW [--threshold X] | \
+     serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N] | \
      machine BITS BLOCKS [CODE] | table N | figure N | floorplan | verify>";
 
 /// The subcommand spellings `cqla` accepts, for did-you-mean suggestions.
@@ -482,14 +486,20 @@ fn bench_diff(cli: &Cli) -> Result<ExitCode, UsageError> {
     })
 }
 
-/// `cqla serve [--addr HOST:PORT]`: the long-running HTTP front end over
-/// the registry. `--threads` sizes the connection worker pool (and the
+/// `cqla serve [--addr HOST:PORT] [--idle-timeout SECS]
+/// [--job-retention N]`: the long-running HTTP front end over the
+/// registry. `--threads` sizes the connection worker pool (and the
 /// sweep pool behind `POST /v1/sweep`); `--addr` defaults to localhost
 /// and accepts port 0 for an ephemeral port, whose resolution is printed
 /// on the announcement line so scripts and tests can discover it.
+/// `--idle-timeout` bounds how long a keep-alive connection may sit
+/// between requests; `--job-retention` is how many completed sweep jobs
+/// stay pollable before the oldest is retired.
 fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
-    let usage = "usage: cqla serve [--addr HOST:PORT] [--threads N]";
+    let usage = "usage: cqla serve [--addr HOST:PORT] [--threads N] \
+                 [--idle-timeout SECS] [--job-retention N]";
     let mut addr = "127.0.0.1:8080".to_owned();
+    let mut config = ServeConfig::default();
     let mut i = 1;
     while let Some(arg) = cli.arg(i) {
         if arg == "--addr" {
@@ -498,6 +508,27 @@ fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
                 .ok_or_else(|| UsageError::with_hint("--addr expects HOST:PORT", usage))?
                 .to_owned();
             i += 2;
+        } else if arg == "--idle-timeout" {
+            let secs = cli
+                .arg(i + 1)
+                .and_then(|s| s.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    UsageError::with_hint(
+                        "--idle-timeout expects a positive integer (seconds)",
+                        usage,
+                    )
+                })?;
+            config.idle_timeout = std::time::Duration::from_secs(secs);
+            i += 2;
+        } else if arg == "--job-retention" {
+            config.job_retention = cli
+                .arg(i + 1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| {
+                    UsageError::with_hint("--job-retention expects a non-negative integer", usage)
+                })?;
+            i += 2;
         } else {
             return Err(UsageError::with_hint(
                 format!("unexpected serve argument `{arg}`"),
@@ -505,7 +536,7 @@ fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
             ));
         }
     }
-    let server = match Server::bind(addr.as_str(), cli.threads) {
+    let server = match Server::bind_with(addr.as_str(), cli.threads, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cqla: cannot bind {addr}: {e}");

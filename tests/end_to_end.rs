@@ -618,7 +618,7 @@ mod cli {
         use std::io::{BufRead, BufReader, Read, Write};
         use std::net::TcpStream;
         use std::process::{Child, Command, Stdio};
-        use std::time::Duration;
+        use std::time::{Duration, Instant};
 
         /// A running `cqla serve` child, killed on drop so a failing
         /// assertion can never leak a listening process.
@@ -627,10 +627,32 @@ mod cli {
             addr: String,
         }
 
+        /// Reassembles a chunked transfer-encoded payload: the
+        /// concatenation of the chunk bodies, framing stripped.
+        fn dechunk(raw: &str) -> String {
+            let mut out = String::new();
+            let mut rest = raw;
+            loop {
+                let (size, tail) = rest.split_once("\r\n").expect("chunk size line");
+                let len = usize::from_str_radix(size.trim(), 16)
+                    .unwrap_or_else(|_| panic!("unparseable chunk size: {size:?}"));
+                if len == 0 {
+                    return out;
+                }
+                out.push_str(&tail[..len]);
+                rest = &tail[len + 2..];
+            }
+        }
+
         impl Serve {
             fn start(threads: &str) -> Self {
+                Self::start_with(threads, &[])
+            }
+
+            fn start_with(threads: &str, extra: &[&str]) -> Self {
                 let mut child = Command::new(env!("CARGO_BIN_EXE_cqla"))
                     .args(["serve", "--addr", "127.0.0.1:0", "--threads", threads])
+                    .args(extra)
                     .stdout(Stdio::piped())
                     .stderr(Stdio::null())
                     .spawn()
@@ -662,15 +684,29 @@ mod cli {
                     .and_then(|rest| rest.get(..3))
                     .and_then(|code| code.parse().ok())
                     .unwrap_or_else(|| panic!("bad status line: {text:?}"));
-                let body = text
+                let (head, payload) = text
                     .split_once("\r\n\r\n")
-                    .map(|(_, b)| b.to_owned())
-                    .unwrap_or_default();
+                    .unwrap_or_else(|| panic!("headerless response: {text:?}"));
+                let body = if head.contains("Transfer-Encoding: chunked") {
+                    dechunk(payload)
+                } else {
+                    payload.to_owned()
+                };
                 (status, body)
             }
 
             fn get(&self, target: &str) -> (u16, String) {
-                self.request(&format!("GET {target} HTTP/1.1\r\nHost: cqla\r\n\r\n"))
+                self.request(&format!(
+                    "GET {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n"
+                ))
+            }
+
+            fn post(&self, target: &str, body: &str) -> (u16, String) {
+                self.request(&format!(
+                    "POST {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\
+                     Content-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ))
             }
         }
 
@@ -709,8 +745,7 @@ mod cli {
 
             // Clean shutdown: the endpoint acknowledges, the process
             // exits 0 on its own (no kill needed).
-            let (status, _) = serve
-                .request("POST /v1/shutdown HTTP/1.1\r\nHost: cqla\r\nContent-Length: 0\r\n\r\n");
+            let (status, _) = serve.post("/v1/shutdown", "");
             assert_eq!(status, 200);
             let exit = serve.child.wait().expect("child exits");
             assert!(exit.success(), "clean shutdown must exit 0, got {exit:?}");
@@ -728,10 +763,7 @@ mod cli {
             let (status, body) = serve.get("/v1/run/fig2?bits=32..=128:*2");
             assert_eq!(status, 200, "{body}");
             assert_eq!(body, expected, "grid query must match CLI stdout");
-            let (status, body) = serve.request(&format!(
-                "POST /v1/sweep/fig2 HTTP/1.1\r\nHost: cqla\r\nContent-Length: {}\r\n\r\nbits=32..=128:*2",
-                "bits=32..=128:*2".len()
-            ));
+            let (status, body) = serve.post("/v1/sweep/fig2", "bits=32..=128:*2");
             assert_eq!(status, 200, "{body}");
             assert_eq!(body, expected, "sweep route must match CLI stdout");
             // A grid point is now a cache entry for single runs.
@@ -739,8 +771,87 @@ mod cli {
             let (status, body) = serve.get("/v1/run/fig2?bits=32");
             assert_eq!(status, 200);
             assert_eq!(body, stdout(&single), "per-point cache entry");
-            let _ = serve
-                .request("POST /v1/shutdown HTTP/1.1\r\nHost: cqla\r\nContent-Length: 0\r\n\r\n");
+            let _ = serve.post("/v1/shutdown", "");
+        }
+
+        #[test]
+        fn job_streams_resume_after_a_dropped_connection_without_recompute() {
+            // The resumable-job acceptance contract: a client that loses
+            // its stream mid-flight reattaches at a fragment offset and
+            // the glued bytes equal the CLI's merged document — with no
+            // grid point ever computed twice.
+            let serve = Serve::start_with("2", &["--idle-timeout", "5", "--job-retention", "4"]);
+            let (status, created) = serve.post("/v1/jobs/fig2", "bits=32..=128:*2");
+            assert_eq!(status, 202, "{created}");
+            let doc = cqla_repro::sweep::json::parse(&created).expect("job document");
+            let jid = doc
+                .get("job")
+                .and_then(|v| v.as_str())
+                .expect("job id")
+                .to_owned();
+            assert_eq!(doc.get("points").and_then(|v| v.as_f64()), Some(3.0));
+            // Poll until the job finishes in the background.
+            let deadline = Instant::now() + Duration::from_secs(60);
+            loop {
+                let (status, body) = serve.get(&format!("/v1/jobs/{jid}"));
+                assert_eq!(status, 200, "{body}");
+                let doc = cqla_repro::sweep::json::parse(&body).unwrap();
+                if doc.get("status").and_then(|v| v.as_str()) == Some("done") {
+                    assert_eq!(
+                        doc.get("passed"),
+                        Some(&cqla_repro::sweep::Json::Bool(true))
+                    );
+                    break;
+                }
+                assert!(Instant::now() < deadline, "job never completed: {body}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // A first stream dies mid-flight: read a few bytes, then
+            // drop the connection without finishing.
+            {
+                let mut stream = TcpStream::connect(&serve.addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                stream
+                    .write_all(
+                        format!(
+                            "GET /v1/jobs/{jid}/stream HTTP/1.1\r\nHost: cqla\r\n\
+                             Connection: close\r\n\r\n"
+                        )
+                        .as_bytes(),
+                    )
+                    .unwrap();
+                let mut partial = [0u8; 64];
+                stream.read_exact(&mut partial).expect("partial stream");
+                // Dropping the stream here kills the connection.
+            }
+            // Resume from offset 2 — only the tail is re-sent.
+            let (status, tail) = serve.get(&format!("/v1/jobs/{jid}/stream?from=2"));
+            assert_eq!(status, 200, "{tail}");
+            let (status, full) = serve.get(&format!("/v1/jobs/{jid}/stream"));
+            assert_eq!(status, 200);
+            assert!(
+                full.ends_with(&tail),
+                "resume must be a suffix of the document"
+            );
+            assert!(tail.len() < full.len(), "resume skips delivered fragments");
+            // The complete stream is the CLI's merged grid document.
+            let cli = cqla(&["run", "fig2", "bits=32..=128:*2", "--format", "json"]);
+            assert!(cli.status.success());
+            assert_eq!(full, stdout(&cli), "job stream must match CLI stdout");
+            // No recomputation anywhere: three points, three misses,
+            // however many times the stream was (re)read.
+            let (status, stats) = serve.get("/v1/stats");
+            assert_eq!(status, 200);
+            let doc = cqla_repro::sweep::json::parse(&stats).unwrap();
+            assert_eq!(
+                doc.get("cache_misses").and_then(|v| v.as_f64()),
+                Some(3.0),
+                "each grid point computes exactly once: {stats}"
+            );
+            let (status, _) = serve.post("/v1/shutdown", "");
+            assert_eq!(status, 200);
         }
 
         #[test]
@@ -752,6 +863,10 @@ mod cli {
             let out = cqla(&["serve", "--threads", "0"]);
             assert_eq!(out.status.code(), Some(2));
             let out = cqla(&["serve", "--addr"]);
+            assert_eq!(out.status.code(), Some(2));
+            let out = cqla(&["serve", "--idle-timeout", "0"]);
+            assert_eq!(out.status.code(), Some(2));
+            let out = cqla(&["serve", "--job-retention", "soon"]);
             assert_eq!(out.status.code(), Some(2));
         }
     }
