@@ -555,6 +555,89 @@ impl Grid {
             .map(|(k, values)| format!("{k}={}", values.join(",")));
         base.chain(axes).collect::<Vec<_>>().join(" ")
     }
+
+    /// Splits the grid into at most `n` sub-grids of **contiguous
+    /// submission-order points**: concatenating the shards'
+    /// [`Grid::points`] in order reproduces this grid's [`Grid::points`]
+    /// exactly, with no point duplicated or dropped. Each shard is a
+    /// complete grid in its own right — its `spec` is its own
+    /// [`Grid::render`] output, so a shard can travel as expression text
+    /// (to a `cqla serve` worker, say) and re-parse to the same points.
+    ///
+    /// Splitting is near-even: shard sizes differ by at most a factor
+    /// bounded by the axis structure (a contiguous *box* of the
+    /// cartesian product cannot always be cut into equal volumes), and
+    /// exactly `min(n, len)` shards are returned — every shard is
+    /// non-empty.
+    ///
+    /// ```
+    /// use cqla_core::experiments::{find, grid::Grid};
+    ///
+    /// let exp = find("fig2").unwrap();
+    /// let grid = Grid::parse("fig2", &exp.specs(), "bits=8,16,24 cap=4,8").unwrap();
+    /// let shards = grid.shard(3);
+    /// assert_eq!(shards.len(), 3);
+    /// let merged: Vec<_> = shards.iter().flat_map(|s| s.points()).collect();
+    /// assert_eq!(merged, grid.points());
+    /// assert_eq!(shards[0].spec(), "bits=8 cap=4,8");
+    /// ```
+    #[must_use]
+    pub fn shard(&self, n: usize) -> Vec<Self> {
+        let n = n.clamp(1, self.len().max(1));
+        split_axes(&self.axes, n)
+            .into_iter()
+            .map(|axes| {
+                let mut shard = Self {
+                    id: self.id.clone(),
+                    spec: String::new(),
+                    base: self.base.clone(),
+                    axes,
+                };
+                shard.spec = shard.render();
+                shard
+            })
+            .collect()
+    }
+}
+
+/// Splits cartesian axes into at most `n` contiguous boxes whose point
+/// lists concatenate to the parent's, in order. If the first axis has at
+/// least `n` values, its values split into `n` contiguous near-equal
+/// groups (later axes untouched — later clauses vary fastest, so a
+/// contiguous value group is a contiguous point range). Otherwise every
+/// value gets its own box and the budget recurses into the remaining
+/// axes, distributed near-evenly.
+fn split_axes(axes: &[(String, Vec<String>)], n: usize) -> Vec<Vec<(String, Vec<String>)>> {
+    if n <= 1 || axes.is_empty() {
+        return vec![axes.to_vec()];
+    }
+    let (key, values) = &axes[0];
+    let rest = &axes[1..];
+    if values.len() >= n {
+        let mut out = Vec::with_capacity(n);
+        let mut taken = 0;
+        for i in 0..n {
+            let size = values.len() / n + usize::from(i < values.len() % n);
+            let group = values[taken..taken + size].to_vec();
+            taken += size;
+            let mut shard = vec![(key.clone(), group)];
+            shard.extend(rest.iter().cloned());
+            out.push(shard);
+        }
+        out
+    } else {
+        let k = values.len();
+        let mut out = Vec::new();
+        for (i, value) in values.iter().enumerate() {
+            let budget = n / k + usize::from(i < n % k);
+            for sub in split_axes(rest, budget.max(1)) {
+                let mut shard = vec![(key.clone(), vec![value.clone()])];
+                shard.extend(sub);
+                out.push(shard);
+            }
+        }
+        out
+    }
 }
 
 /// The unknown-parameter message, word for word the one
@@ -692,6 +775,62 @@ mod tests {
         );
         let again = Grid::parse("machine", &specs("machine"), &rendered).unwrap();
         assert_eq!(grid.points(), again.points());
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_parent_points_in_order() {
+        let grid = Grid::parse(
+            "machine",
+            &specs("machine"),
+            "base.code=steane tech=current,projected bits=32,64,128 cache=0.5,1.0,1.5",
+        )
+        .unwrap();
+        for n in 1..=grid.len() + 3 {
+            let shards = grid.shard(n);
+            assert_eq!(shards.len(), n.min(grid.len()), "n={n}");
+            let merged: Vec<_> = shards.iter().flat_map(Grid::points).collect();
+            assert_eq!(merged, grid.points(), "n={n}");
+            for shard in &shards {
+                assert!(!shard.is_empty(), "n={n}");
+                assert_eq!(shard.id(), grid.id(), "n={n}");
+                // A shard's spec is its own render, and re-parses to the
+                // same points — the property that lets it travel as text.
+                assert_eq!(shard.spec(), shard.render(), "n={n}");
+                let again = Grid::parse("machine", &specs("machine"), shard.spec()).unwrap();
+                assert_eq!(again.points(), shard.points(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_degenerate_grids_is_safe() {
+        // A single-point grid yields one shard no matter the request.
+        let single = Grid::parse("fig2", &specs("fig2"), "bits=64").unwrap();
+        assert_eq!(single.shard(5).len(), 1);
+        assert_eq!(single.shard(0).len(), 1);
+        assert_eq!(single.shard(5)[0].points(), single.points());
+        // The empty expression (one default point) likewise.
+        let empty = Grid::parse("fig2", &specs("fig2"), "").unwrap();
+        let shards = empty.shard(3);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].points(), empty.points());
+        // base-only grids keep their pins on every shard.
+        let pinned =
+            Grid::parse("machine", &specs("machine"), "base.tech=current bits=32,64").unwrap();
+        for shard in pinned.shard(2) {
+            assert!(
+                shard.spec().starts_with("base.tech=current"),
+                "{}",
+                shard.spec()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_splits_are_near_even_on_the_first_axis() {
+        let grid = Grid::parse("fig2", &specs("fig2"), "bits=1..=10").unwrap();
+        let sizes: Vec<usize> = grid.shard(3).iter().map(Grid::len).collect();
+        assert_eq!(sizes, [4, 3, 3]);
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! The distributed-sweep coordinator: shard a grid across a fleet of
+//! `cqla serve` workers, stream each shard's fragments back, survive
+//! worker death by re-sharding onto the survivors, and merge the
+//! fragments into a document byte-identical to a single-process run.
+//!
+//! # How a run flows
+//!
+//! 1. **Partition.** The grid is split into one contiguous sub-grid
+//!    per worker ([`Grid::shard`] for registry grids, contiguous
+//!    point chunks for design-space sweeps). Each shard knows the
+//!    global index of its first point, so fragments land in the right
+//!    slot no matter which worker computes them.
+//! 2. **Fan out.** One scheduler thread per worker pops shards off a
+//!    shared queue, creates a background job on its worker
+//!    (`POST /v1/jobs/…`), and streams the job's chunked fragments.
+//! 3. **Retry and re-shard.** Transient failures (connect refused,
+//!    timeouts, 5xx, a mid-stream hangup) are retried with capped
+//!    exponential backoff, resuming streams from the last fragment
+//!    received (`?from=K`). A worker that exhausts its retries is
+//!    declared dead and its shard is re-split across the survivors.
+//!    Protocol-level rejections (4xx) and a fleet with no survivors
+//!    are fatal, attributed to the worker that produced them.
+//! 4. **Merge.** The coordinator renders the document prologue and
+//!    epilogue locally — they carry the *full* grid's spec and point
+//!    count, which no shard knows — and splices the collected
+//!    fragments between them. Because every fragment is a pure
+//!    function of its design point, re-computed fragments overwrite
+//!    with identical bytes and the merged document is byte-identical
+//!    to `cqla sweep <spec> --format json` run in one process.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use cqla_core::experiments::Grid;
+use cqla_core::json;
+use cqla_sweep::{engine, grid, DesignPoint, Sweep};
+
+use crate::client::Client;
+
+/// How the coordinator reaches and retries a worker fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker addresses (`host:port`), one scheduler thread each.
+    pub workers: Vec<String>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Transient-failure retries per worker per shard before the
+    /// worker is declared dead. `0` means any failure is immediately
+    /// fatal — no retry, no re-shard.
+    pub retries: u32,
+}
+
+impl FleetConfig {
+    /// A fleet with the default timeouts: 3 s connects, 3 retries.
+    #[must_use]
+    pub fn new(workers: Vec<String>) -> Self {
+        Self {
+            workers,
+            connect_timeout: Duration::from_secs(3),
+            retries: 3,
+        }
+    }
+}
+
+/// A failure that ended a distributed run, attributed to the worker
+/// that produced it when one is responsible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistError {
+    /// The worker address at fault, if the failure is attributable.
+    pub worker: Option<String>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.worker {
+            Some(addr) => write!(f, "worker {addr}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl DistError {
+    fn at(worker: &str, message: impl Into<String>) -> Self {
+        Self {
+            worker: Some(worker.to_owned()),
+            message: message.into(),
+        }
+    }
+}
+
+/// The outcome of a distributed run: the merged document and the
+/// fleet-wide pass verdict.
+#[derive(Debug, Clone)]
+pub struct DistRun {
+    document: String,
+    passed: bool,
+}
+
+impl DistRun {
+    /// The merged document, trailing newline included — byte-identical
+    /// to the single-process CLI's stdout for the same spec.
+    #[must_use]
+    pub fn document(&self) -> &str {
+        &self.document
+    }
+
+    /// True when every shard's job reported `passed` (sweep jobs
+    /// always pass; grid jobs carry the artifact verdict).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.passed
+    }
+}
+
+/// One distributable workload: a registry grid or a design-space
+/// point list. Both render back to the worker protocol (a spec body
+/// and a jobs route) and both split into contiguous sub-workloads.
+#[derive(Debug, Clone)]
+enum Work {
+    /// A per-experiment parameter grid (`cqla run fig2 bits=8,16`).
+    Grid(Grid),
+    /// A contiguous slice of a design-space sweep's points.
+    Sweep(Vec<DesignPoint>),
+}
+
+impl Work {
+    fn len(&self) -> usize {
+        match self {
+            Self::Grid(grid) => grid.len(),
+            Self::Sweep(points) => points.len(),
+        }
+    }
+
+    /// The `POST` target that creates this workload as a background
+    /// job on a worker.
+    fn route(&self) -> String {
+        match self {
+            Self::Grid(grid) => format!("/v1/jobs/{}", grid.id()),
+            Self::Sweep(_) => "/v1/jobs/sweep".to_owned(),
+        }
+    }
+
+    /// The request body: a grid expression, or one rendered design
+    /// point per line (the `/v1/jobs/sweep` batch format).
+    fn body(&self) -> String {
+        match self {
+            Self::Grid(grid) => grid.spec().to_owned(),
+            Self::Sweep(points) => points
+                .iter()
+                .map(cqla_sweep::parse::render_point)
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+
+    /// Splits into at most `n` contiguous non-empty sub-workloads
+    /// whose concatenation is `self`, in order.
+    fn split(&self, n: usize) -> Vec<Self> {
+        match self {
+            Self::Grid(grid) => grid.shard(n).into_iter().map(Self::Grid).collect(),
+            Self::Sweep(points) => {
+                let n = n.clamp(1, points.len().max(1));
+                let mut shards = Vec::with_capacity(n);
+                let mut rest = &points[..];
+                for i in 0..n {
+                    let size = points.len() / n + usize::from(i < points.len() % n);
+                    let (head, tail) = rest.split_at(size);
+                    if !head.is_empty() {
+                        shards.push(Self::Sweep(head.to_vec()));
+                    }
+                    rest = tail;
+                }
+                shards
+            }
+        }
+    }
+}
+
+/// A shard in flight: the workload plus the global index of its first
+/// point, so fragments can be slotted into the merged document.
+struct Unit {
+    work: Work,
+    offset: usize,
+}
+
+/// Scheduler state shared by the per-worker threads.
+struct Sched {
+    queue: VecDeque<Unit>,
+    /// Units not yet completed: queued plus in-flight. Zero means the
+    /// run is done.
+    pending: usize,
+    /// Workers still considered usable.
+    alive: usize,
+    /// First fatal error; set once, ends the run.
+    fatal: Option<DistError>,
+    /// One slot per global point, filled with normalized fragments.
+    slots: Vec<Option<String>>,
+    passed: bool,
+}
+
+/// Executes a registry parameter grid across the fleet.
+///
+/// # Errors
+///
+/// [`DistError`] when the fleet cannot complete the grid: no workers,
+/// a protocol rejection, or every worker dead.
+pub fn run_grid(grid: &Grid, config: &FleetConfig) -> Result<DistRun, DistError> {
+    let prologue = grid::document_prologue(grid.id(), grid.spec(), grid.len());
+    run_work(Work::Grid(grid.clone()), prologue, grid.len(), config)
+}
+
+/// Executes a design-space sweep across the fleet.
+///
+/// # Errors
+///
+/// [`DistError`] when the fleet cannot complete the sweep: no
+/// workers, a protocol rejection, or every worker dead.
+pub fn run_sweep(sweep: &Sweep, config: &FleetConfig) -> Result<DistRun, DistError> {
+    let prologue = engine::sweep_prologue(sweep.name(), sweep.len());
+    run_work(
+        Work::Sweep(sweep.points().to_vec()),
+        prologue,
+        sweep.len(),
+        config,
+    )
+}
+
+fn run_work(
+    work: Work,
+    prologue: String,
+    total: usize,
+    config: &FleetConfig,
+) -> Result<DistRun, DistError> {
+    if config.workers.is_empty() {
+        return Err(DistError {
+            worker: None,
+            message: "no workers given; pass --workers host:port,…".to_owned(),
+        });
+    }
+    let client = Client::new(config.connect_timeout);
+    // Probe the fleet up front so a mistyped address fails in one
+    // connect timeout, not after a full sweep's worth of retries.
+    // With retries enabled an unreachable worker stays in the fleet —
+    // it will burn its retries on first contact and be re-sharded
+    // around, which is exactly the recovery path — but with
+    // `--retries 0` the contract is "fail loudly", so probe failures
+    // are fatal and name the worker.
+    if config.retries == 0 {
+        for worker in &config.workers {
+            if let Err(e) = client.get(worker, "/healthz") {
+                return Err(DistError::at(worker, format!("health probe failed: {e}")));
+            }
+        }
+    }
+    let mut queue = VecDeque::new();
+    let mut offset = 0;
+    for shard in work.split(config.workers.len()) {
+        let len = shard.len();
+        queue.push_back(Unit {
+            work: shard,
+            offset,
+        });
+        offset += len;
+    }
+    let sched = Mutex::new(Sched {
+        pending: queue.len(),
+        queue,
+        alive: config.workers.len(),
+        fatal: None,
+        slots: (0..total).map(|_| None).collect(),
+        passed: true,
+    });
+    let cv = Condvar::new();
+    std::thread::scope(|scope| {
+        for worker in &config.workers {
+            scope.spawn(|| worker_loop(worker, &client, &sched, &cv, config));
+        }
+    });
+    let sched = sched.into_inner().expect("scheduler threads joined");
+    if let Some(fatal) = sched.fatal {
+        return Err(fatal);
+    }
+    let mut document = prologue;
+    for (index, slot) in sched.slots.iter().enumerate() {
+        let fragment = slot.as_ref().ok_or_else(|| DistError {
+            worker: None,
+            message: format!("internal: point {index} was never delivered"),
+        })?;
+        if index > 0 {
+            document.push(',');
+        }
+        document.push_str(fragment);
+    }
+    document.push_str(grid::DOCUMENT_EPILOGUE);
+    Ok(DistRun {
+        document,
+        passed: sched.passed,
+    })
+}
+
+fn worker_loop(
+    addr: &str,
+    client: &Client,
+    sched: &Mutex<Sched>,
+    cv: &Condvar,
+    config: &FleetConfig,
+) {
+    loop {
+        let unit = {
+            let mut state = sched.lock().expect("scheduler lock");
+            loop {
+                if state.fatal.is_some() || state.pending == 0 {
+                    return;
+                }
+                match state.queue.pop_front() {
+                    Some(unit) => break unit,
+                    None => state = cv.wait(state).expect("scheduler lock"),
+                }
+            }
+        };
+        match run_unit(addr, client, &unit, sched, config) {
+            Ok(passed) => {
+                let mut state = sched.lock().expect("scheduler lock");
+                state.passed &= passed;
+                state.pending -= 1;
+                if state.pending == 0 {
+                    cv.notify_all();
+                }
+            }
+            Err(error) => {
+                let mut state = sched.lock().expect("scheduler lock");
+                if error.fatal || config.retries == 0 {
+                    state.fatal = Some(DistError::at(addr, error.message));
+                    cv.notify_all();
+                    return;
+                }
+                // This worker is dead. Re-shard its unit across the
+                // survivors; the thread exits either way.
+                state.alive -= 1;
+                if state.alive == 0 {
+                    state.fatal = Some(DistError::at(
+                        addr,
+                        format!("{} (and no workers remain)", error.message),
+                    ));
+                    cv.notify_all();
+                    return;
+                }
+                let survivors = state.alive;
+                let pieces = unit.work.split(survivors);
+                state.pending += pieces.len() - 1;
+                let mut offset = unit.offset;
+                for piece in pieces {
+                    let len = piece.len();
+                    state.queue.push_back(Unit {
+                        work: piece,
+                        offset,
+                    });
+                    offset += len;
+                }
+                cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// A unit-level failure: `fatal` failures abort the whole run;
+/// non-fatal ones declare the worker dead and trigger a re-shard.
+struct UnitError {
+    fatal: bool,
+    message: String,
+}
+
+impl UnitError {
+    fn fatal(message: impl Into<String>) -> Self {
+        Self {
+            fatal: true,
+            message: message.into(),
+        }
+    }
+}
+
+/// Capped exponential backoff over a fixed retry budget: 50 ms
+/// doubling to at most 1 s per wait.
+struct RetryBudget {
+    left: u32,
+    delay: Duration,
+}
+
+impl RetryBudget {
+    fn new(retries: u32) -> Self {
+        Self {
+            left: retries,
+            delay: Duration::from_millis(50),
+        }
+    }
+
+    /// Consumes one retry and sleeps, or reports the budget exhausted.
+    fn wait(&mut self, message: &str) -> Result<(), UnitError> {
+        if self.left == 0 {
+            return Err(UnitError {
+                fatal: false,
+                message: format!("{message} (retries exhausted)"),
+            });
+        }
+        self.left -= 1;
+        std::thread::sleep(self.delay);
+        self.delay = (self.delay * 2).min(Duration::from_secs(1));
+        Ok(())
+    }
+}
+
+/// A single protocol exchange's failure mode.
+enum CallError {
+    /// Transient: worth a retry (connect refused, timeout, 5xx, 503
+    /// job-cap, a torn stream).
+    Retry(String),
+    /// The worker understood us and said no (4xx), or the job failed
+    /// server-side: retrying cannot help.
+    Fatal(String),
+}
+
+fn classify_status(status: u16, body: &str, context: &str) -> CallError {
+    let summary: String = body.trim().chars().take(200).collect();
+    if status >= 500 || status == 503 {
+        CallError::Retry(format!("{context}: HTTP {status}: {summary}"))
+    } else {
+        CallError::Fatal(format!("{context}: HTTP {status}: {summary}"))
+    }
+}
+
+/// Runs one shard on one worker: create the job, stream its
+/// fragments (resuming on torn streams), then read the verdict.
+fn run_unit(
+    addr: &str,
+    client: &Client,
+    unit: &Unit,
+    sched: &Mutex<Sched>,
+    config: &FleetConfig,
+) -> Result<bool, UnitError> {
+    let mut budget = RetryBudget::new(config.retries);
+    let jid = loop {
+        match create_job(addr, client, unit) {
+            Ok(jid) => break jid,
+            Err(CallError::Fatal(message)) => return Err(UnitError::fatal(message)),
+            Err(CallError::Retry(message)) => budget.wait(&message)?,
+        }
+    };
+    // `collected` counts fragments landed for THIS unit, so a resumed
+    // stream asks for exactly the suffix it is missing.
+    let mut collected = 0usize;
+    loop {
+        match stream_unit(addr, client, unit, &jid, &mut collected, sched) {
+            Ok(()) => break,
+            Err(CallError::Fatal(message)) => return Err(UnitError::fatal(message)),
+            Err(CallError::Retry(message)) => budget.wait(&message)?,
+        }
+    }
+    loop {
+        match job_verdict(addr, client, &jid) {
+            Ok(passed) => return Ok(passed),
+            Err(CallError::Fatal(message)) => return Err(UnitError::fatal(message)),
+            Err(CallError::Retry(message)) => budget.wait(&message)?,
+        }
+    }
+}
+
+fn create_job(addr: &str, client: &Client, unit: &Unit) -> Result<String, CallError> {
+    let route = unit.work.route();
+    let response = client
+        .post(addr, &route, &unit.work.body())
+        .map_err(|e| CallError::Retry(format!("POST {route}: {e}")))?;
+    if response.status != 202 {
+        return Err(classify_status(
+            response.status,
+            &response.body,
+            &format!("POST {route}"),
+        ));
+    }
+    let doc = json::parse(&response.body)
+        .map_err(|e| CallError::Fatal(format!("POST {route}: unparseable job document: {e}")))?;
+    doc.get("job")
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| CallError::Fatal(format!("POST {route}: job document names no job")))
+}
+
+fn stream_unit(
+    addr: &str,
+    client: &Client,
+    unit: &Unit,
+    jid: &str,
+    collected: &mut usize,
+    sched: &Mutex<Sched>,
+) -> Result<(), CallError> {
+    let target = format!("/v1/jobs/{jid}/stream?from={collected}");
+    let mut complete = false;
+    let response = client
+        .stream(addr, &target, |chunk| {
+            if chunk.starts_with('{') {
+                // The shard's own prologue: it describes the shard,
+                // not the merged grid, so it never enters the merge.
+                return;
+            }
+            if chunk == grid::DOCUMENT_EPILOGUE {
+                complete = true;
+                return;
+            }
+            // A fragment. Normalize away the shard-local separator;
+            // the merger re-adds commas by global index.
+            let fragment = chunk.strip_prefix(',').unwrap_or(chunk);
+            let index = unit.offset + *collected;
+            let mut state = sched.lock().expect("scheduler lock");
+            state.slots[index] = Some(fragment.to_owned());
+            *collected += 1;
+        })
+        .map_err(|e| CallError::Retry(format!("GET {target}: {e}")))?;
+    if response.status != 200 {
+        return Err(classify_status(
+            response.status,
+            &response.body,
+            &format!("GET {target}"),
+        ));
+    }
+    if !complete {
+        return Err(CallError::Retry(format!(
+            "GET {target}: stream ended before the epilogue"
+        )));
+    }
+    Ok(())
+}
+
+fn job_verdict(addr: &str, client: &Client, jid: &str) -> Result<bool, CallError> {
+    let target = format!("/v1/jobs/{jid}");
+    let response = client
+        .get(addr, &target)
+        .map_err(|e| CallError::Retry(format!("GET {target}: {e}")))?;
+    if response.status != 200 {
+        return Err(classify_status(
+            response.status,
+            &response.body,
+            &format!("GET {target}"),
+        ));
+    }
+    let doc = json::parse(&response.body)
+        .map_err(|e| CallError::Fatal(format!("GET {target}: unparseable job document: {e}")))?;
+    match doc.get("status").and_then(|v| v.as_str()) {
+        Some("done") => Ok(doc.get("passed") == Some(&json::Json::Bool(true))),
+        Some("failed") => Err(CallError::Fatal(format!("job {jid} failed server-side"))),
+        // The epilogue only flows once the job is finished, so
+        // `running` here is a transient view worth one more look.
+        _ => Err(CallError::Retry(format!(
+            "job {jid} not settled after its stream completed"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqla_core::experiments::find;
+
+    fn fig2_grid(expr: &str) -> Grid {
+        Grid::parse("fig2", &find("fig2").unwrap().specs(), expr).unwrap()
+    }
+
+    #[test]
+    fn grid_work_splits_cover_the_grid_in_order() {
+        let grid = fig2_grid("bits=8,16,24 cap=4,8");
+        let work = Work::Grid(grid.clone());
+        for n in 1..=8 {
+            let shards = work.split(n);
+            assert_eq!(shards.len(), n.min(grid.len()));
+            let merged: Vec<_> = shards
+                .iter()
+                .flat_map(|s| match s {
+                    Work::Grid(g) => g.points(),
+                    Work::Sweep(_) => unreachable!("grid work splits into grids"),
+                })
+                .collect();
+            assert_eq!(merged, grid.points());
+        }
+    }
+
+    #[test]
+    fn sweep_work_splits_cover_the_points_in_order() {
+        let sweep = Sweep::builtin("quick").unwrap();
+        let work = Work::Sweep(sweep.points().to_vec());
+        for n in [1, 2, 3, 5, 8, 20] {
+            let shards = work.split(n);
+            assert_eq!(shards.len(), n.min(sweep.len()));
+            let merged: Vec<_> = shards
+                .iter()
+                .flat_map(|s| match s {
+                    Work::Sweep(points) => points.clone(),
+                    Work::Grid(_) => unreachable!("sweep work splits into sweeps"),
+                })
+                .collect();
+            assert_eq!(merged, sweep.points());
+            // Every shard re-enters the worker protocol losslessly.
+            for shard in &shards {
+                let reparsed = Sweep::parse_batch(&shard.body()).unwrap();
+                match shard {
+                    Work::Sweep(points) => assert_eq!(reparsed.points(), &points[..]),
+                    Work::Grid(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_work_bodies_reparse_to_the_shard() {
+        let grid = fig2_grid("bits=8,16,24,32");
+        for shard in Work::Grid(grid).split(3) {
+            let Work::Grid(g) = &shard else {
+                unreachable!("grid work splits into grids")
+            };
+            let reparsed = fig2_grid(&shard.body());
+            assert_eq!(reparsed.points(), g.points());
+        }
+    }
+
+    #[test]
+    fn dist_errors_attribute_the_worker() {
+        let attributed = DistError::at("127.0.0.1:9", "connect refused");
+        assert_eq!(
+            attributed.to_string(),
+            "worker 127.0.0.1:9: connect refused"
+        );
+        let bare = DistError {
+            worker: None,
+            message: "no workers given".to_owned(),
+        };
+        assert_eq!(bare.to_string(), "no workers given");
+    }
+
+    #[test]
+    fn empty_fleets_fail_before_any_network_io() {
+        let sweep = Sweep::builtin("quick").unwrap();
+        let err = run_sweep(&sweep, &FleetConfig::new(Vec::new())).unwrap_err();
+        assert!(err.message.contains("no workers"), "{err}");
+        assert_eq!(err.worker, None);
+    }
+
+    #[test]
+    fn retry_budgets_exhaust_after_the_configured_attempts() {
+        let mut budget = RetryBudget::new(1);
+        assert!(budget.wait("first failure").is_ok());
+        let err = budget.wait("second failure").unwrap_err();
+        assert!(!err.fatal, "exhaustion means dead worker, not fatal run");
+        assert!(err.message.contains("retries exhausted"), "{}", err.message);
+    }
+}

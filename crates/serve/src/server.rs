@@ -52,8 +52,9 @@ use cqla_core::experiments::{
     find, ids, is_set_clause, listing_json, params_usage, suggest, Experiment, Grid,
 };
 use cqla_core::Json;
+use cqla_sweep::engine::{sweep_fragment, sweep_prologue};
 use cqla_sweep::grid::{document_prologue, point_fragment, PointSink, DOCUMENT_EPILOGUE};
-use cqla_sweep::{GridRun, PointCache, Sweep, SweepRun};
+use cqla_sweep::{GridRun, PointCache, Sweep, SweepRun, SweepSink};
 
 use crate::http::{self, read_request, ChunkedWriter, Request, RequestError, Response, Status};
 
@@ -88,6 +89,11 @@ pub struct ServeConfig {
     /// oldest is retired (its id then answers 410 Gone). Active jobs
     /// are never retired.
     pub job_retention: usize,
+    /// Worker addresses (`host:port`) this node fronts. When
+    /// non-empty, `POST /v1/sweep` is executed by the fleet through
+    /// the [`cqla_dist`] coordinator instead of the local pool, so a
+    /// coordinator node serves the same API as a solo worker.
+    pub fleet: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +101,7 @@ impl Default for ServeConfig {
         Self {
             idle_timeout: Duration::from_secs(30),
             job_retention: 16,
+            fleet: Vec::new(),
         }
     }
 }
@@ -684,7 +691,10 @@ fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed
     let full = Routed::Full;
     match request.path.as_str() {
         "/healthz" => full(match method {
-            "GET" => Response::ok(format!("{}\n", health_json().to_pretty())),
+            "GET" => Response::ok(format!(
+                "{}\n",
+                health_json(shared, pool_threads).to_pretty()
+            )),
             _ => method_not_allowed("GET"),
         }),
         "/v1/experiments" => full(match method {
@@ -696,7 +706,7 @@ fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed
             _ => method_not_allowed("GET"),
         }),
         "/v1/sweep" => full(match method {
-            "POST" => sweep_endpoint(&request.body, pool_threads),
+            "POST" => sweep_endpoint(&request.body, shared, pool_threads),
             _ => method_not_allowed("POST"),
         }),
         "/v1/shutdown" => full(match method {
@@ -740,7 +750,8 @@ fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed
                         "endpoints: GET /healthz, GET /v1/experiments, \
                          GET /v1/run/{id}?key=value-set, POST /v1/sweep, \
                          POST /v1/sweep/{id}, POST /v1/jobs/{id}, \
-                         GET /v1/jobs/{jid}, GET /v1/jobs/{jid}/stream?from=K, \
+                         POST /v1/jobs/sweep, GET /v1/jobs/{jid}, \
+                         GET /v1/jobs/{jid}/stream?from=K, \
                          GET /v1/stats, POST /v1/shutdown"
                             .to_owned(),
                     ),
@@ -758,12 +769,20 @@ fn method_not_allowed(allowed: &str) -> Response {
     )
 }
 
-/// The liveness document.
-fn health_json() -> Json {
+/// The liveness-and-capacity document: the stable `ok`/`service`/
+/// `version` contract plus what a fleet coordinator needs to size its
+/// dispatch — compute threads, active background jobs (capped at
+/// [`MAX_ACTIVE_JOBS`]), and open chunked streams.
+fn health_json(shared: &Shared, pool_threads: usize) -> Json {
+    let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
     Json::obj([
         ("ok", Json::Bool(true)),
         ("service", Json::from("cqla-serve")),
         ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+        ("threads", Json::Int(pool_threads as i64)),
+        ("jobs_active", load(&shared.jobs_active)),
+        ("jobs_max", Json::Int(MAX_ACTIVE_JOBS as i64)),
+        ("streams_open", load(&shared.streams_open)),
     ])
 }
 
@@ -1032,6 +1051,11 @@ fn jobs_route(
         return Routed::JobStream { job, from };
     }
     match method {
+        // `sweep` is not a registry id, so the design-space batch
+        // route can never shadow an experiment's grid jobs.
+        "POST" if rest == "sweep" => {
+            Routed::Full(jobs_create_sweep_endpoint(body, shared, pool_threads))
+        }
         "POST" => Routed::Full(jobs_create_endpoint(rest, body, shared, pool_threads)),
         "GET" => match find_job(shared, rest) {
             Ok(job) => Routed::Full(Response::ok(format!("{}\n", job_json(&job).to_pretty()))),
@@ -1135,6 +1159,53 @@ fn jobs_create_endpoint(
         Ok(grid) => grid,
         Err(response) => return response,
     };
+    let total = grid.points().len();
+    let prologue = document_prologue(id, grid.spec(), total);
+    start_job(shared, id, grid.spec().to_owned(), total, prologue, {
+        move |shared, job| run_job(&shared, &job, &grid, pool_threads)
+    })
+}
+
+/// `POST /v1/jobs/sweep` — the body is a design-space batch: one
+/// sweep-spec expression per line (blank lines and `#` comments
+/// skipped), concatenated into one background job. This is the route
+/// the [`cqla_dist`] coordinator ships sweep shards over — any sweep,
+/// including explicit point lists, travels as rendered single-point
+/// lines.
+fn jobs_create_sweep_endpoint(body: &[u8], shared: &Arc<Shared>, pool_threads: usize) -> Response {
+    let Ok(batch) = core::str::from_utf8(body) else {
+        return Response::error(Status::BadRequest, "sweep batch is not UTF-8", None);
+    };
+    let sweep = match Sweep::parse_batch(batch) {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            return Response::error(
+                Status::BadRequest,
+                e.to_string(),
+                Some("POST one sweep-spec expression per line".to_owned()),
+            )
+        }
+    };
+    let total = sweep.len();
+    let prologue = sweep_prologue(sweep.name(), total);
+    let spec = sweep.name().to_owned();
+    start_job(shared, "sweep", spec, total, prologue, {
+        move |shared, job| run_sweep_job(&shared, &job, &sweep, pool_threads)
+    })
+}
+
+/// Registers a job under the next id, bumps the active gauge, and
+/// starts its runner thread — the shared tail of both job-creation
+/// endpoints. The runner must end with [`finish_job`]. Creation past
+/// [`MAX_ACTIVE_JOBS`] is refused with a 503.
+fn start_job(
+    shared: &Arc<Shared>,
+    artifact: &str,
+    spec: String,
+    total: usize,
+    prologue: String,
+    runner: impl FnOnce(Arc<Shared>, Arc<Job>) + Send + 'static,
+) -> Response {
     if shared.jobs_active.load(Ordering::Relaxed) >= MAX_ACTIVE_JOBS as u64 {
         return Response::error(
             Status::ServiceUnavailable,
@@ -1142,17 +1213,16 @@ fn jobs_create_endpoint(
             Some("poll /v1/stats for jobs_active and retry".to_owned()),
         );
     }
-    let total = grid.points().len();
     let job = {
         let mut table = shared.jobs.lock().expect("job table lock");
         table.next += 1;
         let jid = format!("j{}", table.next);
         let job = Arc::new(Job {
             id: jid.clone(),
-            artifact: id.to_owned(),
-            spec: grid.spec().to_owned(),
+            artifact: artifact.to_owned(),
+            spec,
             total,
-            prologue: document_prologue(id, grid.spec(), total),
+            prologue,
             state: Mutex::new(JobState {
                 fragments: Vec::new(),
                 done: false,
@@ -1167,7 +1237,7 @@ fn jobs_create_endpoint(
     let handle = std::thread::spawn({
         let shared = Arc::clone(shared);
         let job = Arc::clone(&job);
-        move || run_job(&shared, &job, &grid, pool_threads)
+        move || runner(shared, job)
     });
     shared
         .job_threads
@@ -1225,6 +1295,43 @@ fn run_job(shared: &Arc<Shared>, job: &Arc<Job>, grid: &Grid, pool_threads: usiz
             false
         }
     };
+    finish_job(shared, job, passed);
+}
+
+/// Appends each completed design point's fragment to the job log and
+/// wakes pollers/streamers — [`JobSink`]'s twin for design-space
+/// sweep jobs.
+struct SweepJobSink<'a> {
+    job: &'a Job,
+}
+
+impl SweepSink for SweepJobSink<'_> {
+    fn result(&self, index: usize, result: &cqla_sweep::JobResult) {
+        let fragment = sweep_fragment(index, result);
+        let mut state = self.job.state.lock().expect("job state lock");
+        debug_assert_eq!(state.fragments.len(), index, "fragments arrive in order");
+        state.fragments.push(fragment);
+        self.job.cv.notify_all();
+    }
+}
+
+/// The sweep-job thread: execute the design-space sweep on the pool,
+/// streaming fragments into the job log. Sweeps carry no pass/fail
+/// verdict, so completing without a panic is `passed`.
+fn run_sweep_job(shared: &Arc<Shared>, job: &Arc<Job>, sweep: &Sweep, pool_threads: usize) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let sink = SweepJobSink { job };
+        let _run = SweepRun::execute_streamed(sweep, pool_threads, &sink);
+    }));
+    if outcome.is_err() {
+        eprintln!("cqla-serve: job {} panicked; marked failed", job.id);
+    }
+    finish_job(shared, job, outcome.is_ok());
+}
+
+/// Marks a job done, applies completed-job retention, and drops the
+/// active-jobs gauge — the mandatory tail of every job runner.
+fn finish_job(shared: &Shared, job: &Job, passed: bool) {
     {
         let mut state = job.state.lock().expect("job state lock");
         state.done = true;
@@ -1307,9 +1414,12 @@ fn grid_document_key(id: &str, spec: &str) -> String {
 }
 
 /// `POST /v1/sweep` — the body is one sweep-spec expression (or builtin
-/// name), executed on the work-stealing pool. The response body is
-/// byte-identical to `cqla sweep SPEC --format json`.
-fn sweep_endpoint(body: &[u8], pool_threads: usize) -> Response {
+/// name). The response body is byte-identical to
+/// `cqla sweep SPEC --format json`, whether it is computed on the
+/// local work-stealing pool or — when this node fronts a fleet
+/// (`cqla serve --workers …`) — distributed across the workers by the
+/// [`cqla_dist`] coordinator.
+fn sweep_endpoint(body: &[u8], shared: &Shared, pool_threads: usize) -> Response {
     let Ok(spec) = core::str::from_utf8(body) else {
         return Response::error(Status::BadRequest, "sweep spec is not UTF-8", None);
     };
@@ -1327,6 +1437,17 @@ fn sweep_endpoint(body: &[u8], pool_threads: usize) -> Response {
     }
     match Sweep::parse(spec) {
         Ok(sweep) => {
+            if !shared.config.fleet.is_empty() {
+                let fleet = cqla_dist::FleetConfig::new(shared.config.fleet.clone());
+                return match cqla_dist::run_sweep(&sweep, &fleet) {
+                    Ok(run) => Response::ok(run.document().to_owned()),
+                    Err(e) => Response::error(
+                        Status::ServiceUnavailable,
+                        format!("fleet sweep failed: {e}"),
+                        Some("check the worker fleet and retry".to_owned()),
+                    ),
+                };
+            }
             let run = SweepRun::execute(&sweep, pool_threads);
             Response::ok(format!("{}\n", run.to_json().to_pretty()))
         }
@@ -1613,12 +1734,75 @@ mod tests {
 
     #[test]
     fn sweep_endpoint_runs_specs_and_rejects_bad_ones() {
-        let ok = sweep_endpoint(b"code=steane width=32,64 ", 2);
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        let ok = sweep_endpoint(b"code=steane width=32,64 ", shared, 2);
         assert_eq!(ok.status, Status::Ok);
         let doc = cqla_core::json::parse(&ok.body).unwrap();
         assert_eq!(doc.get("points").and_then(Json::as_f64), Some(2.0));
-        let bad = sweep_endpoint(b"frobnicate=1", 2);
+        let bad = sweep_endpoint(b"frobnicate=1", shared, 2);
         assert_eq!(bad.status, Status::BadRequest);
         assert!(bad.body.contains("error"), "{}", bad.body);
+    }
+
+    #[test]
+    fn health_json_reports_capacity() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let doc = health_json(&server.shared, 3);
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("service").and_then(Json::as_str),
+            Some("cqla-serve")
+        );
+        assert_eq!(doc.get("threads").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("jobs_active").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            doc.get("jobs_max").and_then(Json::as_f64),
+            Some(MAX_ACTIVE_JOBS as f64)
+        );
+        assert_eq!(doc.get("streams_open").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn sweep_jobs_stream_fragments_that_merge_byte_identically() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        // A batch: two lines whose concatenation is a 3-point sweep.
+        let batch = b"code=steane bits=32,64 xfer=5\ncode=bacon-shor bits=32 xfer=5\n";
+        let created = jobs_create_sweep_endpoint(batch, shared, 2);
+        assert_eq!(created.status, Status::Accepted, "{}", created.body);
+        let doc = cqla_core::json::parse(&created.body).unwrap();
+        assert_eq!(doc.get("artifact").and_then(Json::as_str), Some("sweep"));
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(3.0));
+        let jid = doc.get("job").and_then(Json::as_str).unwrap().to_owned();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let job = loop {
+            let job = find_job(shared, &jid).expect("job exists");
+            let doc = job_json(&job);
+            if doc.get("status").and_then(Json::as_str) == Some("done") {
+                assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));
+                break job;
+            }
+            assert!(Instant::now() < deadline, "sweep job never completed");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        // Prologue + fragments + epilogue == the engine's document.
+        let state = job.state.lock().unwrap();
+        let mut glued = job.prologue.clone();
+        for fragment in &state.fragments {
+            glued.push_str(fragment);
+        }
+        glued.push_str(DOCUMENT_EPILOGUE);
+        let sweep = Sweep::parse_batch(core::str::from_utf8(batch).unwrap()).unwrap();
+        let expected = format!("{}\n", SweepRun::execute(&sweep, 1).to_json().to_pretty());
+        assert_eq!(glued, expected, "sweep job fragments must merge exactly");
+        drop(state);
+        // Bad batches are 400 with the line's spec diagnostic.
+        let bad = jobs_create_sweep_endpoint(b"widht=64\n", shared, 1);
+        assert_eq!(bad.status, Status::BadRequest);
+        assert!(bad.body.contains("did you mean"), "{}", bad.body);
+        let empty = jobs_create_sweep_endpoint(b"  \n# nothing\n", shared, 1);
+        assert_eq!(empty.status, Status::BadRequest);
+        assert!(empty.body.contains("empty batch"), "{}", empty.body);
     }
 }

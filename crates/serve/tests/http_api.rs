@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use cqla_core::experiments::{find, ids};
 use cqla_core::json;
+use cqla_dist::Client;
 use cqla_serve::{ServeConfig, Server, ServerHandle};
 use cqla_sweep::{Sweep, SweepRun};
 
@@ -54,83 +55,43 @@ impl Drop for Live {
 
 /// Reads one framed HTTP response off `reader`: status code, raw header
 /// block, and the body — `Content-Length`-framed or de-chunked, so
-/// callers compare streamed and full documents byte for byte.
+/// callers compare streamed and full documents byte for byte. The
+/// framing logic itself is the shared `cqla-dist` client; this wrapper
+/// just panics with context instead of returning `io::Result`.
 fn read_response(reader: &mut impl BufRead) -> (u16, String, String) {
-    let mut head = String::new();
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("read header line");
-        assert!(!line.is_empty(), "connection closed mid-response");
-        if line == "\r\n" {
-            break;
-        }
-        head.push_str(&line);
+    let response = cqla_dist::client::read_response(reader).expect("read framed response");
+    (response.status, response.head, response.body)
+}
+
+/// The shared socket-level client, with a generous read timeout for
+/// slow CI machines.
+fn client() -> Client {
+    Client {
+        connect_timeout: Duration::from_secs(10),
+        read_timeout: Duration::from_secs(30),
     }
-    let status: u16 = head
-        .strip_prefix("HTTP/1.1 ")
-        .and_then(|rest| rest.get(..3))
-        .and_then(|code| code.parse().ok())
-        .unwrap_or_else(|| panic!("unparseable status line: {head:?}"));
-    let lower = head.to_ascii_lowercase();
-    let body = if lower.contains("transfer-encoding: chunked") {
-        let mut out = String::new();
-        loop {
-            let mut size = String::new();
-            reader.read_line(&mut size).expect("read chunk size");
-            let len = usize::from_str_radix(size.trim(), 16)
-                .unwrap_or_else(|_| panic!("unparseable chunk size: {size:?}"));
-            // Payload plus its trailing CRLF.
-            let mut payload = vec![0u8; len + 2];
-            reader.read_exact(&mut payload).expect("read chunk");
-            if len == 0 {
-                break;
-            }
-            out.push_str(core::str::from_utf8(&payload[..len]).expect("chunk is UTF-8"));
-        }
-        out
-    } else {
-        let len: usize = lower
-            .lines()
-            .find_map(|l| l.strip_prefix("content-length: "))
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(0);
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).expect("read body");
-        String::from_utf8(body).expect("body is UTF-8")
-    };
-    (status, head, body)
 }
 
 /// Sends raw bytes on a fresh connection, returns `(status code, body)`.
 fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    (&stream)
-        .write_all(request.as_bytes())
-        .expect("send request");
-    let mut reader = BufReader::new(&stream);
-    let (status, _, body) = read_response(&mut reader);
-    (status, body)
+    let response = client()
+        .raw(&addr.to_string(), request)
+        .expect("raw exchange completes");
+    (response.status, response.body)
 }
 
 fn get(addr: SocketAddr, target: &str) -> (u16, String) {
-    raw(
-        addr,
-        &format!("GET {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n"),
-    )
+    let response = client()
+        .get(&addr.to_string(), target)
+        .expect("GET completes");
+    (response.status, response.body)
 }
 
 fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
-    raw(
-        addr,
-        &format!(
-            "POST {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\
-             Content-Length: {}\r\n\r\n{body}",
-            body.len()
-        ),
-    )
+    let response = client()
+        .post(&addr.to_string(), target, body)
+        .expect("POST completes");
+    (response.status, response.body)
 }
 
 /// Polls `/v1/jobs/{jid}` until its status leaves `running`.

@@ -75,6 +75,62 @@ pub struct JobResult {
     pub duration: Duration,
 }
 
+impl JobResult {
+    /// This result's entry in the sweep document's `results` array — the
+    /// unit the streamed-document framing re-indents into a fragment
+    /// (see [`sweep_fragment`]). Deterministic: duration is excluded.
+    #[must_use]
+    pub fn result_json(&self) -> Json {
+        Json::obj([
+            ("point", self.point.to_json()),
+            ("outcome", self.outcome.to_json()),
+        ])
+    }
+}
+
+/// The streamed sweep document's head: everything up to and including
+/// the opening bracket of the `results` array. Concatenating
+/// `sweep_prologue` + [`sweep_fragment`] for every result in order +
+/// [`crate::grid::DOCUMENT_EPILOGUE`] is byte-identical to the merged
+/// document (`format!("{}\n", run.to_json().to_pretty())`) — the same
+/// framing contract grid documents carry, extended to sweeps so a
+/// worker fleet can stream sweep shards too.
+#[must_use]
+pub fn sweep_prologue(name: &str, points: usize) -> String {
+    let head = Json::obj([("sweep", Json::from(name)), ("points", points.to_json())]).to_pretty();
+    let head = head
+        .strip_suffix("\n}")
+        .expect("pretty object ends with a closing brace");
+    format!("{head},\n  \"results\": [")
+}
+
+/// One result's streamed fragment: the separator (for every result
+/// after the first) plus the result object re-indented to its depth
+/// inside the `results` array — the sweep twin of
+/// [`crate::grid::point_fragment`].
+#[must_use]
+pub fn sweep_fragment(index: usize, result: &JobResult) -> String {
+    let pretty = result.result_json().to_pretty().replace('\n', "\n    ");
+    let sep = if index == 0 { "" } else { "," };
+    format!("{sep}\n    {pretty}")
+}
+
+/// Receives sweep results incrementally, **in submission order**, as the
+/// pool completes them — the sweep twin of [`crate::grid::PointSink`].
+/// Called from pool worker threads (hence `Sync`), one call at a time,
+/// behind the executor's reorder lock.
+pub trait SweepSink: Sync {
+    /// One completed result, at its submission-order index.
+    fn result(&self, index: usize, result: &JobResult);
+}
+
+/// The no-op sink behind plain [`SweepRun::execute`].
+struct NoSink;
+
+impl SweepSink for NoSink {
+    fn result(&self, _index: usize, _result: &JobResult) {}
+}
+
 /// A completed sweep: every job result in submission order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRun {
@@ -98,22 +154,55 @@ impl SweepRun {
     /// ```
     #[must_use]
     pub fn execute(sweep: &Sweep, threads: usize) -> Self {
+        Self::execute_streamed(sweep, threads, &NoSink)
+    }
+
+    /// Executes the sweep, delivering each completed result to `sink` in
+    /// submission order as soon as it (and every earlier result) is
+    /// done — the incremental hook behind streamed sweep jobs. The pool
+    /// completes points in whatever order work-stealing dictates; a
+    /// reorder buffer holds early finishers and flushes the contiguous
+    /// prefix, so the sink observes exactly the order
+    /// [`SweepRun::results`] will report.
+    #[must_use]
+    pub fn execute_streamed(sweep: &Sweep, threads: usize, sink: &dyn SweepSink) -> Self {
         // Record the *effective* worker count (the pool clamps to the job
         // count): the timing document is the cross-PR perf baseline, and
         // a phantom thread count would make comparisons misleading.
         let threads = threads.clamp(1, sweep.len().max(1));
-        let timed = pool::map(sweep.points(), threads, |_, point| {
-            PointOutcome::evaluate(point)
+        let total = sweep.len();
+        // Reorder state: completed-but-undelivered results, plus the
+        // index of the next result to deliver.
+        struct Reorder {
+            slots: Vec<Option<JobResult>>,
+            next: usize,
+        }
+        let reorder = std::sync::Mutex::new(Reorder {
+            slots: (0..total).map(|_| None).collect(),
+            next: 0,
         });
-        let results = sweep
-            .points()
-            .iter()
-            .zip(timed)
-            .map(|(point, t)| JobResult {
+        pool::map(sweep.points(), threads, |index, point| {
+            let started = std::time::Instant::now();
+            let outcome = PointOutcome::evaluate(point);
+            let result = JobResult {
                 point: *point,
-                outcome: t.value,
-                duration: t.duration,
-            })
+                outcome,
+                duration: started.elapsed(),
+            };
+            let mut state = reorder.lock().expect("sweep reorder lock");
+            state.slots[index] = Some(result);
+            while state.next < total && state.slots[state.next].is_some() {
+                let i = state.next;
+                sink.result(i, state.slots[i].as_ref().expect("flushed slot is filled"));
+                state.next += 1;
+            }
+        });
+        let results = reorder
+            .into_inner()
+            .expect("sweep reorder lock")
+            .slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep point completed"))
             .collect();
         Self {
             name: sweep.name().to_owned(),
@@ -149,17 +238,7 @@ impl SweepRun {
             ("points", self.results.len().to_json()),
             (
                 "results",
-                Json::Arr(
-                    self.results
-                        .iter()
-                        .map(|r| {
-                            Json::obj([
-                                ("point", r.point.to_json()),
-                                ("outcome", r.outcome.to_json()),
-                            ])
-                        })
-                        .collect(),
-                ),
+                Json::Arr(self.results.iter().map(JobResult::result_json).collect()),
             ),
         ])
     }
@@ -336,6 +415,49 @@ mod tests {
             t.get("job_seconds").unwrap().as_arr().unwrap().len(),
             run.results().len()
         );
+    }
+
+    #[test]
+    fn streamed_framing_concatenates_to_the_merged_document() {
+        for spec in ["quick", "table5"] {
+            let sweep = Sweep::builtin(spec).unwrap();
+            let run = SweepRun::execute(&sweep, 3);
+            let mut streamed = sweep_prologue(run.name(), run.results().len());
+            for (i, result) in run.results().iter().enumerate() {
+                streamed.push_str(&sweep_fragment(i, result));
+            }
+            streamed.push_str(crate::grid::DOCUMENT_EPILOGUE);
+            assert_eq!(
+                streamed,
+                format!("{}\n", run.to_json().to_pretty()),
+                "spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_result_in_submission_order() {
+        struct Recorder(std::sync::Mutex<Vec<(usize, String)>>);
+        impl SweepSink for Recorder {
+            fn result(&self, index: usize, result: &JobResult) {
+                self.0.lock().unwrap().push((index, result.point.label()));
+            }
+        }
+        let sweep = Sweep::builtin("quick").unwrap();
+        for threads in [1, 4] {
+            let sink = Recorder(std::sync::Mutex::new(Vec::new()));
+            let run = SweepRun::execute_streamed(&sweep, threads, &sink);
+            let seen = sink.0.into_inner().unwrap();
+            assert_eq!(seen.len(), run.results().len(), "threads {threads}");
+            for (slot, (index, label)) in seen.iter().enumerate() {
+                assert_eq!(*index, slot, "threads {threads}");
+                assert_eq!(
+                    label,
+                    &run.results()[slot].point.label(),
+                    "threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

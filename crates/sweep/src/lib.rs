@@ -71,7 +71,7 @@ pub mod spec;
 
 pub use cqla_core::json;
 pub use cqla_core::json::{Json, ToJson};
-pub use engine::{JobResult, PointOutcome, SweepRun};
+pub use engine::{JobResult, PointOutcome, SweepRun, SweepSink};
 pub use grid::{GridPoint, GridRun, PointCache};
 pub use parse::SpecError;
 pub use regress::{BenchDiff, BenchDoc, DocError};

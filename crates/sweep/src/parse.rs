@@ -210,6 +210,41 @@ fn parse_axis(spec: &str, key: &str, values: &str, values_start: usize) -> Resul
     }
 }
 
+/// Renders one fully specified [`DesignPoint`] as a spec expression that
+/// re-parses (over the paper-default base) to exactly that point — the
+/// inverse of [`parse`] at the single-point level. This is what lets a
+/// sweep shard travel as text: any sweep, including explicit point lists
+/// no cartesian expression describes (table4, table5), can be shipped as
+/// one single-point expression per line and reassembled losslessly.
+///
+/// ```
+/// use cqla_sweep::parse::{parse, render_point};
+/// use cqla_sweep::DesignPoint;
+///
+/// let point = DesignPoint { par_xfer: Some(10), ..DesignPoint::paper_default() };
+/// let spec = render_point(&point);
+/// assert!(spec.starts_with("tech=projected code=bacon-shor bits=64 blocks="));
+/// assert_eq!(parse(&spec).unwrap().points(), [point]);
+/// ```
+#[must_use]
+pub fn render_point(point: &DesignPoint) -> String {
+    let mut clauses = vec![
+        format!("tech={}", point.tech.label()),
+        format!("code={}", point.code.slug()),
+        // `bits` (not `width`) so the explicit `blocks` value is what
+        // lands, never a re-derived primary-block count.
+        format!("bits={}", point.input_bits),
+        format!("blocks={}", point.blocks),
+    ];
+    if let Some(xfer) = point.par_xfer {
+        clauses.push(format!("xfer={xfer}"));
+    }
+    // f64 Display is shortest-round-trip, so the reparsed ratio is
+    // bit-identical to the original.
+    clauses.push(format!("cache={}", point.cache_factor));
+    clauses.join(" ")
+}
+
 /// Renders cartesian axes back into spec-expression text, the inverse of
 /// [`parse`] up to range sugar (values render as comma lists).
 ///
@@ -407,6 +442,24 @@ mod tests {
         let err = parse("width=1..=1048576 bits=1..=1048576 blocks=1..=1048576 xfer=1..=1048576")
             .unwrap_err();
         assert!(err.message.contains("cap is 10000"), "{}", err.message);
+    }
+
+    #[test]
+    fn render_point_round_trips_every_builtin_point() {
+        // Every point of every builtin — including the explicit
+        // non-cartesian table4/table5 lists — survives the text trip.
+        for (name, _) in Sweep::BUILTIN {
+            for point in Sweep::builtin(name).unwrap().points() {
+                let spec = render_point(point);
+                let reparsed = parse(&spec)
+                    .unwrap_or_else(|e| panic!("{name}: render_point produced `{spec}`: {e}"));
+                assert_eq!(reparsed.points(), [*point], "{name}: {spec}");
+            }
+        }
+        // Flat points (no hierarchy) omit the xfer clause.
+        let flat = DesignPoint::paper_default();
+        assert!(!render_point(&flat).contains("xfer="));
+        assert_eq!(parse(&render_point(&flat)).unwrap().points(), [flat]);
     }
 
     #[test]

@@ -292,6 +292,58 @@ impl Sweep {
         }
     }
 
+    /// Parses a *batch*: one spec per line (builtin names or
+    /// expressions; blank lines and `#` comments skipped), concatenating
+    /// every line's points in line order into one sweep named by the
+    /// trimmed batch text. This is the wire format a coordinator ships a
+    /// sweep shard in — typically one [`crate::parse::render_point`]
+    /// line per point — but any spec the single-line parser accepts
+    /// works.
+    ///
+    /// ```
+    /// use cqla_sweep::Sweep;
+    ///
+    /// let batch = Sweep::parse_batch("code=steane bits=32\ncode=steane bits=64\n").unwrap();
+    /// assert_eq!(batch.len(), 2);
+    /// assert_eq!(batch.points()[1].input_bits, 64);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// A spanned [`crate::SpecError`] from the first offending line, an
+    /// empty batch, or a total past [`crate::parse::MAX_POINTS`].
+    pub fn parse_batch(input: &str) -> Result<Self, crate::SpecError> {
+        let lines: Vec<&str> = input
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if lines.is_empty() {
+            return Err(crate::SpecError::new(
+                input,
+                (0, input.len()),
+                "empty batch; expected one spec per line",
+            ));
+        }
+        let mut points = Vec::new();
+        for line in &lines {
+            let sweep = Self::parse(line)?;
+            if points.len() + sweep.len() > crate::parse::MAX_POINTS {
+                return Err(crate::SpecError::new(
+                    line,
+                    (0, line.len()),
+                    format!(
+                        "batch expands past {} points; the cap is {}",
+                        points.len() + sweep.len(),
+                        crate::parse::MAX_POINTS
+                    ),
+                ));
+            }
+            points.extend_from_slice(sweep.points());
+        }
+        Ok(Self::from_points(input.trim(), points))
+    }
+
     /// Resolves a built-in spec by name.
     #[must_use]
     pub fn builtin(name: &str) -> Option<Self> {
@@ -447,6 +499,23 @@ mod tests {
     fn table_builtins_match_the_paper_grids() {
         assert_eq!(Sweep::builtin("table4").unwrap().len(), 24); // 12 rows x 2 codes
         assert_eq!(Sweep::builtin("table5").unwrap().len(), 12);
+    }
+
+    #[test]
+    fn parse_batch_concatenates_lines_in_order() {
+        let batch =
+            Sweep::parse_batch("# shard 3 of 4\nquick\n\ncode=steane bits=32,64\n").unwrap();
+        let quick = Sweep::builtin("quick").unwrap();
+        assert_eq!(batch.len(), quick.len() + 2);
+        assert_eq!(&batch.points()[..quick.len()], quick.points());
+        assert_eq!(batch.points()[quick.len()].input_bits, 32);
+        // Errors point at the offending line; an empty batch is rejected.
+        let err = Sweep::parse_batch("quick\ntech=currant\n").unwrap_err();
+        assert!(err.message.contains("unknown technology"), "{err}");
+        assert!(Sweep::parse_batch("  \n# only comments\n")
+            .unwrap_err()
+            .message
+            .contains("empty batch"));
     }
 
     #[test]

@@ -12,12 +12,23 @@
 //!                               (built-in name or key=values expression)
 //! cqla sweep <id> [k=set ...]   the same per-experiment grid, sweep-spelled
 //! cqla sweep --spec-file FILE   run every spec in FILE (one per line)
+//! cqla sweep ... --workers HOST:PORT,...
+//!                               distribute the sweep across a fleet of
+//!                               `cqla serve` workers (requires --format
+//!                               json; the merged document is byte-identical
+//!                               to the local run). --connect-timeout SECS
+//!                               and --retries N tune fault handling:
+//!                               retries > 0 re-shards a dead worker's
+//!                               points onto the survivors
 //! cqla bench-diff OLD NEW [--threshold X]
 //!                               compare two BENCH_sweep.json documents
 //! cqla serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N]
+//!            [--workers HOST:PORT,...]
 //!                               serve the registry over HTTP: keep-alive
 //!                               connections, streamed grid responses, and
-//!                               resumable background sweep jobs
+//!                               resumable background sweep jobs; with
+//!                               --workers, POST /v1/sweep is distributed
+//!                               across that fleet
 //! cqla floorplan                draw the level-1 tile floorplans
 //!
 //! legacy aliases (kept for scripts):
@@ -40,6 +51,7 @@ use cqla_repro::core::experiments::{
     find, is_set_clause, listing_json, params_usage, registry, suggest, Experiment, Grid,
 };
 use cqla_repro::core::{Json, ToJson};
+use cqla_repro::dist::{self, FleetConfig};
 use cqla_repro::iontrap::TileFloorplan;
 use cqla_repro::serve::{ServeConfig, Server};
 use cqla_repro::sweep::regress::{BenchDiff, BenchDoc, DEFAULT_THRESHOLD};
@@ -47,9 +59,11 @@ use cqla_repro::sweep::{pool, GridRun, Sweep, SweepRun};
 
 /// The one-line usage summary (`cqla help` / `cqla --help`).
 const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
-     <list | run ID [k=v|k=set...] | sweep [SPEC | ID [k=set...] | --spec-file FILE] | \
+     <list | run ID [k=v|k=set...] | sweep [SPEC | ID [k=set...] | --spec-file FILE] \
+     [--workers HOST:PORT,... [--connect-timeout SECS] [--retries N]] | \
      bench-diff OLD NEW [--threshold X] | \
-     serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N] | \
+     serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N] \
+     [--workers HOST:PORT,...] | \
      machine BITS BLOCKS [CODE] | table N | figure N | floorplan | verify>";
 
 /// The subcommand spellings `cqla` accepts, for did-you-mean suggestions.
@@ -360,9 +374,151 @@ fn machine_alias(cli: &Cli) -> Result<ExitCode, UsageError> {
         .map_err(|e| UsageError::with_hint(e.message, usage))
 }
 
+/// Splits a comma-separated `--workers` value into addresses; empty
+/// entries are trimmed away and an empty list is rejected.
+fn parse_worker_list(list: &str) -> Result<Vec<String>, UsageError> {
+    let workers: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if workers.is_empty() {
+        return Err(UsageError::new("--workers expects HOST:PORT,..."));
+    }
+    Ok(workers)
+}
+
+/// Strips the fleet flags — `--workers HOST:PORT,...`,
+/// `--connect-timeout SECS`, `--retries N` — out of a parsed command
+/// line, returning the remaining positional arguments plus the fleet
+/// configuration when `--workers` was given. The tuning flags without
+/// `--workers`, and `--workers` without `--format json` (the merged
+/// document is always JSON), are usage errors.
+fn extract_fleet(cli: &Cli) -> Result<(Cli, Option<FleetConfig>), UsageError> {
+    let mut workers = None;
+    let mut connect_timeout = None;
+    let mut retries = None;
+    let mut args = Vec::new();
+    let mut i = 0;
+    while let Some(arg) = cli.arg(i) {
+        match arg {
+            "--workers" => {
+                let list = cli
+                    .arg(i + 1)
+                    .ok_or_else(|| UsageError::new("--workers expects HOST:PORT,..."))?;
+                workers = Some(parse_worker_list(list)?);
+                i += 2;
+            }
+            "--connect-timeout" => {
+                connect_timeout = Some(
+                    cli.arg(i + 1)
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            UsageError::new(
+                                "--connect-timeout expects a positive integer (seconds)",
+                            )
+                        })?,
+                );
+                i += 2;
+            }
+            "--retries" => {
+                retries = Some(
+                    cli.arg(i + 1)
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .ok_or_else(|| {
+                            UsageError::new("--retries expects a non-negative integer")
+                        })?,
+                );
+                i += 2;
+            }
+            _ => {
+                args.push(arg.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let stripped = Cli {
+        format: cli.format,
+        threads: cli.threads,
+        args,
+    };
+    let Some(workers) = workers else {
+        if connect_timeout.is_some() || retries.is_some() {
+            return Err(UsageError::new(
+                "--connect-timeout/--retries only apply with --workers",
+            ));
+        }
+        return Ok((stripped, None));
+    };
+    if cli.format != Format::Json {
+        return Err(UsageError::with_hint(
+            "--workers emits the merged JSON sweep document",
+            "add --format json",
+        ));
+    }
+    let mut fleet = FleetConfig::new(workers);
+    if let Some(secs) = connect_timeout {
+        fleet.connect_timeout = std::time::Duration::from_secs(secs);
+    }
+    if let Some(n) = retries {
+        fleet.retries = n;
+    }
+    Ok((stripped, Some(fleet)))
+}
+
+/// Prints a distributed run's merged document — already a complete
+/// JSON document with its own trailing newline — and maps pass/fail to
+/// the usual exit codes. Fleet failures (a dead fleet, exhausted
+/// retries with no survivors) are runtime errors, not usage errors.
+fn emit_dist(result: Result<dist::DistRun, dist::DistError>) -> ExitCode {
+    match result {
+        Ok(run) => {
+            print!("{}", run.document());
+            if run.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cqla: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Grid-runs one registry artifact across a worker fleet: the same
+/// parse path and exit-code contract as [`run_grid`], but the points
+/// execute on remote `cqla serve` workers and the merged document is
+/// byte-identical to the local `--format json` run.
+fn run_grid_distributed(
+    exp: &dyn Experiment,
+    clauses: &[String],
+    fleet: &FleetConfig,
+) -> Result<ExitCode, UsageError> {
+    let expr = clauses.join(" ");
+    let grid = Grid::parse(exp.id(), &exp.specs(), &expr).map_err(|e| {
+        UsageError::with_hint(
+            e.to_string(),
+            format!("{} takes: {}", exp.id(), params_usage(exp)),
+        )
+    })?;
+    Ok(emit_dist(dist::run_grid(&grid, fleet)))
+}
+
 /// `cqla sweep [SPEC]` / `cqla sweep <id> [k=set ...]` /
-/// `cqla sweep --spec-file FILE`.
+/// `cqla sweep --spec-file FILE` / `... --workers HOST:PORT,...`.
 fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
+    let (cli, fleet) = extract_fleet(cli)?;
+    let cli = &cli;
+    if fleet.is_some() && cli.arg(1) == Some("--spec-file") {
+        return Err(UsageError::with_hint(
+            "--workers distributes a single spec; --spec-file is not supported",
+            "run one `cqla sweep SPEC --workers ...` per spec",
+        ));
+    }
     // `cqla sweep <id> [key=value-set ...]`: the per-experiment grid,
     // byte-identical to `cqla run <id> key=value-set…`. Built-in sweep
     // names win for bare invocations (`sweep table4` stays the paper
@@ -372,7 +528,10 @@ fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
             let has_clauses = cli.args.len() > 2;
             if let Some(exp) = find(first) {
                 if has_clauses || Sweep::builtin(first).is_none() {
-                    return run_grid(cli, exp.as_ref(), &cli.args[2..]);
+                    return match &fleet {
+                        Some(fleet) => run_grid_distributed(exp.as_ref(), &cli.args[2..], fleet),
+                        None => run_grid(cli, exp.as_ref(), &cli.args[2..]),
+                    };
                 }
             }
         }
@@ -420,6 +579,11 @@ fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
                 ));
             }
         }
+    }
+    // Distributed path: fan the (single) sweep out across the fleet
+    // and print the merged document, byte-identical to the local run.
+    if let Some(fleet) = &fleet {
+        return Ok(emit_dist(dist::run_sweep(&sweeps[0], fleet)));
     }
     let runs: Vec<SweepRun> = sweeps
         .iter()
@@ -494,10 +658,13 @@ fn bench_diff(cli: &Cli) -> Result<ExitCode, UsageError> {
 /// on the announcement line so scripts and tests can discover it.
 /// `--idle-timeout` bounds how long a keep-alive connection may sit
 /// between requests; `--job-retention` is how many completed sweep jobs
-/// stay pollable before the oldest is retired.
+/// stay pollable before the oldest is retired. `--workers` turns the
+/// node into a fleet coordinator: `POST /v1/sweep` is distributed
+/// across the listed `cqla serve` workers instead of running locally.
 fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
     let usage = "usage: cqla serve [--addr HOST:PORT] [--threads N] \
-                 [--idle-timeout SECS] [--job-retention N]";
+                 [--idle-timeout SECS] [--job-retention N] \
+                 [--workers HOST:PORT,...]";
     let mut addr = "127.0.0.1:8080".to_owned();
     let mut config = ServeConfig::default();
     let mut i = 1;
@@ -528,6 +695,13 @@ fn serve(cli: &Cli) -> Result<ExitCode, UsageError> {
                 .ok_or_else(|| {
                     UsageError::with_hint("--job-retention expects a non-negative integer", usage)
                 })?;
+            i += 2;
+        } else if arg == "--workers" {
+            let list = cli
+                .arg(i + 1)
+                .ok_or_else(|| UsageError::with_hint("--workers expects HOST:PORT,...", usage))?;
+            config.fleet =
+                parse_worker_list(list).map_err(|e| UsageError::with_hint(e.message, usage))?;
             i += 2;
         } else {
             return Err(UsageError::with_hint(

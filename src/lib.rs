@@ -21,6 +21,7 @@
 //! | [`core`] | `cqla-core` | the CQLA itself + the experiment registry + JSON |
 //! | [`sweep`] | `cqla-sweep` | parallel experiment engine + sweep-spec language |
 //! | [`serve`] | `cqla-serve` | long-running HTTP service over the registry |
+//! | [`dist`] | `cqla-dist` | distributed sweeps across `cqla serve` worker fleets |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 
 pub use cqla_circuit as circuit;
 pub use cqla_core as core;
+pub use cqla_dist as dist;
 pub use cqla_ecc as ecc;
 pub use cqla_iontrap as iontrap;
 pub use cqla_network as network;

@@ -621,26 +621,20 @@ mod cli {
         use std::time::{Duration, Instant};
 
         /// A running `cqla serve` child, killed on drop so a failing
-        /// assertion can never leak a listening process.
-        struct Serve {
-            child: Child,
-            addr: String,
+        /// assertion can never leak a listening process. Shared with the
+        /// distributed-sweep tests, which boot fleets of these.
+        pub(super) struct Serve {
+            pub(super) child: Child,
+            pub(super) addr: String,
         }
 
-        /// Reassembles a chunked transfer-encoded payload: the
-        /// concatenation of the chunk bodies, framing stripped.
-        fn dechunk(raw: &str) -> String {
-            let mut out = String::new();
-            let mut rest = raw;
-            loop {
-                let (size, tail) = rest.split_once("\r\n").expect("chunk size line");
-                let len = usize::from_str_radix(size.trim(), 16)
-                    .unwrap_or_else(|_| panic!("unparseable chunk size: {size:?}"));
-                if len == 0 {
-                    return out;
-                }
-                out.push_str(&tail[..len]);
-                rest = &tail[len + 2..];
+        /// The shared socket-level HTTP client (`cqla-dist`): the same
+        /// de-chunking implementation the coordinator ships, so the
+        /// framing contract is pinned by one piece of code.
+        fn client() -> cqla_repro::dist::Client {
+            cqla_repro::dist::Client {
+                connect_timeout: Duration::from_secs(10),
+                read_timeout: Duration::from_secs(30),
             }
         }
 
@@ -649,7 +643,7 @@ mod cli {
                 Self::start_with(threads, &[])
             }
 
-            fn start_with(threads: &str, extra: &[&str]) -> Self {
+            pub(super) fn start_with(threads: &str, extra: &[&str]) -> Self {
                 let mut child = Command::new(env!("CARGO_BIN_EXE_cqla"))
                     .args(["serve", "--addr", "127.0.0.1:0", "--threads", threads])
                     .args(extra)
@@ -671,42 +665,16 @@ mod cli {
                 Self { child, addr }
             }
 
-            fn request(&self, raw: &str) -> (u16, String) {
-                let mut stream = TcpStream::connect(&self.addr).expect("connect");
-                stream
-                    .set_read_timeout(Some(Duration::from_secs(30)))
-                    .unwrap();
-                stream.write_all(raw.as_bytes()).expect("send");
-                let mut text = String::new();
-                stream.read_to_string(&mut text).expect("response");
-                let status = text
-                    .strip_prefix("HTTP/1.1 ")
-                    .and_then(|rest| rest.get(..3))
-                    .and_then(|code| code.parse().ok())
-                    .unwrap_or_else(|| panic!("bad status line: {text:?}"));
-                let (head, payload) = text
-                    .split_once("\r\n\r\n")
-                    .unwrap_or_else(|| panic!("headerless response: {text:?}"));
-                let body = if head.contains("Transfer-Encoding: chunked") {
-                    dechunk(payload)
-                } else {
-                    payload.to_owned()
-                };
-                (status, body)
-            }
-
             fn get(&self, target: &str) -> (u16, String) {
-                self.request(&format!(
-                    "GET {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\r\n"
-                ))
+                let response = client().get(&self.addr, target).expect("GET completes");
+                (response.status, response.body)
             }
 
             fn post(&self, target: &str, body: &str) -> (u16, String) {
-                self.request(&format!(
-                    "POST {target} HTTP/1.1\r\nHost: cqla\r\nConnection: close\r\n\
-                     Content-Length: {}\r\n\r\n{body}",
-                    body.len()
-                ))
+                let response = client()
+                    .post(&self.addr, target, body)
+                    .expect("POST completes");
+                (response.status, response.body)
             }
         }
 
@@ -868,6 +836,223 @@ mod cli {
             assert_eq!(out.status.code(), Some(2));
             let out = cqla(&["serve", "--job-retention", "soon"]);
             assert_eq!(out.status.code(), Some(2));
+            let out = cqla(&["serve", "--workers", ","]);
+            assert_eq!(out.status.code(), Some(2));
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // `cqla sweep --workers`: boot a fleet of release-grade `cqla serve`
+    // worker processes and drive the distributed coordinator through the
+    // real binary — byte-identity with the single-process document, the
+    // re-shard path around a dead worker, and the `--retries 0` loud
+    // failure, exactly as CI's multi-worker e2e stage runs them.
+
+    mod dist {
+        use super::serve::Serve;
+        use super::{cqla, stderr, stdout};
+
+        /// An address that refuses connections: bound, then immediately
+        /// dropped, so connects fail deterministically and instantly.
+        fn dead_port() -> String {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        }
+
+        fn fleet_arg(workers: &[&Serve]) -> String {
+            workers
+                .iter()
+                .map(|w| w.addr.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+
+        #[test]
+        fn distributed_sweeps_match_the_single_process_document() {
+            let workers = [
+                Serve::start_with("2", &[]),
+                Serve::start_with("2", &[]),
+                Serve::start_with("2", &[]),
+            ];
+            let fleet = fleet_arg(&[&workers[0], &workers[1], &workers[2]]);
+            let spec = "code=steane bits=32,64 xfer=5,10";
+            let local = cqla(&["sweep", spec, "--format", "json", "--threads", "2"]);
+            assert!(local.status.success());
+            let distributed = cqla(&["sweep", spec, "--workers", &fleet, "--format", "json"]);
+            assert!(
+                distributed.status.success(),
+                "stderr: {}",
+                stderr(&distributed)
+            );
+            assert_eq!(
+                stdout(&distributed),
+                stdout(&local),
+                "the merged document must be byte-identical to the local run"
+            );
+        }
+
+        #[test]
+        fn distributed_grids_match_the_single_process_document() {
+            let workers = [Serve::start_with("2", &[]), Serve::start_with("2", &[])];
+            let fleet = fleet_arg(&[&workers[0], &workers[1]]);
+            let local = cqla(&["sweep", "fig2", "bits=8,16,24", "--format", "json"]);
+            assert!(local.status.success());
+            let distributed = cqla(&[
+                "sweep",
+                "fig2",
+                "bits=8,16,24",
+                "--workers",
+                &fleet,
+                "--format",
+                "json",
+            ]);
+            assert!(
+                distributed.status.success(),
+                "stderr: {}",
+                stderr(&distributed)
+            );
+            assert_eq!(
+                stdout(&distributed),
+                stdout(&local),
+                "the merged grid document must be byte-identical to the local run"
+            );
+        }
+
+        #[test]
+        fn dead_workers_are_resharded_around_with_retries() {
+            // One real worker plus a refusing address: the coordinator
+            // burns the dead worker's retries, re-shards its half onto
+            // the survivor, and the document does not change a byte.
+            let worker = Serve::start_with("2", &[]);
+            let fleet = format!("{},{}", worker.addr, dead_port());
+            let local = cqla(&["sweep", "quick", "--format", "json", "--threads", "2"]);
+            let distributed = cqla(&[
+                "sweep",
+                "quick",
+                "--workers",
+                &fleet,
+                "--retries",
+                "1",
+                "--connect-timeout",
+                "1",
+                "--format",
+                "json",
+            ]);
+            assert!(
+                distributed.status.success(),
+                "stderr: {}",
+                stderr(&distributed)
+            );
+            assert_eq!(stdout(&distributed), stdout(&local));
+        }
+
+        #[test]
+        fn zero_retries_fail_loudly_and_name_the_worker() {
+            let worker = Serve::start_with("2", &[]);
+            let dead = dead_port();
+            let fleet = format!("{},{dead}", worker.addr);
+            let out = cqla(&[
+                "sweep",
+                "quick",
+                "--workers",
+                &fleet,
+                "--retries",
+                "0",
+                "--connect-timeout",
+                "1",
+                "--format",
+                "json",
+            ]);
+            assert_eq!(out.status.code(), Some(1), "a dead worker must be fatal");
+            let err = stderr(&out);
+            assert!(err.contains(&dead), "the error must name the worker: {err}");
+        }
+
+        #[test]
+        fn workers_flag_misuse_exits_two() {
+            for args in [
+                &["sweep", "quick", "--workers"][..],
+                &["sweep", "quick", "--workers", ","][..],
+                // Tuning flags without a fleet make no sense.
+                &["sweep", "quick", "--retries", "2", "--format", "json"][..],
+                &[
+                    "sweep",
+                    "quick",
+                    "--connect-timeout",
+                    "3",
+                    "--format",
+                    "json",
+                ][..],
+                // The merged document is JSON; text mode cannot render it.
+                &["sweep", "quick", "--workers", "127.0.0.1:1"][..],
+                // One spec per distributed run.
+                &[
+                    "sweep",
+                    "--spec-file",
+                    "specs.txt",
+                    "--workers",
+                    "127.0.0.1:1",
+                    "--format",
+                    "json",
+                ][..],
+                &[
+                    "sweep",
+                    "quick",
+                    "--workers",
+                    "127.0.0.1:1",
+                    "--connect-timeout",
+                    "0",
+                    "--format",
+                    "json",
+                ][..],
+            ] {
+                let out = cqla(args);
+                assert_eq!(
+                    out.status.code(),
+                    Some(2),
+                    "args {args:?} should exit 2, got {:?}\nstderr: {}",
+                    out.status,
+                    stderr(&out)
+                );
+            }
+        }
+
+        /// The full fault-injection drill CI runs in release mode: three
+        /// workers, one killed while the sweep is in flight, and the
+        /// merged document still byte-identical. Ignored by default —
+        /// it runs a real multi-second sweep; CI opts in with
+        /// `--include-ignored`.
+        #[test]
+        #[ignore = "multi-second fleet drill; CI runs it with --include-ignored"]
+        fn killing_a_worker_mid_sweep_does_not_change_a_byte() {
+            let local = cqla(&["sweep", "grid", "--format", "json", "--threads", "4"]);
+            assert!(local.status.success());
+            let mut workers = [
+                Serve::start_with("2", &[]),
+                Serve::start_with("2", &[]),
+                Serve::start_with("2", &[]),
+            ];
+            let fleet = fleet_arg(&[&workers[0], &workers[1], &workers[2]]);
+            // Kill worker 0 while the coordinator is (very likely) still
+            // streaming its shard. Whatever the interleaving — before
+            // its job starts, mid-stream, or after its shard completed —
+            // the document must not change.
+            let coordinator = std::thread::spawn(move || {
+                cqla(&["sweep", "grid", "--workers", &fleet, "--format", "json"])
+            });
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            workers[0].child.kill().expect("kill worker 0");
+            let out = coordinator.join().expect("coordinator finishes");
+            assert!(
+                out.status.success(),
+                "survivors must absorb the lost shard; stderr: {}",
+                stderr(&out)
+            );
+            assert_eq!(
+                stdout(&out),
+                stdout(&local),
+                "a mid-sweep worker death must not change the merged bytes"
+            );
         }
     }
 }

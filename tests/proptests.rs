@@ -374,6 +374,57 @@ mod grid_spec {
                 rendered
             );
         }
+
+        /// The distributed-sweep partitioner contract: shards are
+        /// disjoint, cover every point, preserve submission order (their
+        /// concatenation IS the parent's point list), and each shard's
+        /// rendered spec re-parses to exactly the shard's points — the
+        /// property `cqla-dist` relies on to ship shards over the wire
+        /// as spec text.
+        #[test]
+        fn grid_shards_partition_the_points(
+            raw in prop::collection::vec(
+                (0u8..6, prop::collection::vec(1u32..2048, 1..4), any::<bool>()),
+                1..6,
+            ),
+            n in 1usize..9,
+        ) {
+            let mut used = [false; 6];
+            let clauses: Vec<String> = raw
+                .iter()
+                .filter(|(kind, _, _)| {
+                    !std::mem::replace(&mut used[usize::from(kind % 6)], true)
+                })
+                .map(|(kind, seeds, pinned)| clause(*kind, seeds, *pinned))
+                .collect();
+            let expr = clauses.join(" ");
+            let specs = find("machine").unwrap().specs();
+            let grid = Grid::parse("machine", &specs, &expr)
+                .unwrap_or_else(|e| panic!("generated expression must parse: {e}"));
+            let shards = grid.shard(n);
+            prop_assert!(!shards.is_empty(), "expr: {}", expr);
+            prop_assert!(shards.len() <= n, "at most n shards; expr: {}", expr);
+            let glued: Vec<_> = shards.iter().flat_map(Grid::points).collect();
+            prop_assert_eq!(
+                glued,
+                grid.points(),
+                "shards must concatenate to the parent, in order; expr: {}",
+                expr
+            );
+            for shard in &shards {
+                prop_assert!(!shard.is_empty(), "no empty shards; expr: {}", expr);
+                let rehydrated = Grid::parse("machine", &specs, shard.spec())
+                    .unwrap_or_else(|e| {
+                        panic!("shard spec must reparse: {e}\n{}", shard.spec())
+                    });
+                prop_assert_eq!(
+                    rehydrated.points(),
+                    shard.points(),
+                    "shard spec: {}",
+                    shard.spec()
+                );
+            }
+        }
     }
 }
 
@@ -442,6 +493,36 @@ mod sweep_spec {
                 .unwrap_or_else(|e| panic!("rendered spec must reparse: {e}"));
             let direct = Sweep::cartesian("t", DesignPoint::paper_default(), &axes);
             prop_assert_eq!(reparsed.points(), direct.points(), "spec: {}", spec);
+        }
+
+        /// Single design points survive `render_point` -> `Sweep::parse`
+        /// exactly — the property that lets `cqla-dist` ship arbitrary
+        /// point lists (shards of non-cartesian sweeps) to workers as
+        /// one spec line per point.
+        #[test]
+        fn render_point_round_trips_every_field(
+            raw in prop::collection::vec((0u8..7, prop::collection::vec(1u32..2048, 1..4)), 1..6),
+        ) {
+            let mut used = [false; 7];
+            let axes: Vec<Axis> = raw
+                .iter()
+                .filter(|(kind, _)| !std::mem::replace(&mut used[usize::from(kind % 7)], true))
+                .map(|(kind, seeds)| axis(*kind, seeds))
+                .collect();
+            let sweep = Sweep::cartesian("t", DesignPoint::paper_default(), &axes);
+            // A prefix is plenty: every field combination the axes can
+            // produce appears within the first few points.
+            for point in sweep.points().iter().take(16) {
+                let line = parse::render_point(point);
+                let single = Sweep::parse(&line)
+                    .unwrap_or_else(|e| panic!("rendered point must reparse: {e}\n{line}"));
+                prop_assert_eq!(
+                    single.points(),
+                    std::slice::from_ref(point),
+                    "line: {}",
+                    line
+                );
+            }
         }
     }
 }
