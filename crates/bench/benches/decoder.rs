@@ -4,9 +4,21 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cqla_stabilizer::{CssCode, LookupDecoder, PauliOp, PauliString};
+use cqla_stabilizer::{errors_of_weight, CssCode, LookupDecoder, PauliOp, PauliString};
 
 fn bench(c: &mut Criterion) {
+    // Lazy error enumeration: the iterator never materializes the
+    // per-weight Vec the table builder used to allocate.
+    c.bench_function("decoder/errors_of_weight_9q_w2", |b| {
+        b.iter(|| {
+            let mut weight_sum = 0usize;
+            for e in errors_of_weight(9, 2) {
+                weight_sum += black_box(&e).weight();
+            }
+            black_box(weight_sum)
+        })
+    });
+
     for (name, code) in [
         ("steane", CssCode::steane()),
         ("bacon_shor", CssCode::bacon_shor()),

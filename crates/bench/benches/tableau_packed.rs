@@ -1,0 +1,87 @@
+//! Bit-packed stabilizer kernel vs the retained `Vec<bool>` reference:
+//! the same random Clifford circuit driven through both tableau
+//! implementations, plus the packed Pauli product on its own.
+//!
+//! The packed kernel stores x/z rows as `u64` words and applies gates
+//! and row sums word-parallel (64 qubits per XOR/popcount); the
+//! reference in `cqla_stabilizer::reference` is the pre-refactor
+//! bit-per-`bool` implementation kept for the equivalence proptests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_stabilizer::reference::RefTableau;
+use cqla_stabilizer::{PauliOp, PauliString, Tableau};
+
+/// A fixed pseudo-random gate sequence: `(kind, control, target)`
+/// triples from a splitmix-style generator, deterministic across runs.
+fn gate_sequence(n: u32, gates: usize) -> Vec<(u8, u32, u32)> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..gates)
+        .map(|_| {
+            let r = next();
+            let q = (r as u32 >> 8) % n;
+            let t = (q + 1 + ((r >> 40) as u32 % (n - 1))) % n;
+            ((r % 3) as u8, q, t)
+        })
+        .collect()
+}
+
+fn run_packed(n: u32, seq: &[(u8, u32, u32)]) -> Tableau {
+    let mut tab = Tableau::new(n as usize);
+    for &(kind, q, t) in seq {
+        match kind {
+            0 => tab.h(q as usize),
+            1 => tab.s(q as usize),
+            _ => tab.cnot(q as usize, t as usize),
+        }
+    }
+    tab
+}
+
+fn run_reference(n: u32, seq: &[(u8, u32, u32)]) -> RefTableau {
+    let mut tab = RefTableau::new(n as usize);
+    for &(kind, q, t) in seq {
+        match kind {
+            0 => tab.h(q as usize),
+            1 => tab.s(q as usize),
+            _ => tab.cnot(q as usize, t as usize),
+        }
+    }
+    tab
+}
+
+fn bench(c: &mut Criterion) {
+    for n in [64u32, 256] {
+        let seq = gate_sequence(n, 4 * n as usize);
+        c.bench_function(&format!("tableau_packed/packed_{n}q"), |b| {
+            b.iter(|| black_box(run_packed(n, &seq)))
+        });
+        c.bench_function(&format!("tableau_packed/reference_{n}q"), |b| {
+            b.iter(|| black_box(run_reference(n, &seq)))
+        });
+    }
+    // The word-parallel Pauli product (phase tracking included).
+    let n = 256;
+    let a = PauliString::from_ops(
+        n,
+        (0..n).map(|i| (i, if i % 2 == 0 { PauliOp::X } else { PauliOp::Z })),
+    );
+    let b_str = PauliString::from_ops(n, (0..n).filter(|i| i % 3 == 0).map(|i| (i, PauliOp::Y)));
+    c.bench_function("tableau_packed/pauli_mul_256q", |b| {
+        b.iter(|| black_box(a.mul(&b_str)))
+    });
+    c.bench_function("tableau_packed/pauli_anticommutes_256q", |b| {
+        b.iter(|| black_box(a.anticommutes_with(&b_str)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,7 +13,8 @@
 //!   next instruction is chosen to maximize the probability that all its
 //!   operands are already cached (~85% hit rate).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use cqla_circuit::{Circuit, DependencyDag, QubitId};
 use cqla_sim::stats::RateCounter;
@@ -292,6 +293,12 @@ struct CacheState {
     residence: Vec<Residence>,
     /// LRU stamps for cached qubits.
     stamp: HashMap<QubitId, u64>,
+    /// Lazy min-heap over `(stamp, qubit)` pairs: every stamp update
+    /// pushes, eviction pops until the top matches the qubit's current
+    /// stamp. Stamps are unique (the clock ticks per access), so the
+    /// first live entry *is* the least recently used qubit — the same
+    /// victim the full `min_by_key` scan used to find.
+    lru: BinaryHeap<Reverse<(u64, u32)>>,
     clock: u64,
 }
 
@@ -305,6 +312,7 @@ impl CacheState {
             capacity,
             residence,
             stamp: HashMap::new(),
+            lru: BinaryHeap::new(),
             clock: 0,
         }
     }
@@ -314,6 +322,13 @@ impl CacheState {
     }
 
     fn access(&mut self, q: QubitId) -> AccessKind {
+        self.access_with_eviction(q).0
+    }
+
+    /// As [`CacheState::access`], additionally reporting the qubit the
+    /// access evicted, if any (the optimized-fetch selector rescores
+    /// ready instructions touching it).
+    fn access_with_eviction(&mut self, q: QubitId) -> (AccessKind, Option<QubitId>) {
         self.clock += 1;
         let idx = q.index() as usize;
         let kind = match self.residence[idx] {
@@ -321,28 +336,39 @@ impl CacheState {
             Residence::Memory => AccessKind::FetchMiss,
             Residence::Unborn => AccessKind::Allocation,
         };
-        if kind != AccessKind::Hit {
-            self.insert(q);
+        let evicted = if kind == AccessKind::Hit {
+            self.touch(q);
+            None
         } else {
-            self.stamp.insert(q, self.clock);
-        }
-        kind
+            self.insert(q)
+        };
+        (kind, evicted)
     }
 
-    fn insert(&mut self, q: QubitId) {
+    fn touch(&mut self, q: QubitId) {
+        self.stamp.insert(q, self.clock);
+        self.lru.push(Reverse((self.clock, q.index())));
+    }
+
+    fn insert(&mut self, q: QubitId) -> Option<QubitId> {
+        let mut evicted = None;
         if self.stamp.len() >= self.capacity {
-            // Evict the least recently used qubit back to memory.
-            let victim = *self
-                .stamp
-                .iter()
-                .min_by_key(|&(id, &t)| (t, id.index()))
-                .map(|(id, _)| id)
-                .expect("cache non-empty when at capacity");
+            // Evict the least recently used qubit back to memory: pop
+            // stale heap entries until one matches a current stamp.
+            let victim = loop {
+                let Reverse((t, idx)) = self.lru.pop().expect("cache non-empty when at capacity");
+                let candidate = QubitId::new(idx);
+                if self.stamp.get(&candidate) == Some(&t) {
+                    break candidate;
+                }
+            };
             self.stamp.remove(&victim);
             self.residence[victim.index() as usize] = Residence::Memory;
+            evicted = Some(victim);
         }
         self.residence[q.index() as usize] = Residence::Cached;
-        self.stamp.insert(q, self.clock);
+        self.touch(q);
+        evicted
     }
 }
 
@@ -350,48 +376,101 @@ impl CacheState {
 /// instruction with the most operands currently cached (ties to the
 /// earliest instruction). The cache state is *simulated forward* during
 /// selection so later picks see the effects of earlier ones.
+///
+/// The selection key is `(fully cached, cached operands, earliest)`.
+/// Rather than rescoring every ready instruction per pick (quadratic in
+/// the window), the ready set lives in one ordered bucket per
+/// `(full, cached)` score, and only instructions whose operands changed
+/// residence — the picked gate's operands and the eviction victims —
+/// are rescored. Scores are unique per instruction (the program-order
+/// tie-break), so the bucket walk picks exactly the instruction the
+/// full scan would.
 fn optimized_order(circuit: &Circuit, initial: &CacheState) -> Vec<usize> {
     let dag = DependencyDag::new(circuit);
     let n = dag.num_gates();
+    let gate_qubits: Vec<Vec<QubitId>> = (0..n).map(|i| circuit.gates()[i].qubits()).collect();
     let mut indegree: Vec<usize> = (0..n).map(|i| dag.predecessors(i).len()).collect();
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut state = initial.clone();
     let mut order = Vec::with_capacity(n);
 
-    while let Some(pos) = select_best(&ready, circuit, &state) {
-        let chosen = ready.swap_remove(pos);
-        for q in circuit.gates()[chosen].qubits() {
-            state.access(q);
+    // Buckets indexed by `full * 4 + cached` (arity <= 3), each ordered
+    // by instruction index; NOT_READY marks gates outside the window.
+    const NOT_READY: u8 = u8::MAX;
+    let mut buckets: [std::collections::BTreeSet<usize>; 8] = Default::default();
+    let mut bucket_of: Vec<u8> = vec![NOT_READY; n];
+    // Ready instructions touching each qubit, for targeted rescoring.
+    let mut ready_on: Vec<Vec<usize>> = vec![Vec::new(); circuit.num_qubits() as usize];
+
+    let score = |i: usize, state: &CacheState, gate_qubits: &[Vec<QubitId>]| -> u8 {
+        let qubits = &gate_qubits[i];
+        let cached = qubits.iter().filter(|&&q| state.is_cached(q)).count() as u8;
+        let full = u8::from(usize::from(cached) == qubits.len());
+        full * 4 + cached
+    };
+
+    for i in 0..n {
+        if indegree[i] == 0 {
+            let b = score(i, &state, &gate_qubits);
+            bucket_of[i] = b;
+            buckets[b as usize].insert(i);
+            for &q in &gate_qubits[i] {
+                ready_on[q.index() as usize].push(i);
+            }
+        }
+    }
+
+    let mut flipped: Vec<QubitId> = Vec::new();
+    for _ in 0..n {
+        // Highest-scoring bucket, earliest instruction within it.
+        let chosen = (0..8usize)
+            .rev()
+            .find_map(|b| buckets[b].first().copied())
+            .expect("a dependency-ready instruction exists");
+        buckets[bucket_of[chosen] as usize].remove(&chosen);
+        bucket_of[chosen] = NOT_READY;
+        for &q in &gate_qubits[chosen] {
+            ready_on[q.index() as usize].retain(|&g| g != chosen);
+        }
+
+        flipped.clear();
+        for &q in &gate_qubits[chosen] {
+            let was_cached = state.is_cached(q);
+            let (_, evicted) = state.access_with_eviction(q);
+            if !was_cached {
+                flipped.push(q);
+            }
+            if let Some(victim) = evicted {
+                flipped.push(victim);
+            }
         }
         order.push(chosen);
+
         for &s in dag.successors(chosen) {
             indegree[s] -= 1;
             if indegree[s] == 0 {
-                ready.push(s);
+                let b = score(s, &state, &gate_qubits);
+                bucket_of[s] = b;
+                buckets[b as usize].insert(s);
+                for &q in &gate_qubits[s] {
+                    ready_on[q.index() as usize].push(s);
+                }
+            }
+        }
+
+        // Rescore the ready instructions whose operands moved.
+        for &q in &flipped {
+            for &g in &ready_on[q.index() as usize] {
+                let b = score(g, &state, &gate_qubits);
+                if b != bucket_of[g] {
+                    buckets[bucket_of[g] as usize].remove(&g);
+                    bucket_of[g] = b;
+                    buckets[b as usize].insert(g);
+                }
             }
         }
     }
     debug_assert_eq!(order.len(), n, "optimized order must be complete");
     order
-}
-
-fn select_best(ready: &[usize], circuit: &Circuit, state: &CacheState) -> Option<usize> {
-    ready
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &i)| {
-            let gate = &circuit.gates()[i];
-            let cached = gate
-                .qubits()
-                .iter()
-                .filter(|&&q| state.is_cached(q))
-                .count() as i64;
-            // Prefer fully cached instructions, then most cached operands,
-            // then earliest program order (negated index for max_by_key).
-            let full = i64::from(cached == gate.arity() as i64);
-            (full, cached, -(i as i64))
-        })
-        .map(|(pos, _)| pos)
 }
 
 #[cfg(test)]

@@ -1,0 +1,297 @@
+//! The memoized evaluation context — one [`EvalCtx`] per experiment run
+//! (or shared across a whole grid of runs) caches the keyed sub-results
+//! the paper's tables are assembled from.
+//!
+//! The evaluation pipeline recomputes a handful of expensive pure
+//! sub-computations from scratch at every design point: the Draper-adder
+//! dependency DAG and its bounded-width schedule (keyed by `(bits,
+//! blocks)`), the unlimited-parallelism QLA makespan (keyed by `bits`),
+//! the cache-simulator steady state (keyed by `(bits, capacity)`), ECC
+//! metrics (keyed by `(tech, code, level)`), the Eq. 1 level-mixing
+//! budget, and floorplan area reductions. Neighboring grid points share
+//! most of these — the 24-point builtin sweep has only six distinct
+//! `(bits, blocks)` pairs — so a shared context turns a grid's cost from
+//! `points × full evaluation` into `distinct keys × computation`.
+//!
+//! Every value cached here is a pure function of its key, computed by
+//! exactly the same code path the unmemoized evaluation used, so results
+//! are byte-identical whether a context is shared, fresh, or absent.
+//! Technology presets are keyed by [`TechnologyParams::name`], which
+//! uniquely identifies a parameter set (the type has no other
+//! constructors).
+//!
+//! Hit/miss counters aggregate per context via [`EvalCtx::counters`] and
+//! process-wide via [`memo_counters`] (surfaced by `cqla serve` in
+//! `/v1/stats`).
+
+use cqla_circuit::{DependencyDag, Gate, ListScheduler, QubitId, Width};
+use cqla_ecc::fidelity::{AppSize, FidelityBudget};
+use cqla_ecc::memo::Memo;
+use cqla_ecc::{Code, EccMetrics, Level};
+use cqla_iontrap::{PhysicalOp, TechnologyParams};
+use cqla_units::Seconds;
+use cqla_workloads::{DraperAdder, ShorInstance};
+
+use crate::area::AreaModel;
+use crate::cache::{CacheSim, FetchPolicy};
+use crate::qla::QlaBaseline;
+
+/// Process-wide cumulative memo `(hits, misses)` across every context
+/// this process ever created. Re-exported from [`cqla_ecc::memo`] so the
+/// HTTP service can report them without a direct `cqla-ecc` dependency.
+#[must_use]
+pub fn memo_counters() -> (u64, u64) {
+    cqla_ecc::memo::global_counters()
+}
+
+/// Schedule-derived costs of one `(bits, blocks)` adder configuration:
+/// everything the studies extract from the dependency DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdderCosts {
+    /// Mean compute-block utilization of the online list schedule.
+    pub utilization: f64,
+    /// Perfectly packed makespan bound `max(critical path, work / B)` in
+    /// two-qubit-gate-step units.
+    pub ideal_makespan: u64,
+}
+
+/// Steady-state cache behavior of repeated `bits`-bit additions through a
+/// cache of a given capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheBehavior {
+    /// Steady-state hit rate.
+    pub hit_rate: f64,
+    /// Memory→cache fetches per addition once warm.
+    pub fetches_per_addition: u64,
+}
+
+/// The memoization context threaded through experiment evaluation.
+///
+/// `Sync`: every table is lock-protected, so one context can back all
+/// worker threads of a grid run (the sweep executor shares one per run).
+///
+/// # Examples
+///
+/// ```
+/// use cqla_core::{CqlaConfig, EvalCtx, SpecializationStudy};
+/// use cqla_ecc::Code;
+/// use cqla_iontrap::TechnologyParams;
+///
+/// let ctx = EvalCtx::new();
+/// let study = SpecializationStudy::new(&TechnologyParams::projected());
+/// let a = study.evaluate_ctx(CqlaConfig::new(Code::Steane713, 32, 9), &ctx);
+/// let b = study.evaluate_ctx(CqlaConfig::new(Code::BaconShor913, 32, 9), &ctx);
+/// // The second point reuses the (32, 9) schedule: hits accrue.
+/// let (hits, _misses) = ctx.counters();
+/// assert!(hits > 0);
+/// assert_eq!(a.utilization, b.utilization);
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalCtx {
+    ecc: Memo<(&'static str, Code, Level), EccMetrics>,
+    adder: Memo<(u32, u32), AdderCosts>,
+    qla_makespan: Memo<u32, u64>,
+    cache: Memo<(u32, usize), CacheBehavior>,
+    level1_share: Memo<(&'static str, Code, u32), f64>,
+    area: Memo<(&'static str, Code, u64, u32), f64>,
+}
+
+impl EvalCtx {
+    /// Creates an empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`EccMetrics::compute`].
+    #[must_use]
+    pub fn ecc_metrics(&self, code: Code, level: Level, tech: &TechnologyParams) -> EccMetrics {
+        self.ecc.get_or_compute((tech.name(), code, level), || {
+            EccMetrics::compute(code, level, tech)
+        })
+    }
+
+    /// Wall-clock duration of one logical gate step for `code` at `level`
+    /// (physical two-qubit gate plus error correction) — the repeated
+    /// `tech.duration(DoubleGate) + metrics.ec_time()` idiom, memoized
+    /// through [`EvalCtx::ecc_metrics`].
+    #[must_use]
+    pub fn gate_step_time(&self, code: Code, level: Level, tech: &TechnologyParams) -> Seconds {
+        tech.duration(PhysicalOp::DoubleGate) + self.ecc_metrics(code, level, tech).ec_time()
+    }
+
+    /// Memoized schedule costs of the `bits`-bit adder on `blocks` gate
+    /// slots: one DAG construction serves both the bounded-width list
+    /// schedule and the ideal-makespan bound.
+    #[must_use]
+    pub fn adder_costs(&self, bits: u32, blocks: u32) -> AdderCosts {
+        self.adder.get_or_compute((bits, blocks), || {
+            let adder = DraperAdder::new(bits);
+            let dag = DependencyDag::new(adder.circuit_ref());
+            let weight = Gate::two_qubit_gate_equivalents;
+            let schedule =
+                ListScheduler::new(&dag).schedule(Width::Blocks(blocks as usize), weight);
+            let cp = dag.critical_path(weight);
+            let work = dag.total_work(weight);
+            AdderCosts {
+                utilization: schedule.utilization(),
+                ideal_makespan: cp.max(work.div_ceil(u64::from(blocks))),
+            }
+        })
+    }
+
+    /// Memoized [`QlaBaseline::adder_makespan_units`] (technology
+    /// independent: the unlimited-width schedule of the adder DAG).
+    #[must_use]
+    pub fn qla_adder_makespan_units(&self, bits: u32) -> u64 {
+        self.qla_makespan.get_or_compute(bits, || {
+            let adder = DraperAdder::new(bits);
+            let dag = DependencyDag::new(adder.circuit_ref());
+            ListScheduler::new(&dag)
+                .schedule(Width::Unlimited, Gate::two_qubit_gate_equivalents)
+                .makespan()
+        })
+    }
+
+    /// [`QlaBaseline::adder_time`] assembled from memoized parts: the
+    /// technology-independent makespan times the tech-priced gate step.
+    #[must_use]
+    pub fn qla_adder_time(&self, tech: &TechnologyParams, bits: u32) -> Seconds {
+        self.gate_step_time(QlaBaseline::CODE, Level::TWO, tech)
+            * self.qla_adder_makespan_units(bits) as f64
+    }
+
+    /// Memoized steady-state cache behavior: one cold and one warm
+    /// [`CacheSim`] pass over the `bits`-bit adder trace.
+    #[must_use]
+    pub fn cache_behavior(&self, bits: u32, capacity: usize) -> CacheBehavior {
+        self.cache.get_or_compute((bits, capacity), || {
+            let adder = DraperAdder::new(bits);
+            let circuit = adder.circuit();
+            let inputs: Vec<QubitId> = adder
+                .a_register()
+                .chain(adder.b_register())
+                .map(QubitId::new)
+                .collect();
+            let sim = CacheSim::new(capacity);
+            let cold = sim.run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 1);
+            let warm = sim.run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 2);
+            CacheBehavior {
+                hit_rate: warm.hit_rate(),
+                fetches_per_addition: warm.fetch_misses() - cold.fetch_misses(),
+            }
+        })
+    }
+
+    /// Memoized Eq. 1 level-mixing budget: the maximum share of
+    /// operations a `bits`-bit Shor instance may run at level 1.
+    #[must_use]
+    pub fn level1_share(&self, code: Code, tech: &TechnologyParams, bits: u32) -> f64 {
+        self.level1_share
+            .get_or_compute((tech.name(), code, bits), || {
+                let budget = FidelityBudget::new(code, tech);
+                let shor = ShorInstance::new(bits.max(32));
+                let (k, q) = shor.app_size();
+                budget.max_level1_share(AppSize::new(k, q))
+            })
+    }
+
+    /// Memoized [`AreaModel::area_reduction`] (the flat-CQLA floorplan
+    /// ratio).
+    #[must_use]
+    pub fn area_reduction(
+        &self,
+        tech: &TechnologyParams,
+        code: Code,
+        memory_qubits: u64,
+        blocks: u32,
+    ) -> f64 {
+        self.area
+            .get_or_compute((tech.name(), code, memory_qubits, blocks), || {
+                AreaModel::new(tech).area_reduction(code, memory_qubits, blocks)
+            })
+    }
+
+    /// This context's cumulative `(hits, misses)` across all its tables.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        let tables: [(u64, u64); 6] = [
+            (self.ecc.hits(), self.ecc.misses()),
+            (self.adder.hits(), self.adder.misses()),
+            (self.qla_makespan.hits(), self.qla_makespan.misses()),
+            (self.cache.hits(), self.cache.misses()),
+            (self.level1_share.hits(), self.level1_share.misses()),
+            (self.area.hits(), self.area.misses()),
+        ];
+        tables
+            .iter()
+            .fold((0, 0), |(h, m), &(th, tm)| (h + th, m + tm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::projected()
+    }
+
+    #[test]
+    fn memoized_parts_match_the_direct_computations() {
+        let ctx = EvalCtx::new();
+        let t = tech();
+        assert_eq!(
+            ctx.ecc_metrics(Code::Steane713, Level::TWO, &t),
+            EccMetrics::compute(Code::Steane713, Level::TWO, &t)
+        );
+        let qla = QlaBaseline::new(&t);
+        assert_eq!(
+            ctx.qla_adder_makespan_units(64),
+            qla.adder_makespan_units(64)
+        );
+        assert_eq!(ctx.qla_adder_time(&t, 64), qla.adder_time(64));
+        assert_eq!(
+            ctx.area_reduction(&t, Code::BaconShor913, 6 * 64, 16),
+            AreaModel::new(&t).area_reduction(Code::BaconShor913, 6 * 64, 16)
+        );
+    }
+
+    #[test]
+    fn adder_costs_match_the_study() {
+        let ctx = EvalCtx::new();
+        let study = crate::SpecializationStudy::new(&tech());
+        let costs = ctx.adder_costs(64, 9);
+        assert_eq!(costs.ideal_makespan, study.ideal_makespan_units(64, 9));
+        assert_eq!(costs.utilization, study.schedule_adder(64, 9).utilization());
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let ctx = EvalCtx::new();
+        let t = tech();
+        for _ in 0..3 {
+            let _ = ctx.ecc_metrics(Code::Steane713, Level::ONE, &t);
+            let _ = ctx.adder_costs(32, 4);
+        }
+        let (hits, misses) = ctx.counters();
+        assert_eq!(misses, 2);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn tech_presets_do_not_collide() {
+        let ctx = EvalCtx::new();
+        let current = ctx.ecc_metrics(Code::Steane713, Level::TWO, &TechnologyParams::current());
+        let projected = ctx.ecc_metrics(Code::Steane713, Level::TWO, &tech());
+        assert_ne!(current.ec_time(), projected.ec_time());
+    }
+
+    #[test]
+    fn process_counters_are_visible() {
+        let ctx = EvalCtx::new();
+        let _ = ctx.qla_adder_makespan_units(32);
+        let (_, misses) = memo_counters();
+        assert!(misses > 0);
+    }
+}

@@ -8,9 +8,9 @@ use cqla_network::{BandwidthSample, SuperblockBandwidth};
 use cqla_workloads::DraperAdder;
 
 use crate::cache::{CacheSim, FetchPolicy};
+use crate::eval::EvalCtx;
 use crate::json::ToJson;
 use crate::report::{fmt3, TextTable};
-use crate::specialize::SpecializationStudy;
 
 use super::api::{
     parse_positive, parse_tech, unknown_key, Domain, Experiment, ExperimentOutput, Param,
@@ -163,12 +163,24 @@ pub const FIG6A_BLOCKS: [u32; 7] = [4, 16, 36, 64, 100, 144, 196];
 /// parallel experiment engine.
 #[must_use]
 pub fn fig6a_cell(tech: &TechnologyParams, adder_bits: u32, blocks: u32) -> Fig6aRow {
+    fig6a_cell_ctx(tech, adder_bits, blocks, &EvalCtx::new())
+}
+
+/// [`fig6a_cell`] reusing sub-results memoized in `ctx`: the utilization
+/// is schedule-derived and technology independent, so cells shared with
+/// Table 4 (or other grid points) come for free.
+#[must_use]
+pub fn fig6a_cell_ctx(
+    tech: &TechnologyParams,
+    adder_bits: u32,
+    blocks: u32,
+    ctx: &EvalCtx,
+) -> Fig6aRow {
+    let _ = tech; // kept for signature parity with the other per-cell fns
     Fig6aRow {
         adder_bits,
         blocks,
-        utilization: SpecializationStudy::new(tech)
-            .schedule_adder(adder_bits, blocks)
-            .utilization(),
+        utilization: ctx.adder_costs(adder_bits, blocks).utilization,
     }
 }
 
@@ -192,11 +204,17 @@ impl Fig6a {
     /// The full size×blocks grid, sizes outer.
     #[must_use]
     pub fn rows(&self) -> Vec<Fig6aRow> {
+        self.rows_ctx(&EvalCtx::new())
+    }
+
+    /// [`Fig6a::rows`] reusing sub-results memoized in `ctx`.
+    #[must_use]
+    pub fn rows_ctx(&self, ctx: &EvalCtx) -> Vec<Fig6aRow> {
         let tech = self.tech.params();
         let mut rows = Vec::new();
         for &bits in &FIG6A_SIZES {
             for &b in &FIG6A_BLOCKS {
-                rows.push(fig6a_cell(&tech, bits, b));
+                rows.push(fig6a_cell_ctx(&tech, bits, b, ctx));
             }
         }
         rows
@@ -243,7 +261,11 @@ impl Experiment for Fig6a {
     }
 
     fn run(&self) -> ExperimentOutput {
-        let rows = self.rows();
+        self.run_ctx(&EvalCtx::new())
+    }
+
+    fn run_ctx(&self, ctx: &EvalCtx) -> ExperimentOutput {
+        let rows = self.rows_ctx(ctx);
         ExperimentOutput::new(Self::render(&rows), rows.to_json())
     }
 }
@@ -393,21 +415,41 @@ pub const FIG7_FACTORS: [f64; 3] = [1.0, 1.5, 2.0];
 /// for the parallel experiment engine.
 #[must_use]
 pub fn fig7_cell(adder_bits: u32, cache_factor: f64, policy: FetchPolicy) -> Fig7Row {
-    let adder = DraperAdder::new(adder_bits);
-    let circuit = adder.circuit();
-    let inputs: Vec<QubitId> = adder
-        .a_register()
-        .chain(adder.b_register())
-        .map(QubitId::new)
-        .collect();
+    fig7_cell_ctx(adder_bits, cache_factor, policy, &EvalCtx::new())
+}
+
+/// [`fig7_cell`] reusing sub-results memoized in `ctx`. Only the
+/// optimized-lookahead cells go through the context (that is the policy
+/// the hierarchy study simulates, so those steady states are shared);
+/// in-order cells always simulate directly.
+#[must_use]
+pub fn fig7_cell_ctx(
+    adder_bits: u32,
+    cache_factor: f64,
+    policy: FetchPolicy,
+    ctx: &EvalCtx,
+) -> Fig7Row {
     let pe = 9 * primary_blocks(adder_bits) as usize;
-    let capacity = ((pe as f64) * cache_factor).round() as usize;
-    let run = CacheSim::new(capacity.max(1)).run(&circuit, policy, &inputs, 2);
+    let capacity = (((pe as f64) * cache_factor).round() as usize).max(1);
+    let hit_rate = if policy == FetchPolicy::OptimizedLookahead {
+        ctx.cache_behavior(adder_bits, capacity).hit_rate
+    } else {
+        let adder = DraperAdder::new(adder_bits);
+        let circuit = adder.circuit();
+        let inputs: Vec<QubitId> = adder
+            .a_register()
+            .chain(adder.b_register())
+            .map(QubitId::new)
+            .collect();
+        CacheSim::new(capacity)
+            .run(&circuit, policy, &inputs, 2)
+            .hit_rate()
+    };
     Fig7Row {
         adder_bits,
         cache_factor,
         policy,
-        hit_rate: run.hit_rate(),
+        hit_rate,
     }
 }
 
@@ -424,11 +466,17 @@ impl Fig7 {
     /// The full size×factor×policy grid.
     #[must_use]
     pub fn rows(&self) -> Vec<Fig7Row> {
+        self.rows_ctx(&EvalCtx::new())
+    }
+
+    /// [`Fig7::rows`] reusing sub-results memoized in `ctx`.
+    #[must_use]
+    pub fn rows_ctx(&self, ctx: &EvalCtx) -> Vec<Fig7Row> {
         let mut rows = Vec::new();
         for &bits in &FIG7_SIZES {
             for &factor in &FIG7_FACTORS {
                 for policy in [FetchPolicy::InOrder, FetchPolicy::OptimizedLookahead] {
-                    rows.push(fig7_cell(bits, factor, policy));
+                    rows.push(fig7_cell_ctx(bits, factor, policy, ctx));
                 }
             }
         }
@@ -481,7 +529,11 @@ impl Experiment for Fig7 {
     }
 
     fn run(&self) -> ExperimentOutput {
-        let rows = self.rows();
+        self.run_ctx(&EvalCtx::new())
+    }
+
+    fn run_ctx(&self, ctx: &EvalCtx) -> ExperimentOutput {
+        let rows = self.rows_ctx(ctx);
         ExperimentOutput::new(Self::render(&rows), rows.to_json())
     }
 }

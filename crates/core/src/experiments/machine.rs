@@ -3,6 +3,7 @@
 use cqla_ecc::Code;
 use cqla_iontrap::TechPoint;
 
+use crate::eval::EvalCtx;
 use crate::hierarchy::{HierarchyConfig, HierarchyStudy};
 use crate::json::{Json, ToJson};
 use crate::specialize::{CqlaConfig, SpecializationStudy};
@@ -82,14 +83,18 @@ impl Experiment for Machine {
     }
 
     fn run(&self) -> ExperimentOutput {
+        self.run_ctx(&EvalCtx::new())
+    }
+
+    fn run_ctx(&self, ctx: &EvalCtx) -> ExperimentOutput {
         use std::fmt::Write as _;
         let tech = self.tech.params();
         let study = SpecializationStudy::new(&tech);
-        let r = study.evaluate(CqlaConfig::new(self.code, self.bits, self.blocks));
+        let r = study.evaluate_ctx(CqlaConfig::new(self.code, self.bits, self.blocks), ctx);
         let mut hierarchy_config =
             HierarchyConfig::new(self.code, self.bits, self.xfer, self.blocks);
         hierarchy_config.cache_factor = self.cache;
-        let h = HierarchyStudy::new(&tech).evaluate(hierarchy_config);
+        let h = HierarchyStudy::new(&tech).evaluate_ctx(hierarchy_config, ctx);
         let mut out = String::new();
         let _ = writeln!(
             out,

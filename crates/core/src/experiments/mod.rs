@@ -34,13 +34,14 @@ pub use api::{
 pub use apps::{fig8a_row, fig8b_row, AppTimeRow, Fig8a, Fig8b, FIG8A_SIZES, FIG8B_SIZES};
 pub use cqla_iontrap::TechPoint;
 pub use figures::{
-    fig6a_cell, fig6b_series, fig7_cell, Fig2, Fig2Data, Fig6a, Fig6aRow, Fig6b, Fig6bData, Fig7,
-    Fig7Row, FIG6A_BLOCKS, FIG6A_SIZES, FIG6B_BLOCKS, FIG7_FACTORS, FIG7_SIZES,
+    fig6a_cell, fig6a_cell_ctx, fig6b_series, fig7_cell, fig7_cell_ctx, Fig2, Fig2Data, Fig6a,
+    Fig6aRow, Fig6b, Fig6bData, Fig7, Fig7Row, FIG6A_BLOCKS, FIG6A_SIZES, FIG6B_BLOCKS,
+    FIG7_FACTORS, FIG7_SIZES,
 };
 pub use grid::{is_set_clause, Grid};
 pub use machine::Machine;
 pub use tables::{
-    primary_blocks, table4_row, table5_row, Table1, Table2, Table3, Table3Data, Table4, Table4Row,
-    Table5, Table5Row, TABLE5_PAR_XFER, TABLE5_SIZES,
+    primary_blocks, table4_row, table4_row_ctx, table5_row, table5_row_ctx, Table1, Table2, Table3,
+    Table3Data, Table4, Table4Row, Table5, Table5Row, TABLE5_PAR_XFER, TABLE5_SIZES,
 };
 pub use verify::Verify;

@@ -4,6 +4,7 @@ use cqla_ecc::{table2_metrics, Code, EccMetrics, TransferNetwork};
 use cqla_iontrap::{TechPoint, TechnologyParams};
 use cqla_units::Seconds;
 
+use crate::eval::EvalCtx;
 use crate::hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy};
 use crate::json::{Json, ToJson};
 use crate::report::{fmt3, TextTable};
@@ -204,12 +205,25 @@ pub struct Table4Row {
 /// one job out per grid point and still match [`Table4`] bitwise.
 #[must_use]
 pub fn table4_row(tech: &TechnologyParams, input_bits: u32, blocks: u32) -> Table4Row {
+    table4_row_ctx(tech, input_bits, blocks, &EvalCtx::new())
+}
+
+/// [`table4_row`] reusing sub-results memoized in `ctx` (byte-identical;
+/// both codes of a cell share the adder schedule and QLA baseline).
+#[must_use]
+pub fn table4_row_ctx(
+    tech: &TechnologyParams,
+    input_bits: u32,
+    blocks: u32,
+    ctx: &EvalCtx,
+) -> Table4Row {
     let study = SpecializationStudy::new(tech);
     Table4Row {
         input_bits,
         blocks,
-        steane: study.evaluate(CqlaConfig::new(Code::Steane713, input_bits, blocks)),
-        bacon_shor: study.evaluate(CqlaConfig::new(Code::BaconShor913, input_bits, blocks)),
+        steane: study.evaluate_ctx(CqlaConfig::new(Code::Steane713, input_bits, blocks), ctx),
+        bacon_shor: study
+            .evaluate_ctx(CqlaConfig::new(Code::BaconShor913, input_bits, blocks), ctx),
     }
 }
 
@@ -232,11 +246,17 @@ impl Table4 {
     /// The paper's 12-row grid (six sizes × two block counts).
     #[must_use]
     pub fn rows(&self) -> Vec<Table4Row> {
+        self.rows_ctx(&EvalCtx::new())
+    }
+
+    /// [`Table4::rows`] reusing sub-results memoized in `ctx`.
+    #[must_use]
+    pub fn rows_ctx(&self, ctx: &EvalCtx) -> Vec<Table4Row> {
         let tech = self.tech.params();
         let mut rows = Vec::new();
         for (bits, blocks) in TABLE4_GRID {
             for b in blocks {
-                rows.push(table4_row(&tech, bits, b));
+                rows.push(table4_row_ctx(&tech, bits, b, ctx));
             }
         }
         rows
@@ -293,7 +313,11 @@ impl Experiment for Table4 {
     }
 
     fn run(&self) -> ExperimentOutput {
-        let rows = self.rows();
+        self.run_ctx(&EvalCtx::new())
+    }
+
+    fn run_ctx(&self, ctx: &EvalCtx) -> ExperimentOutput {
+        let rows = self.rows_ctx(ctx);
         ExperimentOutput::new(Self::render(&rows), rows.to_json())
     }
 }
@@ -340,12 +364,26 @@ pub fn table5_row(
     par_xfer: u32,
     input_bits: u32,
 ) -> Table5Row {
+    table5_row_ctx(tech, code, par_xfer, input_bits, &EvalCtx::new())
+}
+
+/// [`table5_row`] reusing sub-results memoized in `ctx` (byte-identical;
+/// the cache simulation and level-1 share are shared across par-xfer
+/// budgets at the same size).
+#[must_use]
+pub fn table5_row_ctx(
+    tech: &TechnologyParams,
+    code: Code,
+    par_xfer: u32,
+    input_bits: u32,
+    ctx: &EvalCtx,
+) -> Table5Row {
     let config = HierarchyConfig::new(code, input_bits, par_xfer, primary_blocks(input_bits));
     Table5Row {
         par_xfer,
         input_bits,
         code,
-        result: HierarchyStudy::new(tech).evaluate(config),
+        result: HierarchyStudy::new(tech).evaluate_ctx(config, ctx),
     }
 }
 
@@ -369,12 +407,18 @@ impl Table5 {
     /// The 12-row cube in the paper's order.
     #[must_use]
     pub fn rows(&self) -> Vec<Table5Row> {
+        self.rows_ctx(&EvalCtx::new())
+    }
+
+    /// [`Table5::rows`] reusing sub-results memoized in `ctx`.
+    #[must_use]
+    pub fn rows_ctx(&self, ctx: &EvalCtx) -> Vec<Table5Row> {
         let tech = self.tech.params();
         let mut rows = Vec::new();
         for code in Code::ALL {
             for par_xfer in TABLE5_PAR_XFER {
                 for bits in TABLE5_SIZES {
-                    rows.push(table5_row(&tech, code, par_xfer, bits));
+                    rows.push(table5_row_ctx(&tech, code, par_xfer, bits, ctx));
                 }
             }
         }
@@ -438,7 +482,11 @@ impl Experiment for Table5 {
     }
 
     fn run(&self) -> ExperimentOutput {
-        let rows = self.rows();
+        self.run_ctx(&EvalCtx::new())
+    }
+
+    fn run_ctx(&self, ctx: &EvalCtx) -> ExperimentOutput {
+        let rows = self.rows_ctx(ctx);
         ExperimentOutput::new(Self::render(&rows), rows.to_json())
     }
 }

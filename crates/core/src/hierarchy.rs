@@ -20,18 +20,13 @@
 //!   error budget allows,
 //! * [`MixPolicy::Balanced`] — both regions saturated (optimistic bound).
 
-use cqla_circuit::QubitId;
-use cqla_ecc::fidelity::{AppSize, FidelityBudget};
-use cqla_ecc::{Code, CodeLevel, EccMetrics, Level, TransferNetwork};
-use cqla_iontrap::{PhysicalOp, TechnologyParams};
+use cqla_ecc::{Code, CodeLevel, Level, TransferNetwork};
+use cqla_iontrap::TechnologyParams;
 use cqla_sim::{ChannelPool, SimTime};
 use cqla_units::Seconds;
-use cqla_workloads::{DraperAdder, ShorInstance};
 
 use crate::area::{AreaModel, BLOCK_ANCILLA_QUBITS, BLOCK_DATA_QUBITS, CQLA_CHANNEL_FACTOR};
-use crate::cache::{CacheSim, FetchPolicy};
-use crate::qla::QlaBaseline;
-use crate::specialize::SpecializationStudy;
+use crate::eval::EvalCtx;
 
 /// How additions are split between the level-1 and level-2 compute
 /// regions.
@@ -202,29 +197,25 @@ impl HierarchyStudy {
     /// Evaluates a design point.
     #[must_use]
     pub fn evaluate(&self, config: HierarchyConfig) -> HierarchyResult {
+        self.evaluate_ctx(config, &EvalCtx::new())
+    }
+
+    /// Evaluates a design point, reusing sub-results memoized in `ctx`
+    /// (byte-identical to [`HierarchyStudy::evaluate`] — every cached
+    /// entry is a pure function of its key).
+    #[must_use]
+    pub fn evaluate_ctx(&self, config: HierarchyConfig, ctx: &EvalCtx) -> HierarchyResult {
         let code = config.code;
         let n = config.input_bits;
-        let spec = SpecializationStudy::new(&self.tech);
-        let qla = QlaBaseline::new(&self.tech);
 
         // --- Cache behaviour in steady state (repeated additions). ---
-        let adder = DraperAdder::new(n);
-        let circuit = adder.circuit();
-        let inputs: Vec<QubitId> = adder
-            .a_register()
-            .chain(adder.b_register())
-            .map(QubitId::new)
-            .collect();
-        let sim = CacheSim::new(config.cache_capacity());
-        let cold = sim.run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 1);
-        let warm = sim.run(&circuit, FetchPolicy::OptimizedLookahead, &inputs, 2);
-        let fetches_per_addition = warm.fetch_misses() - cold.fetch_misses();
-        let cache_hit_rate = warm.hit_rate();
+        let behavior = ctx.cache_behavior(n, config.cache_capacity());
+        let fetches_per_addition = behavior.fetches_per_addition;
+        let cache_hit_rate = behavior.hit_rate;
 
         // --- Level-1 adder time: compute vs transfer pipeline. ---
-        let makespan = spec.ideal_makespan_units(n, config.blocks);
-        let gate_l1 = self.tech.duration(PhysicalOp::DoubleGate)
-            + EccMetrics::compute(code, Level::ONE, &self.tech).ec_time();
+        let makespan = ctx.adder_costs(n, config.blocks).ideal_makespan;
+        let gate_l1 = ctx.gate_step_time(code, Level::ONE, &self.tech);
         let l1_compute_time = gate_l1 * makespan as f64;
 
         let transfers = TransferNetwork::new(&self.tech);
@@ -245,9 +236,9 @@ impl HierarchyStudy {
         let l1_adder_time = l1_compute_time.max(l1_transfer_time) + down;
 
         // --- Level-2 region and QLA reference. ---
-        let gate_l2 = spec.gate_step_time(code);
+        let gate_l2 = ctx.gate_step_time(code, Level::TWO, &self.tech);
         let l2_adder_time = gate_l2 * makespan as f64;
-        let qla_time = qla.adder_time(n);
+        let qla_time = ctx.qla_adder_time(&self.tech, n);
 
         let l1_speedup = l2_adder_time / l1_adder_time;
         let l2_speedup = qla_time / l2_adder_time;
@@ -257,10 +248,7 @@ impl HierarchyStudy {
         let adder_speedup_interleave =
             interleave_speedup(1, 2, qla_time, l1_adder_time, l2_adder_time);
         let adder_speedup_balanced = s1_vs_qla + l2_speedup;
-        let budget = FidelityBudget::new(code, &self.tech);
-        let shor = ShorInstance::new(n.max(32));
-        let (k, q) = shor.app_size();
-        let share = budget.max_level1_share(AppSize::new(k, q));
+        let share = ctx.level1_share(code, &self.tech, n);
         // Level-1 ops occupy `share` of the op budget; the level-2 stream
         // runs throughout. Throughput gain = S2 / (1 - alpha) with alpha
         // capped both by the budget and by the L1 region's own capacity.
@@ -275,7 +263,7 @@ impl HierarchyStudy {
         // --- Area, including the hierarchy's level-1 structures. ---
         let area = AreaModel::new(&self.tech);
         let memory_qubits = cqla_workloads::ModExp::new(n).working_qubits();
-        let l1_tile = EccMetrics::compute(code, Level::ONE, &self.tech).tile_area();
+        let l1_tile = ctx.ecc_metrics(code, Level::ONE, &self.tech).tile_area();
         let l1_block_area =
             l1_tile * (BLOCK_DATA_QUBITS + BLOCK_ANCILLA_QUBITS) as f64 * CQLA_CHANNEL_FACTOR;
         let cqla_area = area.cqla_area(code, memory_qubits, config.blocks)
@@ -313,6 +301,7 @@ fn interleave_speedup(l1: u32, l2: u32, qla: Seconds, t_l1: Seconds, t_l2: Secon
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::specialize::SpecializationStudy;
 
     fn study() -> HierarchyStudy {
         HierarchyStudy::new(&TechnologyParams::projected())

@@ -42,6 +42,7 @@
 mod area;
 mod cache;
 mod convert;
+mod eval;
 pub mod experiments;
 mod hierarchy;
 pub mod json;
@@ -55,6 +56,7 @@ pub use area::{
     MEMORY_DATA_PER_ANCILLA, QLA_CHANNEL_FACTOR,
 };
 pub use cache::{CacheRun, CacheSim, CacheTrace, FetchPolicy, TraceStep};
+pub use eval::{memo_counters, AdderCosts, CacheBehavior, EvalCtx};
 pub use hierarchy::{HierarchyConfig, HierarchyResult, HierarchyStudy, MixPolicy};
 pub use json::{Json, ToJson};
 pub use pipeline::{PipelineConfig, PipelineReport, PipelineSim};

@@ -13,8 +13,7 @@ use cqla_iontrap::TechnologyParams;
 use cqla_units::Seconds;
 use cqla_workloads::{DraperAdder, ModExp};
 
-use crate::area::AreaModel;
-use crate::qla::QlaBaseline;
+use crate::eval::EvalCtx;
 
 /// A CQLA design point: code, input size, and compute provisioning.
 ///
@@ -164,14 +163,21 @@ impl SpecializationStudy {
     /// Evaluates one design point against the QLA baseline.
     #[must_use]
     pub fn evaluate(&self, config: CqlaConfig) -> SpecializationResult {
-        let qla = QlaBaseline::new(&self.tech);
-        let schedule = self.schedule_adder(config.input_bits, config.compute_blocks);
-        let step = self.gate_step_time(config.code);
-        let makespan = self.ideal_makespan_units(config.input_bits, config.compute_blocks);
-        let adder_time = step * makespan as f64;
-        let qla_time = qla.adder_time(config.input_bits);
+        self.evaluate_ctx(config, &EvalCtx::new())
+    }
+
+    /// Evaluates one design point, reusing sub-results memoized in `ctx`
+    /// (byte-identical to [`SpecializationStudy::evaluate`] — every
+    /// cached entry is a pure function of its key).
+    #[must_use]
+    pub fn evaluate_ctx(&self, config: CqlaConfig, ctx: &EvalCtx) -> SpecializationResult {
+        let costs = ctx.adder_costs(config.input_bits, config.compute_blocks);
+        let step = ctx.gate_step_time(config.code, Level::TWO, &self.tech);
+        let adder_time = step * costs.ideal_makespan as f64;
+        let qla_time = ctx.qla_adder_time(&self.tech, config.input_bits);
         let speedup = qla_time / adder_time;
-        let area_reduction = AreaModel::new(&self.tech).area_reduction(
+        let area_reduction = ctx.area_reduction(
+            &self.tech,
             config.code,
             config.memory_qubits(),
             config.compute_blocks,
@@ -180,7 +186,7 @@ impl SpecializationStudy {
             config,
             area_reduction,
             speedup,
-            utilization: schedule.utilization(),
+            utilization: costs.utilization,
             adder_time,
             gain_product: area_reduction * speedup,
         }

@@ -34,6 +34,7 @@
 mod ancilla;
 mod code;
 pub mod fidelity;
+pub mod memo;
 mod metrics;
 pub mod schedule;
 mod transfer;

@@ -1,0 +1,184 @@
+//! Keyed memoization for shared evaluation sub-results.
+//!
+//! [`Memo`] is the lock-protected table behind `cqla_core`'s `EvalCtx`:
+//! each instance caches one family of pure sub-computations (ECC metrics
+//! per `(tech, code, level)`, adder schedules per `(bits, blocks)`, …) so
+//! an experiment — or a whole grid of experiments sharing one context —
+//! computes each entry once.
+//!
+//! Entries must be pure functions of their key: the lock is *not* held
+//! while computing, so two threads racing on the same key may both run
+//! the computation (the sweep `PointCache` discipline — never serialize
+//! points on each other's work), and whichever insert lands first wins.
+//! That is only sound, and only byte-identical to the unmemoized code,
+//! when every computation for a key returns the same value.
+//!
+//! Every hit and miss also bumps a pair of process-wide counters
+//! ([`global_counters`]) so long-running services can report cumulative
+//! memoization effectiveness across all contexts they ever created.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cumulative `(hits, misses)` across every [`Memo`] ever
+/// used in this process — the counters `cqla serve` reports in
+/// `/v1/stats`.
+#[must_use]
+pub fn global_counters() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// A concurrent memo table for one family of keyed pure computations.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_ecc::memo::Memo;
+///
+/// let memo: Memo<u32, u64> = Memo::new();
+/// assert_eq!(memo.get_or_compute(6, || 720), 720);
+/// assert_eq!(memo.get_or_compute(6, || unreachable!("memoized")), 720);
+/// assert_eq!((memo.hits(), memo.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct Memo<K, V> {
+    table: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Self {
+            table: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized value for `key`, running `compute` on a miss.
+    ///
+    /// The lock is released while `compute` runs; on a racing insert the
+    /// first value stored wins (identical by the purity contract).
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.table.lock().expect("memo table lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        let v = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.table
+            .lock()
+            .expect("memo table lock")
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+
+    /// Lookups answered from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the computation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.lock().expect("memo table lock").len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_without_recomputing() {
+        let memo: Memo<(u32, u32), f64> = Memo::new();
+        let mut runs = 0;
+        for _ in 0..3 {
+            let v = memo.get_or_compute((2, 3), || {
+                runs += 1;
+                6.0
+            });
+            assert_eq!(v, 6.0);
+        }
+        assert_eq!(runs, 1);
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let memo: Memo<u32, u32> = Memo::new();
+        assert_eq!(memo.get_or_compute(1, || 10), 10);
+        assert_eq!(memo.get_or_compute(2, || 20), 20);
+        assert_eq!(memo.len(), 2);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn global_counters_accumulate() {
+        let (h0, m0) = global_counters();
+        let memo: Memo<u8, u8> = Memo::new();
+        let _ = memo.get_or_compute(1, || 1);
+        let _ = memo.get_or_compute(1, || 1);
+        let (h1, m1) = global_counters();
+        // Other tests run concurrently, so only lower-bound the deltas.
+        assert!(h1 > h0);
+        assert!(m1 > m0);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let memo: Memo<u32, u64> = Memo::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..32u32 {
+                        assert_eq!(
+                            memo.get_or_compute(k, || u64::from(k) * 3),
+                            u64::from(k) * 3
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 32);
+    }
+}

@@ -786,11 +786,12 @@ fn health_json(shared: &Shared, pool_threads: usize) -> Json {
     ])
 }
 
-/// The observability document: request, cache, coalescing, and
-/// job/stream counters.
+/// The observability document: request, cache, coalescing,
+/// job/stream, and evaluation-memo counters.
 fn stats_json(shared: &Shared) -> Json {
     let entries = shared.cache.lock().expect("cache lock").len();
     let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
+    let (memo_hits, memo_misses) = cqla_core::memo_counters();
     Json::obj([
         ("requests", load(&shared.requests)),
         ("cache_hits", load(&shared.cache_hits)),
@@ -800,6 +801,8 @@ fn stats_json(shared: &Shared) -> Json {
         ("cache_entries", Json::Int(entries as i64)),
         ("jobs_active", load(&shared.jobs_active)),
         ("streams_open", load(&shared.streams_open)),
+        ("memo_hits", Json::Int(memo_hits as i64)),
+        ("memo_misses", Json::Int(memo_misses as i64)),
     ])
 }
 

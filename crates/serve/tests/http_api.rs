@@ -619,3 +619,24 @@ fn shutdown_drains_inflight_requests_and_streams() {
         .expect("server thread exits")
         .expect("clean shutdown with a drained stream");
 }
+
+#[test]
+fn stats_reports_evaluation_memo_counters() {
+    let live = Live::start(2);
+    let (_, before) = get(live.addr, "/v1/stats");
+    let before = json::parse(&before).unwrap();
+    // The fields are always present (zero on a fresh process, but other
+    // tests in this binary may already have computed).
+    let misses_before = before.get("memo_misses").unwrap().as_f64().unwrap();
+    let hits_before = before.get("memo_hits").unwrap().as_f64().unwrap();
+    // A table4 run shares schedules, ECC metrics, and the QLA baseline
+    // across its 24 evaluations, so it must both compute and reuse.
+    let (status, _) = get(live.addr, "/v1/run/table4?tech=current");
+    assert_eq!(status, 200);
+    let (_, after) = get(live.addr, "/v1/stats");
+    let after = json::parse(&after).unwrap();
+    let misses_after = after.get("memo_misses").unwrap().as_f64().unwrap();
+    let hits_after = after.get("memo_hits").unwrap().as_f64().unwrap();
+    assert!(misses_after > misses_before, "{after:?}");
+    assert!(hits_after > hits_before, "{after:?}");
+}

@@ -51,7 +51,7 @@ impl LookupDecoder {
         let target = 1usize << code.num_generators();
         for weight in 1..=n {
             let before = table.len();
-            for error in enumerate_errors(n, weight) {
+            for error in errors_of_weight(n, weight) {
                 let syndrome = code.syndrome(&error);
                 table.entry(syndrome).or_insert(error);
             }
@@ -95,41 +95,82 @@ impl LookupDecoder {
 
 /// Enumerates all `n`-qubit Pauli strings of exactly the given weight.
 ///
-/// The count is `C(n, weight) · 3^weight`; this is intended for the small
-/// block sizes of concatenated-code components (n ≤ ~10).
+/// The count is `C(n, weight) · 3^weight`. Collects [`errors_of_weight`];
+/// prefer the iterator form when the strings are consumed one at a time
+/// (table construction allocates nothing per weight class that way).
 #[must_use]
 pub fn enumerate_errors(n: usize, weight: usize) -> Vec<PauliString> {
-    let mut out = Vec::new();
-    let mut support = Vec::with_capacity(weight);
-    fn rec(
-        n: usize,
-        weight: usize,
-        start: usize,
-        support: &mut Vec<usize>,
-        out: &mut Vec<PauliString>,
-    ) {
-        if support.len() == weight {
-            // Assign each supported qubit one of X, Y, Z.
-            let k = support.len();
-            for mask in 0..3usize.pow(k as u32) {
-                let mut m = mask;
-                let mut p = PauliString::identity(n);
-                for &q in support.iter() {
-                    p.set(q, PauliOp::ERRORS[m % 3]);
-                    m /= 3;
-                }
-                out.push(p);
-            }
-            return;
+    errors_of_weight(n, weight).collect()
+}
+
+/// Lazily enumerates all `n`-qubit Pauli strings of exactly the given
+/// weight, one at a time.
+///
+/// The order is pinned: qubit supports advance lexicographically, and
+/// within a support the X/Y/Z assignment counts through base-3 masks with
+/// the lowest-indexed qubit in the least-significant digit. Table builders
+/// rely on this order — the first string producing a syndrome becomes its
+/// stored correction.
+#[must_use]
+pub fn errors_of_weight(n: usize, weight: usize) -> ErrorsOfWeight {
+    ErrorsOfWeight {
+        n,
+        support: (0..weight).collect(),
+        mask: 0,
+        mask_limit: 3usize.pow(weight as u32),
+        done: weight > n,
+    }
+}
+
+/// Iterator returned by [`errors_of_weight`].
+#[derive(Debug, Clone)]
+pub struct ErrorsOfWeight {
+    n: usize,
+    support: Vec<usize>,
+    mask: usize,
+    mask_limit: usize,
+    done: bool,
+}
+
+impl Iterator for ErrorsOfWeight {
+    type Item = PauliString;
+
+    fn next(&mut self) -> Option<PauliString> {
+        if self.done {
+            return None;
         }
-        for q in start..n {
-            support.push(q);
-            rec(n, weight, q + 1, support, out);
-            support.pop();
+        // Assign each supported qubit one of X, Y, Z from the base-3 mask.
+        let mut p = PauliString::identity(self.n);
+        let mut m = self.mask;
+        for &q in &self.support {
+            p.set(q, PauliOp::ERRORS[m % 3]);
+            m /= 3;
+        }
+        self.mask += 1;
+        if self.mask == self.mask_limit {
+            self.mask = 0;
+            self.done = !advance_support(&mut self.support, self.n);
+        }
+        Some(p)
+    }
+}
+
+/// Advances a sorted qubit combination to its lexicographic successor;
+/// returns `false` when the last combination has been consumed.
+fn advance_support(support: &mut [usize], n: usize) -> bool {
+    let k = support.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if support[i] < n - k + i {
+            support[i] += 1;
+            for j in i + 1..k {
+                support[j] = support[j - 1] + 1;
+            }
+            return true;
         }
     }
-    rec(n, weight, 0, &mut support, &mut out);
-    out
+    false
 }
 
 #[cfg(test)]
@@ -142,6 +183,52 @@ mod tests {
         assert_eq!(enumerate_errors(7, 1).len(), 21);
         assert_eq!(enumerate_errors(7, 2).len(), 21 * 9); // C(7,2)*9
         assert_eq!(enumerate_errors(4, 4).len(), 81);
+        assert_eq!(enumerate_errors(3, 4).len(), 0); // weight > n
+    }
+
+    #[test]
+    fn lazy_enumeration_preserves_the_recursive_order() {
+        // The pre-iterator recursive enumeration, kept as the order oracle:
+        // the decoder table stores the FIRST string per syndrome, so the
+        // iterator must reproduce this order exactly.
+        fn recursive(n: usize, weight: usize) -> Vec<PauliString> {
+            let mut out = Vec::new();
+            let mut support = Vec::with_capacity(weight);
+            fn rec(
+                n: usize,
+                weight: usize,
+                start: usize,
+                support: &mut Vec<usize>,
+                out: &mut Vec<PauliString>,
+            ) {
+                if support.len() == weight {
+                    let k = support.len();
+                    for mask in 0..3usize.pow(k as u32) {
+                        let mut m = mask;
+                        let mut p = PauliString::identity(n);
+                        for &q in support.iter() {
+                            p.set(q, PauliOp::ERRORS[m % 3]);
+                            m /= 3;
+                        }
+                        out.push(p);
+                    }
+                    return;
+                }
+                for q in start..n {
+                    support.push(q);
+                    rec(n, weight, q + 1, support, out);
+                    support.pop();
+                }
+            }
+            rec(n, weight, 0, &mut support, &mut out);
+            out
+        }
+        for n in 1..=7 {
+            for weight in 0..=n {
+                let lazy: Vec<_> = errors_of_weight(n, weight).collect();
+                assert_eq!(lazy, recursive(n, weight), "n={n} weight={weight}");
+            }
+        }
     }
 
     #[test]

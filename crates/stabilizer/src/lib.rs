@@ -36,14 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod code;
 mod decoder;
 pub mod montecarlo;
 pub mod noisy;
 mod pauli;
+pub mod reference;
 mod tableau;
 
 pub use code::{CssCode, Syndrome};
-pub use decoder::LookupDecoder;
+pub use decoder::{enumerate_errors, errors_of_weight, ErrorsOfWeight, LookupDecoder};
 pub use pauli::{PauliOp, PauliString};
 pub use tableau::{MeasureOutcome, Tableau};

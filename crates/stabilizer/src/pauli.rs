@@ -1,4 +1,11 @@
 //! Pauli-group algebra with phase tracking.
+//!
+//! Pauli strings are stored bit-packed: the X and Z symplectic components
+//! live in `u64` words (see [`crate::bits`]), so products, commutation
+//! checks, and weight counts run word-parallel with XORs and popcounts
+//! instead of per-qubit boolean loops.
+
+use crate::bits;
 
 /// A single-qubit Pauli operator.
 ///
@@ -75,10 +82,11 @@ impl core::fmt::Display for PauliOp {
 
 /// An n-qubit Pauli operator with a global phase `i^k`, `k ∈ {0,1,2,3}`.
 ///
-/// Stored in the symplectic representation: two bit vectors (X and Z parts)
-/// plus the phase exponent. Products of *Hermitian* Paulis built by this
-/// crate always stay at real phases (`k` even), which the stabilizer
-/// formalism relies on.
+/// Stored in the symplectic representation: two bit-packed vectors (X and
+/// Z parts, 64 qubits per word) plus the phase exponent. Products and
+/// commutation checks are word-parallel. Products of *Hermitian* Paulis
+/// built by this crate always stay at real phases (`k` even), which the
+/// stabilizer formalism relies on.
 ///
 /// # Examples
 ///
@@ -96,8 +104,11 @@ impl core::fmt::Display for PauliOp {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PauliString {
-    xs: Vec<bool>,
-    zs: Vec<bool>,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
+    /// Qubit count (the packed vectors hold `len.div_ceil(64)` words with
+    /// zeroed tail bits).
+    len: usize,
     /// Phase exponent k in i^k.
     phase: u8,
 }
@@ -106,11 +117,31 @@ impl PauliString {
     /// The n-qubit identity.
     #[must_use]
     pub fn identity(num_qubits: usize) -> Self {
+        let words = bits::words_for(num_qubits);
         Self {
-            xs: vec![false; num_qubits],
-            zs: vec![false; num_qubits],
+            xs: vec![0; words],
+            zs: vec![0; words],
+            len: num_qubits,
             phase: 0,
         }
+    }
+
+    /// Assembles a string from pre-packed component words (crate-internal;
+    /// callers guarantee the canonical zeroed-tail invariant).
+    pub(crate) fn from_words(xs: Vec<u64>, zs: Vec<u64>, len: usize, phase: u8) -> Self {
+        debug_assert_eq!(xs.len(), bits::words_for(len));
+        debug_assert_eq!(zs.len(), bits::words_for(len));
+        Self { xs, zs, len, phase }
+    }
+
+    /// Packed X-component words.
+    pub(crate) fn x_words(&self) -> &[u64] {
+        &self.xs
+    }
+
+    /// Packed Z-component words.
+    pub(crate) fn z_words(&self) -> &[u64] {
+        &self.zs
     }
 
     /// A single-qubit Pauli embedded in `num_qubits` qubits.
@@ -186,7 +217,7 @@ impl PauliString {
     /// Number of qubits the string acts on.
     #[must_use]
     pub fn num_qubits(&self) -> usize {
-        self.xs.len()
+        self.len
     }
 
     /// The single-qubit operator on `qubit`.
@@ -196,7 +227,8 @@ impl PauliString {
     /// Panics if `qubit` is out of range.
     #[must_use]
     pub fn op(&self, qubit: usize) -> PauliOp {
-        PauliOp::from_bits(self.xs[qubit], self.zs[qubit])
+        assert!(qubit < self.len, "qubit {qubit} out of range {}", self.len);
+        PauliOp::from_bits(bits::get(&self.xs, qubit), bits::get(&self.zs, qubit))
     }
 
     /// Sets the single-qubit operator on `qubit`.
@@ -205,21 +237,32 @@ impl PauliString {
     ///
     /// Panics if `qubit` is out of range.
     pub fn set(&mut self, qubit: usize, op: PauliOp) {
+        assert!(qubit < self.len, "qubit {qubit} out of range {}", self.len);
         let (x, z) = op.bits();
-        self.xs[qubit] = x;
-        self.zs[qubit] = z;
+        bits::set(&mut self.xs, qubit, x);
+        bits::set(&mut self.zs, qubit, z);
     }
 
     /// X-part bit of `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
     #[must_use]
     pub fn x_bit(&self, qubit: usize) -> bool {
-        self.xs[qubit]
+        assert!(qubit < self.len, "qubit {qubit} out of range {}", self.len);
+        bits::get(&self.xs, qubit)
     }
 
     /// Z-part bit of `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
     #[must_use]
     pub fn z_bit(&self, qubit: usize) -> bool {
-        self.zs[qubit]
+        assert!(qubit < self.len, "qubit {qubit} out of range {}", self.len);
+        bits::get(&self.zs, qubit)
     }
 
     /// Phase exponent `k` of the global phase `i^k`.
@@ -248,16 +291,23 @@ impl PauliString {
         self.xs
             .iter()
             .zip(&self.zs)
-            .filter(|&(&x, &z)| x || z)
-            .count()
+            .map(|(&x, &z)| (x | z).count_ones() as usize)
+            .sum()
     }
 
     /// Indices of qubits acted on non-trivially.
     #[must_use]
     pub fn support(&self) -> Vec<usize> {
-        (0..self.num_qubits())
-            .filter(|&q| self.xs[q] || self.zs[q])
-            .collect()
+        let mut out = Vec::new();
+        for (w, (&x, &z)) in self.xs.iter().zip(&self.zs).enumerate() {
+            let mut active = x | z;
+            while active != 0 {
+                let bit = active.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                active &= active - 1;
+            }
+        }
+        out
     }
 
     /// Whether this string anticommutes with `other`.
@@ -272,11 +322,7 @@ impl PauliString {
             other.num_qubits(),
             "Pauli strings must act on the same register"
         );
-        let mut parity = false;
-        for q in 0..self.num_qubits() {
-            parity ^= (self.xs[q] & other.zs[q]) ^ (self.zs[q] & other.xs[q]);
-        }
-        parity
+        bits::symplectic_parity(&self.xs, &self.zs, &other.xs, &other.zs)
     }
 
     /// The product `self · other`, with exact phase tracking.
@@ -291,17 +337,23 @@ impl PauliString {
             other.num_qubits(),
             "Pauli strings must act on the same register"
         );
-        let n = self.num_qubits();
-        let mut out = Self::identity(n);
         // Phase exponent accumulates i-powers from single-qubit products.
-        let mut k = i16::from(self.phase) + i16::from(other.phase);
-        for q in 0..n {
-            k += single_product_phase(self.xs[q], self.zs[q], other.xs[q], other.zs[q]);
-            out.xs[q] = self.xs[q] ^ other.xs[q];
-            out.zs[q] = self.zs[q] ^ other.zs[q];
-        }
-        out.phase = k.rem_euclid(4) as u8;
-        out
+        let k = i32::from(self.phase)
+            + i32::from(other.phase)
+            + bits::product_phase_sum(&self.xs, &self.zs, &other.xs, &other.zs);
+        let xs = self
+            .xs
+            .iter()
+            .zip(&other.xs)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        let zs = self
+            .zs
+            .iter()
+            .zip(&other.zs)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        Self::from_words(xs, zs, self.len, k.rem_euclid(4) as u8)
     }
 
     /// Restricts the string to the first `n` qubits (used when an encoded
@@ -315,11 +367,12 @@ impl PauliString {
         for q in n..self.num_qubits() {
             assert_eq!(self.op(q), PauliOp::I, "support outside truncation window");
         }
-        Self {
-            xs: self.xs[..n].to_vec(),
-            zs: self.zs[..n].to_vec(),
-            phase: self.phase,
+        let mut p = Self::identity(n);
+        for q in 0..n {
+            p.set(q, self.op(q));
         }
+        p.phase = self.phase;
+        p
     }
 
     /// Embeds the string into a larger register at a qubit offset.
@@ -339,22 +392,6 @@ impl PauliString {
         }
         p.phase = self.phase;
         p
-    }
-}
-
-/// Phase contribution (as an i-exponent in `{-1, 0, 1}`) of the single-qubit
-/// product `P1 · P2` where `P1 = (x1, z1)`, `P2 = (x2, z2)`.
-///
-/// This is the `g` function from Aaronson & Gottesman, "Improved simulation
-/// of stabilizer circuits" (2004).
-fn single_product_phase(x1: bool, z1: bool, x2: bool, z2: bool) -> i16 {
-    let (x1, z1, x2, z2) = (i16::from(x1), i16::from(z1), i16::from(x2), i16::from(z2));
-    match (x1, z1) {
-        (0, 0) => 0,
-        (1, 1) => z2 - x2,
-        (1, 0) => z2 * (2 * x2 - 1),
-        (0, 1) => x2 * (1 - 2 * z2),
-        _ => unreachable!(),
     }
 }
 
@@ -480,5 +517,23 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn operations_cross_the_word_boundary() {
+        // A 70-qubit register spans two words; exercise both sides.
+        let mut a = PauliString::identity(70);
+        a.set(0, PauliOp::X);
+        a.set(63, PauliOp::Y);
+        a.set(69, PauliOp::Z);
+        assert_eq!(a.weight(), 3);
+        assert_eq!(a.support(), vec![0, 63, 69]);
+        let b = PauliString::single(70, 69, PauliOp::X);
+        assert!(a.anticommutes_with(&b), "Z vs X on qubit 69");
+        let prod = a.mul(&a);
+        assert!(prod.is_identity(), "P^2 = I across words");
+        let e = PauliString::parse("XZ").unwrap().embedded(70, 63);
+        assert_eq!(e.op(63), PauliOp::X);
+        assert_eq!(e.op(64), PauliOp::Z);
     }
 }

@@ -1,0 +1,452 @@
+//! The retained `Vec<bool>` reference implementation of the Pauli and
+//! tableau algebra.
+//!
+//! This is the pre-bit-packing implementation, kept verbatim as an
+//! executable specification: the equivalence suite
+//! (`crates/stabilizer/tests/equivalence.rs`) and the `tableau_packed`
+//! benchmark drive random inputs through both this module and the packed
+//! [`crate::PauliString`]/[`crate::Tableau`] and require bit-for-bit
+//! identical results — phases, signs, collapse behavior, and RNG
+//! consumption included. It is deliberately one bit per `bool`: slow,
+//! obvious, and easy to audit against Aaronson & Gottesman (2004).
+
+use rand::Rng;
+
+use crate::pauli::{PauliOp, PauliString};
+use crate::tableau::MeasureOutcome;
+
+/// Reference n-qubit Pauli operator: unpacked symplectic bit vectors plus
+/// the phase exponent `k` of the global phase `i^k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefPauli {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    phase: u8,
+}
+
+impl RefPauli {
+    /// The n-qubit identity.
+    #[must_use]
+    pub fn identity(num_qubits: usize) -> Self {
+        Self {
+            xs: vec![false; num_qubits],
+            zs: vec![false; num_qubits],
+            phase: 0,
+        }
+    }
+
+    /// Unpacks a packed [`PauliString`] into the reference representation.
+    #[must_use]
+    pub fn from_packed(p: &PauliString) -> Self {
+        let n = p.num_qubits();
+        Self {
+            xs: (0..n).map(|q| p.x_bit(q)).collect(),
+            zs: (0..n).map(|q| p.z_bit(q)).collect(),
+            phase: p.phase_exponent(),
+        }
+    }
+
+    /// Packs this reference operator into the production representation.
+    #[must_use]
+    pub fn to_packed(&self) -> PauliString {
+        let mut p = PauliString::identity(self.xs.len());
+        for q in 0..self.xs.len() {
+            p.set(q, PauliOp::from_bits(self.xs[q], self.zs[q]));
+        }
+        if self.phase != 0 {
+            // Phase exponents are 0..4; apply via double negation halves.
+            for _ in 0..self.phase / 2 {
+                p = p.negated();
+            }
+            debug_assert_eq!(self.phase % 2, 0, "reference phases stay real");
+        }
+        p
+    }
+
+    /// Number of qubits the operator acts on.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Phase exponent `k` of the global phase `i^k`.
+    #[must_use]
+    pub fn phase_exponent(&self) -> u8 {
+        self.phase
+    }
+
+    /// Sets the single-qubit operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn set(&mut self, qubit: usize, op: PauliOp) {
+        let (x, z) = op.bits();
+        self.xs[qubit] = x;
+        self.zs[qubit] = z;
+    }
+
+    /// The same operator with its sign flipped.
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        let mut out = self.clone();
+        out.phase = (out.phase + 2) % 4;
+        out
+    }
+
+    /// Number of qubits acted on non-trivially.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.xs
+            .iter()
+            .zip(&self.zs)
+            .filter(|&(&x, &z)| x || z)
+            .count()
+    }
+
+    /// Whether this operator anticommutes with `other` (per-qubit
+    /// symplectic product, accumulated bit by bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators act on different numbers of qubits.
+    #[must_use]
+    pub fn anticommutes_with(&self, other: &Self) -> bool {
+        assert_eq!(self.num_qubits(), other.num_qubits());
+        let mut parity = false;
+        for q in 0..self.num_qubits() {
+            parity ^= (self.xs[q] & other.zs[q]) ^ (self.zs[q] & other.xs[q]);
+        }
+        parity
+    }
+
+    /// The product `self · other` with exact phase tracking, one qubit at
+    /// a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators act on different numbers of qubits.
+    #[must_use]
+    pub fn mul(&self, other: &Self) -> Self {
+        assert_eq!(self.num_qubits(), other.num_qubits());
+        let n = self.num_qubits();
+        let mut out = Self::identity(n);
+        let mut k = i16::from(self.phase) + i16::from(other.phase);
+        for q in 0..n {
+            k += g(self.xs[q], self.zs[q], other.xs[q], other.zs[q]);
+            out.xs[q] = self.xs[q] ^ other.xs[q];
+            out.zs[q] = self.zs[q] ^ other.zs[q];
+        }
+        out.phase = k.rem_euclid(4) as u8;
+        out
+    }
+}
+
+/// Phase function `g` from Aaronson–Gottesman: the i-exponent produced when
+/// multiplying single-qubit Paulis `(x1,z1) · (x2,z2)`.
+fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i16 {
+    let (x2i, z2i) = (i16::from(x2), i16::from(z2));
+    match (x1, z1) {
+        (false, false) => 0,
+        (true, true) => z2i - x2i,
+        (true, false) => z2i * (2 * x2i - 1),
+        (false, true) => x2i * (1 - 2 * z2i),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    r: bool,
+}
+
+impl Row {
+    fn identity(n: usize) -> Self {
+        Self {
+            xs: vec![false; n],
+            zs: vec![false; n],
+            r: false,
+        }
+    }
+
+    fn anticommutes_with(&self, p: &RefPauli) -> bool {
+        let mut parity = false;
+        for q in 0..self.xs.len() {
+            parity ^= (self.xs[q] & p.zs[q]) ^ (self.zs[q] & p.xs[q]);
+        }
+        parity
+    }
+
+    fn to_pauli(&self) -> RefPauli {
+        RefPauli {
+            xs: self.xs.clone(),
+            zs: self.zs.clone(),
+            phase: if self.r { 2 } else { 0 },
+        }
+    }
+}
+
+/// Multiplies row `src` into row `dst` (`dst := src · dst`), tracking signs.
+fn row_mul_into(dst: &mut Row, src: &Row) {
+    let mut k: i16 = 2 * i16::from(dst.r) + 2 * i16::from(src.r);
+    for q in 0..dst.xs.len() {
+        k += g(src.xs[q], src.zs[q], dst.xs[q], dst.zs[q]);
+        dst.xs[q] ^= src.xs[q];
+        dst.zs[q] ^= src.zs[q];
+    }
+    let k = k.rem_euclid(4);
+    debug_assert!(k % 2 == 0, "rowsum produced imaginary phase");
+    dst.r = k == 2;
+}
+
+/// Reference Aaronson–Gottesman tableau: one `bool` per symplectic bit.
+///
+/// Mirrors the packed [`crate::Tableau`] operation for operation,
+/// including the order of stabilizer scans and the RNG consumption of
+/// [`RefTableau::measure_pauli`], so seeded runs through both must agree
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct RefTableau {
+    n: usize,
+    /// Rows `0..n` are destabilizers, `n..2n` stabilizers.
+    rows: Vec<Row>,
+}
+
+impl RefTableau {
+    /// Creates the `|0…0⟩` state on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let mut rows = Vec::with_capacity(2 * n);
+        for i in 0..2 * n {
+            let mut row = Row::identity(n);
+            if i < n {
+                row.xs[i] = true; // destabilizer X_i
+            } else {
+                row.zs[i - n] = true; // stabilizer Z_i
+            }
+            rows.push(row);
+        }
+        Self { n, rows }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The `i`-th stabilizer generator of the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn stabilizer(&self, i: usize) -> RefPauli {
+        assert!(i < self.n);
+        self.rows[self.n + i].to_pauli()
+    }
+
+    /// The `i`-th destabilizer generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn destabilizer(&self, i: usize) -> RefPauli {
+        assert!(i < self.n);
+        self.rows[i].to_pauli()
+    }
+
+    /// Hadamard on `qubit`.
+    pub fn h(&mut self, qubit: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] & row.zs[qubit];
+            let (x, z) = (row.xs[qubit], row.zs[qubit]);
+            row.xs[qubit] = z;
+            row.zs[qubit] = x;
+        }
+    }
+
+    /// Phase gate `S` on `qubit`.
+    pub fn s(&mut self, qubit: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] & row.zs[qubit];
+            row.zs[qubit] ^= row.xs[qubit];
+        }
+    }
+
+    /// Inverse phase gate `S†` on `qubit` (three applications of `S`).
+    pub fn s_dag(&mut self, qubit: usize) {
+        self.s(qubit);
+        self.s(qubit);
+        self.s(qubit);
+    }
+
+    /// Controlled-NOT with the given control and target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control == target`.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        assert_ne!(control, target, "cnot needs distinct qubits");
+        for row in &mut self.rows {
+            row.r ^= row.xs[control] & row.zs[target] & (row.xs[target] ^ row.zs[control] ^ true);
+            row.xs[target] ^= row.xs[control];
+            row.zs[control] ^= row.zs[target];
+        }
+    }
+
+    /// Pauli `X` on `qubit`.
+    pub fn x(&mut self, qubit: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.zs[qubit];
+        }
+    }
+
+    /// Pauli `Z` on `qubit`.
+    pub fn z(&mut self, qubit: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit];
+        }
+    }
+
+    /// Pauli `Y` on `qubit`.
+    pub fn y(&mut self, qubit: usize) {
+        for row in &mut self.rows {
+            row.r ^= row.xs[qubit] ^ row.zs[qubit];
+        }
+    }
+
+    /// Controlled-Z (decomposed as `H_b · CNOT_{a,b} · H_b`, like the
+    /// packed tableau).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Applies an arbitrary Pauli string; its global phase is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` acts on a different number of qubits.
+    pub fn apply_pauli(&mut self, pauli: &RefPauli) {
+        assert_eq!(pauli.num_qubits(), self.n, "register size mismatch");
+        for row in &mut self.rows {
+            row.r ^= row.anticommutes_with(pauli);
+        }
+    }
+
+    /// Measures an arbitrary Hermitian Pauli observable; random outcomes
+    /// consume exactly one `rng.gen::<bool>()`, like the packed tableau.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pauli` has an imaginary phase, acts on a different number
+    /// of qubits, or is the identity.
+    pub fn measure_pauli<R: Rng + ?Sized>(
+        &mut self,
+        pauli: &RefPauli,
+        rng: &mut R,
+    ) -> MeasureOutcome {
+        assert_eq!(pauli.num_qubits(), self.n, "register size mismatch");
+        assert!(
+            pauli.phase_exponent() % 2 == 0,
+            "observable must be Hermitian (real phase)"
+        );
+        assert!(pauli.weight() > 0, "cannot measure the identity");
+        let sign_flip = pauli.phase_exponent() == 2;
+
+        let anti_stab = (self.n..2 * self.n).find(|&i| self.rows[i].anticommutes_with(pauli));
+        if let Some(p_idx) = anti_stab {
+            let pivot = self.rows[p_idx].clone();
+            for i in 0..2 * self.n {
+                if i != p_idx && i != p_idx - self.n && self.rows[i].anticommutes_with(pauli) {
+                    row_mul_into(&mut self.rows[i], &pivot);
+                }
+            }
+            self.rows[p_idx - self.n] = pivot;
+            let value = rng.gen::<bool>();
+            let mut new_row = Row::identity(self.n);
+            new_row.xs.copy_from_slice(&pauli.xs);
+            new_row.zs.copy_from_slice(&pauli.zs);
+            new_row.r = value ^ sign_flip;
+            self.rows[p_idx] = new_row;
+            MeasureOutcome {
+                value,
+                deterministic: false,
+            }
+        } else {
+            let value = self
+                .deterministic_sign_unsigned(pauli)
+                .expect("no anticommuting stabilizer implies deterministic outcome");
+            MeasureOutcome {
+                value: value ^ sign_flip,
+                deterministic: true,
+            }
+        }
+    }
+
+    /// If the observable `pauli` has a deterministic value in this state,
+    /// returns `Some(bit)` (`false` = +1 eigenvalue); otherwise `None`.
+    #[must_use]
+    pub fn deterministic_sign(&self, pauli: &RefPauli) -> Option<bool> {
+        let sign_flip = pauli.phase_exponent() == 2;
+        self.deterministic_sign_unsigned(pauli)
+            .map(|v| v ^ sign_flip)
+    }
+
+    fn deterministic_sign_unsigned(&self, pauli: &RefPauli) -> Option<bool> {
+        if (self.n..2 * self.n).any(|i| self.rows[i].anticommutes_with(pauli)) {
+            return None;
+        }
+        let mut scratch = Row::identity(self.n);
+        for i in 0..self.n {
+            if self.rows[i].anticommutes_with(pauli) {
+                let stab = self.rows[self.n + i].clone();
+                row_mul_into(&mut scratch, &stab);
+            }
+        }
+        Some(scratch.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_through_packed_preserves_everything() {
+        let p = PauliString::parse("-XIYZQ".replace('Q', "Z").as_str()).unwrap();
+        let r = RefPauli::from_packed(&p);
+        assert_eq!(r.to_packed(), p);
+        assert_eq!(r.weight(), p.weight());
+        assert_eq!(r.phase_exponent(), p.phase_exponent());
+    }
+
+    #[test]
+    fn reference_ghz_matches_packed_behavior() {
+        let mut t = RefTableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(0, 2);
+        let xxx = RefPauli::from_packed(&PauliString::parse("XXX").unwrap());
+        assert_eq!(t.deterministic_sign(&xxx), Some(false));
+        let mut r = StdRng::seed_from_u64(3);
+        let m = t.measure_pauli(&xxx, &mut r);
+        assert!(m.deterministic);
+        assert!(!m.value);
+    }
+}

@@ -4,9 +4,14 @@
 //! simulation of stabilizer circuits" (2004), extended with direct
 //! multi-qubit Pauli measurement — the operation syndrome extraction is
 //! built from.
+//!
+//! Rows are bit-packed (see [`crate::bits`]): rowsum and commutation
+//! checks run word-parallel — XORs plus popcount-based phase tracking —
+//! instead of per-qubit boolean loops.
 
 use rand::Rng;
 
+use crate::bits;
 use crate::pauli::{PauliOp, PauliString};
 
 /// Result of a measurement on a [`Tableau`].
@@ -21,62 +26,40 @@ pub struct MeasureOutcome {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Row {
-    xs: Vec<bool>,
-    zs: Vec<bool>,
+    xs: Vec<u64>,
+    zs: Vec<u64>,
     /// Sign bit: `false` = `+`, `true` = `-`.
     r: bool,
 }
 
 impl Row {
     fn identity(n: usize) -> Self {
+        let words = bits::words_for(n);
         Self {
-            xs: vec![false; n],
-            zs: vec![false; n],
+            xs: vec![0; words],
+            zs: vec![0; words],
             r: false,
         }
     }
 
     fn anticommutes_with(&self, p: &PauliString) -> bool {
-        let mut parity = false;
-        for q in 0..self.xs.len() {
-            parity ^= (self.xs[q] & p.z_bit(q)) ^ (self.zs[q] & p.x_bit(q));
-        }
-        parity
+        bits::symplectic_parity(&self.xs, &self.zs, p.x_words(), p.z_words())
     }
 
-    fn to_pauli(&self) -> PauliString {
-        let n = self.xs.len();
-        let mut p = PauliString::identity(n);
-        for q in 0..n {
-            p.set(q, PauliOp::from_bits(self.xs[q], self.zs[q]));
-        }
-        if self.r {
-            p.negated()
-        } else {
-            p
-        }
+    fn to_pauli(&self, n: usize) -> PauliString {
+        let phase = if self.r { 2 } else { 0 };
+        PauliString::from_words(self.xs.clone(), self.zs.clone(), n, phase)
     }
 }
 
-/// Phase function `g` from Aaronson–Gottesman: the i-exponent produced when
-/// multiplying single-qubit Paulis `(x1,z1) · (x2,z2)`.
-fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i16 {
-    let (x2i, z2i) = (i16::from(x2), i16::from(z2));
-    match (x1, z1) {
-        (false, false) => 0,
-        (true, true) => z2i - x2i,
-        (true, false) => z2i * (2 * x2i - 1),
-        (false, true) => x2i * (1 - 2 * z2i),
-    }
-}
-
-/// Multiplies row `src` into row `dst` (`dst := src · dst`), tracking signs.
+/// Multiplies row `src` into row `dst` (`dst := src · dst`), tracking signs
+/// word-parallel.
 fn row_mul_into(dst: &mut Row, src: &Row) {
-    let mut k: i16 = 2 * i16::from(dst.r) + 2 * i16::from(src.r);
-    for q in 0..dst.xs.len() {
-        k += g(src.xs[q], src.zs[q], dst.xs[q], dst.zs[q]);
-        dst.xs[q] ^= src.xs[q];
-        dst.zs[q] ^= src.zs[q];
+    let mut k: i32 = 2 * i32::from(dst.r) + 2 * i32::from(src.r);
+    k += bits::product_phase_sum(&src.xs, &src.zs, &dst.xs, &dst.zs);
+    for w in 0..dst.xs.len() {
+        dst.xs[w] ^= src.xs[w];
+        dst.zs[w] ^= src.zs[w];
     }
     let k = k.rem_euclid(4);
     debug_assert!(k % 2 == 0, "rowsum produced imaginary phase");
@@ -125,9 +108,9 @@ impl Tableau {
         for i in 0..2 * n {
             let mut row = Row::identity(n);
             if i < n {
-                row.xs[i] = true; // destabilizer X_i
+                bits::set(&mut row.xs, i, true); // destabilizer X_i
             } else {
-                row.zs[i - n] = true; // stabilizer Z_i
+                bits::set(&mut row.zs, i - n, true); // stabilizer Z_i
             }
             rows.push(row);
         }
@@ -148,7 +131,7 @@ impl Tableau {
     #[must_use]
     pub fn stabilizer(&self, i: usize) -> PauliString {
         assert!(i < self.n);
-        self.rows[self.n + i].to_pauli()
+        self.rows[self.n + i].to_pauli(self.n)
     }
 
     /// The `i`-th destabilizer generator.
@@ -159,25 +142,31 @@ impl Tableau {
     #[must_use]
     pub fn destabilizer(&self, i: usize) -> PauliString {
         assert!(i < self.n);
-        self.rows[i].to_pauli()
+        self.rows[i].to_pauli(self.n)
     }
 
     /// Hadamard on `qubit`.
     pub fn h(&mut self, qubit: usize) {
         self.check(qubit);
+        let (w, m) = bits::word_mask(qubit);
         for row in &mut self.rows {
-            row.r ^= row.xs[qubit] & row.zs[qubit];
-            row.xs.swap(qubit, qubit); // no-op to appease symmetric style
-            std::mem::swap(&mut row.xs[qubit], &mut row.zs[qubit]);
+            let x = row.xs[w] & m;
+            let z = row.zs[w] & m;
+            row.r ^= (x != 0) & (z != 0);
+            // XOR-ing both components with x^z swaps the two bits.
+            row.xs[w] ^= x ^ z;
+            row.zs[w] ^= x ^ z;
         }
     }
 
     /// Phase gate `S` on `qubit`.
     pub fn s(&mut self, qubit: usize) {
         self.check(qubit);
+        let (w, m) = bits::word_mask(qubit);
         for row in &mut self.rows {
-            row.r ^= row.xs[qubit] & row.zs[qubit];
-            row.zs[qubit] ^= row.xs[qubit];
+            let x = row.xs[w] & m;
+            row.r ^= (x != 0) & (row.zs[w] & m != 0);
+            row.zs[w] ^= x;
         }
     }
 
@@ -197,10 +186,20 @@ impl Tableau {
         self.check(control);
         self.check(target);
         assert_ne!(control, target, "cnot needs distinct qubits");
+        let (wc, mc) = bits::word_mask(control);
+        let (wt, mt) = bits::word_mask(target);
         for row in &mut self.rows {
-            row.r ^= row.xs[control] & row.zs[target] & (row.xs[target] ^ row.zs[control] ^ true);
-            row.xs[target] ^= row.xs[control];
-            row.zs[control] ^= row.zs[target];
+            let xc = row.xs[wc] & mc != 0;
+            let zc = row.zs[wc] & mc != 0;
+            let xt = row.xs[wt] & mt != 0;
+            let zt = row.zs[wt] & mt != 0;
+            row.r ^= xc & zt & (xt ^ zc ^ true);
+            if xc {
+                row.xs[wt] ^= mt;
+            }
+            if zt {
+                row.zs[wc] ^= mc;
+            }
         }
     }
 
@@ -218,24 +217,27 @@ impl Tableau {
     /// Pauli `X` on `qubit`.
     pub fn x(&mut self, qubit: usize) {
         self.check(qubit);
+        let (w, m) = bits::word_mask(qubit);
         for row in &mut self.rows {
-            row.r ^= row.zs[qubit];
+            row.r ^= row.zs[w] & m != 0;
         }
     }
 
     /// Pauli `Z` on `qubit`.
     pub fn z(&mut self, qubit: usize) {
         self.check(qubit);
+        let (w, m) = bits::word_mask(qubit);
         for row in &mut self.rows {
-            row.r ^= row.xs[qubit];
+            row.r ^= row.xs[w] & m != 0;
         }
     }
 
     /// Pauli `Y` on `qubit`.
     pub fn y(&mut self, qubit: usize) {
         self.check(qubit);
+        let (w, m) = bits::word_mask(qubit);
         for row in &mut self.rows {
-            row.r ^= row.xs[qubit] ^ row.zs[qubit];
+            row.r ^= (row.xs[w] ^ row.zs[w]) & m != 0;
         }
     }
 
@@ -298,13 +300,12 @@ impl Tableau {
             }
             self.rows[p_idx - self.n] = pivot;
             let value = rng.gen::<bool>();
-            let mut new_row = Row::identity(self.n);
-            for q in 0..self.n {
-                new_row.xs[q] = pauli.x_bit(q);
-                new_row.zs[q] = pauli.z_bit(q);
-            }
-            // Store +P or -P so that measuring P again yields `value`.
-            new_row.r = value ^ sign_flip;
+            let new_row = Row {
+                xs: pauli.x_words().to_vec(),
+                zs: pauli.z_words().to_vec(),
+                // Store +P or -P so that measuring P again yields `value`.
+                r: value ^ sign_flip,
+            };
             self.rows[p_idx] = new_row;
             MeasureOutcome {
                 value,
@@ -357,10 +358,8 @@ impl Tableau {
                 row_mul_into(&mut scratch, &stab);
             }
         }
-        for q in 0..self.n {
-            debug_assert_eq!(scratch.xs[q], pauli.x_bit(q), "scratch row mismatch");
-            debug_assert_eq!(scratch.zs[q], pauli.z_bit(q), "scratch row mismatch");
-        }
+        debug_assert_eq!(scratch.xs, pauli.x_words(), "scratch row mismatch");
+        debug_assert_eq!(scratch.zs, pauli.z_words(), "scratch row mismatch");
         Some(scratch.r)
     }
 
@@ -566,6 +565,26 @@ mod tests {
         }
         let frac = f64::from(ones) / f64::from(trials);
         assert!((frac - 0.5).abs() < 0.05, "biased coin: {frac}");
+    }
+
+    #[test]
+    fn wide_registers_span_word_boundaries() {
+        // 70 qubits = two words per row; entangle across the boundary.
+        let mut t = Tableau::new(70);
+        t.h(63);
+        t.cnot(63, 64);
+        let mut xx = PauliString::identity(70);
+        xx.set(63, PauliOp::X);
+        xx.set(64, PauliOp::X);
+        assert!(t.is_stabilized_by(&xx));
+        let mut zz = PauliString::identity(70);
+        zz.set(63, PauliOp::Z);
+        zz.set(64, PauliOp::Z);
+        assert!(t.is_stabilized_by(&zz));
+        let mut r = rng();
+        let m = t.measure_z(69, &mut r);
+        assert!(m.deterministic);
+        assert!(!m.value);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Packed-vs-reference equivalence suite.
+//!
+//! Drives random Pauli algebra and random Clifford circuits through both
+//! the production bit-packed kernel ([`cqla_stabilizer::PauliString`],
+//! [`cqla_stabilizer::Tableau`]) and the retained one-bool-per-bit
+//! reference implementation ([`cqla_stabilizer::reference`]), asserting
+//! bit-for-bit agreement — components, phases, signs, measurement
+//! outcomes, collapse behavior, and RNG consumption — on registers up to
+//! 128 qubits (two words plus a partial tail).
+
+use cqla_stabilizer::reference::{RefPauli, RefTableau};
+use cqla_stabilizer::{PauliOp, PauliString, Tableau};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OPS: [PauliOp; 4] = [PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z];
+
+/// Builds the same operator in both representations from an op-code list.
+fn both(ops: &[u8], negate: bool) -> (PauliString, RefPauli) {
+    let n = ops.len();
+    let mut packed = PauliString::identity(n);
+    let mut reference = RefPauli::identity(n);
+    for (q, &code) in ops.iter().enumerate() {
+        let op = OPS[usize::from(code) % 4];
+        packed.set(q, op);
+        reference.set(q, op);
+    }
+    if negate {
+        packed = packed.negated();
+        reference = reference.negated();
+    }
+    (packed, reference)
+}
+
+fn assert_pauli_eq(packed: &PauliString, reference: &RefPauli) {
+    assert_eq!(&RefPauli::from_packed(packed), reference);
+    assert_eq!(packed.phase_exponent(), reference.phase_exponent());
+    assert_eq!(packed.weight(), reference.weight());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Triple products exercise odd intermediate phase exponents (±i).
+    #[test]
+    fn mul_matches_reference(
+        ops in prop::collection::vec((0u8..4, 0u8..4, 0u8..4), 1..=128),
+        negs in (any::<bool>(), any::<bool>(), any::<bool>()),
+    ) {
+        let a_ops: Vec<u8> = ops.iter().map(|t| t.0).collect();
+        let b_ops: Vec<u8> = ops.iter().map(|t| t.1).collect();
+        let c_ops: Vec<u8> = ops.iter().map(|t| t.2).collect();
+        let (pa, ra) = both(&a_ops, negs.0);
+        let (pb, rb) = both(&b_ops, negs.1);
+        let (pc, rc) = both(&c_ops, negs.2);
+        let packed = pa.mul(&pb).mul(&pc);
+        let reference = ra.mul(&rb).mul(&rc);
+        assert_pauli_eq(&packed, &reference);
+    }
+
+    #[test]
+    fn commutation_matches_reference(
+        ops in prop::collection::vec((0u8..4, 0u8..4), 1..=128),
+    ) {
+        let a_ops: Vec<u8> = ops.iter().map(|t| t.0).collect();
+        let b_ops: Vec<u8> = ops.iter().map(|t| t.1).collect();
+        let (pa, ra) = both(&a_ops, false);
+        let (pb, rb) = both(&b_ops, false);
+        assert_eq!(pa.anticommutes_with(&pb), ra.anticommutes_with(&rb));
+    }
+
+    #[test]
+    fn weight_and_support_match_reference(
+        ops in prop::collection::vec(0u8..4, 1..=128),
+    ) {
+        let (packed, reference) = both(&ops, false);
+        assert_eq!(packed.weight(), reference.weight());
+        let expected: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &code)| code % 4 != 0)
+            .map(|(q, _)| q)
+            .collect();
+        assert_eq!(packed.support(), expected);
+    }
+}
+
+/// Applies gate `spec` to both tableaus, reducing indices into range
+/// identically on each side.
+fn apply_gate(packed: &mut Tableau, reference: &mut RefTableau, spec: (u8, u16, u16)) {
+    let n = packed.num_qubits();
+    let q = usize::from(spec.1) % n;
+    match spec.0 % 8 {
+        0 => {
+            packed.h(q);
+            reference.h(q);
+        }
+        1 => {
+            packed.s(q);
+            reference.s(q);
+        }
+        2 => {
+            packed.s_dag(q);
+            reference.s_dag(q);
+        }
+        3 => {
+            packed.x(q);
+            reference.x(q);
+        }
+        4 => {
+            packed.y(q);
+            reference.y(q);
+        }
+        5 => {
+            packed.z(q);
+            reference.z(q);
+        }
+        gate => {
+            if n == 1 {
+                packed.h(q);
+                reference.h(q);
+                return;
+            }
+            // Distinct second index, derived the same way on both sides.
+            let t = (q + 1 + usize::from(spec.2) % (n - 1)) % n;
+            if gate == 6 {
+                packed.cnot(q, t);
+                reference.cnot(q, t);
+            } else {
+                packed.cz(q, t);
+                reference.cz(q, t);
+            }
+        }
+    }
+}
+
+fn assert_tableaus_eq(packed: &Tableau, reference: &RefTableau) {
+    for i in 0..packed.num_qubits() {
+        assert_eq!(
+            RefPauli::from_packed(&packed.stabilizer(i)),
+            reference.stabilizer(i),
+            "stabilizer row {i} diverged"
+        );
+        assert_eq!(
+            RefPauli::from_packed(&packed.destabilizer(i)),
+            reference.destabilizer(i),
+            "destabilizer row {i} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random circuit, then rows must agree exactly.
+    #[test]
+    fn circuits_keep_tableaus_identical(
+        n in 1usize..=128,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..48),
+    ) {
+        let mut packed = Tableau::new(n);
+        let mut reference = RefTableau::new(n);
+        for spec in gates {
+            apply_gate(&mut packed, &mut reference, spec);
+        }
+        assert_tableaus_eq(&packed, &reference);
+    }
+
+    /// Random circuit, then a sequence of Pauli measurements with
+    /// identically seeded RNGs: outcomes, determinism flags, collapse, and
+    /// RNG consumption must all agree (any drift desynchronizes the
+    /// streams and cascades into the row comparison).
+    #[test]
+    fn measurements_collapse_identically(
+        n in 1usize..=128,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..32),
+        observables in prop::collection::vec(
+            (prop::collection::vec(0u8..4, 1..8), any::<u16>(), any::<bool>()),
+            1..6,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut packed = Tableau::new(n);
+        let mut reference = RefTableau::new(n);
+        for spec in gates {
+            apply_gate(&mut packed, &mut reference, spec);
+        }
+        let mut rng_p = StdRng::seed_from_u64(seed);
+        let mut rng_r = StdRng::seed_from_u64(seed);
+        for (ops, offset, negate) in observables {
+            // Place a short non-identity observable at a random offset.
+            let mut obs = PauliString::identity(n);
+            for (i, &code) in ops.iter().enumerate() {
+                obs.set((usize::from(offset) + i) % n, OPS[usize::from(code) % 4]);
+            }
+            if obs.is_identity() {
+                obs.set(usize::from(offset) % n, PauliOp::X);
+            }
+            if negate {
+                obs = obs.negated();
+            }
+            let robs = RefPauli::from_packed(&obs);
+            assert_eq!(
+                packed.deterministic_sign(&obs),
+                reference.deterministic_sign(&robs),
+                "pre-measurement deterministic_sign diverged"
+            );
+            let mp = packed.measure_pauli(&obs, &mut rng_p);
+            let mr = reference.measure_pauli(&robs, &mut rng_r);
+            assert_eq!(mp, mr, "measurement outcome diverged");
+            assert_tableaus_eq(&packed, &reference);
+        }
+    }
+}

@@ -11,7 +11,7 @@
 use std::time::Duration;
 
 use cqla_core::{
-    CqlaConfig, HierarchyConfig, HierarchyResult, HierarchyStudy, SpecializationResult,
+    CqlaConfig, EvalCtx, HierarchyConfig, HierarchyResult, HierarchyStudy, SpecializationResult,
     SpecializationStudy,
 };
 
@@ -36,17 +36,26 @@ impl PointOutcome {
     /// fans out.
     #[must_use]
     pub fn evaluate(point: &DesignPoint) -> Self {
+        Self::evaluate_ctx(point, &EvalCtx::new())
+    }
+
+    /// Evaluates one design point against a shared memoization context.
+    /// Neighboring grid points differ in one axis and share the rest, so
+    /// a sweep-wide `ctx` lets each DAG schedule, cache-simulator pass,
+    /// and ECC table be computed once per distinct key instead of once
+    /// per point. Byte-identical to [`PointOutcome::evaluate`].
+    #[must_use]
+    pub fn evaluate_ctx(point: &DesignPoint, ctx: &EvalCtx) -> Self {
         let tech = point.tech.params();
-        let specialization = SpecializationStudy::new(&tech).evaluate(CqlaConfig::new(
-            point.code,
-            point.input_bits,
-            point.blocks,
-        ));
+        let specialization = SpecializationStudy::new(&tech).evaluate_ctx(
+            CqlaConfig::new(point.code, point.input_bits, point.blocks),
+            ctx,
+        );
         let hierarchy = point.par_xfer.map(|par_xfer| {
             let mut config =
                 HierarchyConfig::new(point.code, point.input_bits, par_xfer, point.blocks);
             config.cache_factor = point.cache_factor;
-            HierarchyStudy::new(&tech).evaluate(config)
+            HierarchyStudy::new(&tech).evaluate_ctx(config, ctx)
         });
         Self {
             specialization,
@@ -181,9 +190,13 @@ impl SweepRun {
             slots: (0..total).map(|_| None).collect(),
             next: 0,
         });
+        // One memoization context for the whole run: points share DAG
+        // schedules, cache-simulator passes, and ECC tables across
+        // worker threads (same lock discipline as a grid `PointCache`).
+        let ctx = EvalCtx::new();
         pool::map(sweep.points(), threads, |index, point| {
             let started = std::time::Instant::now();
-            let outcome = PointOutcome::evaluate(point);
+            let outcome = PointOutcome::evaluate_ctx(point, &ctx);
             let result = JobResult {
                 point: *point,
                 outcome,

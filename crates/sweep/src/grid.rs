@@ -28,6 +28,7 @@
 
 use cqla_core::experiments::{find, Grid};
 use cqla_core::json::Json;
+use cqla_core::EvalCtx;
 
 use crate::pool;
 
@@ -274,8 +275,13 @@ impl GridRun {
             slots: (0..total).map(|_| None).collect(),
             next: 0,
         });
+        // One evaluation context for the whole grid: neighboring points
+        // share most memo keys, and the lock discipline matches the
+        // `PointCache` single-flight contract (workers never serialize
+        // on each other's computations).
+        let ctx = EvalCtx::new();
         pool::map(&assignments, threads, |index, overrides| {
-            let point = run_point(&id, overrides, cache);
+            let point = run_point(&id, overrides, cache, &ctx);
             let mut state = reorder.lock().expect("grid reorder lock");
             state.slots[index] = Some(point);
             while state.next < total && state.slots[state.next].is_some() {
@@ -373,7 +379,12 @@ impl GridRun {
 /// Executes one grid point: resolve the experiment, apply the
 /// overrides, read through the cache (upholding the single-flight
 /// contract), run on a miss.
-fn run_point(id: &str, overrides: &[(String, String)], cache: &dyn PointCache) -> GridPoint {
+fn run_point(
+    id: &str,
+    overrides: &[(String, String)],
+    cache: &dyn PointCache,
+    ctx: &EvalCtx,
+) -> GridPoint {
     let mut exp = find(id).expect("grid experiment is registered");
     for (key, value) in overrides {
         exp.set(key, value)
@@ -395,7 +406,7 @@ fn run_point(id: &str, overrides: &[(String, String)], cache: &dyn PointCache) -
         overrides,
         armed: true,
     };
-    let output = exp.run();
+    let output = exp.run_ctx(ctx);
     // Failing runs are never cached: the cached body cannot
     // carry the verdict, so a hit is reported as passed.
     if output.passed {

@@ -347,6 +347,46 @@ mod cli {
     }
 
     #[test]
+    fn every_registry_artifact_and_the_builtin_grid_stay_byte_identical() {
+        // The evaluation-core contract: bit-packing the stabilizer
+        // kernel and memoizing shared sub-results must not move a single
+        // byte of any artifact. tests/golden/registry/ pins all 13
+        // registry entries; tests/golden/grid_sweep.json pins the
+        // builtin 24-point grid sweep (threads must not matter).
+        // Regenerate deliberately (cargo run --release --bin cqla --
+        // run <id> --format json) when the model changes.
+        for (id, golden) in [
+            ("table1", include_str!("golden/registry/table1.json")),
+            ("table2", include_str!("golden/registry/table2.json")),
+            ("table3", include_str!("golden/registry/table3.json")),
+            ("table4", include_str!("golden/registry/table4.json")),
+            ("table5", include_str!("golden/registry/table5.json")),
+            ("fig2", include_str!("golden/registry/fig2.json")),
+            ("fig6a", include_str!("golden/registry/fig6a.json")),
+            ("fig6b", include_str!("golden/registry/fig6b.json")),
+            ("fig7", include_str!("golden/registry/fig7.json")),
+            ("fig8a", include_str!("golden/registry/fig8a.json")),
+            ("fig8b", include_str!("golden/registry/fig8b.json")),
+            ("machine", include_str!("golden/registry/machine.json")),
+            ("verify", include_str!("golden/registry/verify.json")),
+        ] {
+            let out = cqla(&["run", id, "--format", "json"]);
+            assert!(out.status.success(), "{id}: {:?}", out.status);
+            assert_eq!(stdout(&out), golden, "{id} JSON drifted from golden");
+        }
+        let golden = include_str!("golden/grid_sweep.json");
+        for threads in ["1", "4"] {
+            let out = cqla(&["sweep", "--format", "json", "--threads", threads]);
+            assert!(out.status.success(), "threads={threads}: {:?}", out.status);
+            assert_eq!(
+                stdout(&out),
+                golden,
+                "builtin grid sweep drifted from golden (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
     fn grid_single_value_runs_stay_on_the_legacy_path() {
         // A plain key=value override must stay byte-identical to the
         // pre-grid output (here: the default, since 64 is the default).
