@@ -1,0 +1,41 @@
+//! The compile pipeline: seeded workload generation, asm parsing,
+//! Toffoli lowering plus list scheduling, and the full registry
+//! `compile` experiment (schedule, hierarchy placement, cache
+//! simulation) — the path `cqla compile` and `POST /v1/compile` walk
+//! per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cqla_circuit::{asm, decompose_toffolis};
+use cqla_compile::{random::random_circuit, schedule_costs};
+use cqla_core::experiments::find;
+
+fn bench(c: &mut Criterion) {
+    let circuit = random_circuit(16, 256, 1);
+    let program = asm::emit(&circuit);
+    let lowered = decompose_toffolis(&circuit);
+    cqla_bench::print_artifact(
+        "Compile: 256-gate seeded workload (seed 1)",
+        &find("compile").expect("registry has `compile`").run().text,
+    );
+
+    c.bench_function("compile/generate_random_256", |b| {
+        b.iter(|| black_box(random_circuit(16, 256, 1)))
+    });
+    // The asm front door sits on every CLI and HTTP compile; parsing
+    // must stay linear in the program.
+    c.bench_function("compile/parse_asm_256", |b| {
+        b.iter(|| black_box(asm::parse(&program)))
+    });
+    c.bench_function("compile/schedule_256", |b| {
+        b.iter(|| black_box(schedule_costs(&lowered, 9)))
+    });
+    // The whole artifact, defaults — what one cold `/v1/compile` costs.
+    c.bench_function("compile/experiment_default", |b| {
+        b.iter(|| black_box(find("compile").expect("registry has `compile`").run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

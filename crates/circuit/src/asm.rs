@@ -10,23 +10,55 @@
 //! toffoli q0, q1, q2
 //! cphase[3] q2, q3
 //! ```
+//!
+//! Parse failures carry the offending line, a byte span within it, and an
+//! optional did-you-mean hint, rendered in the same caret style as the
+//! sweep-spec grammar's `SpecError`:
+//!
+//! ```text
+//! parse error at line 2, columns 0..10: unknown mnemonic "frobnicate"
+//!   frobnicate q1
+//!   ^^^^^^^^^^
+//!   hint: did you mean `toffoli`?
+//! ```
 
 use crate::circuit::Circuit;
 use crate::gate::{Gate, QubitId};
 
+/// Every mnemonic the grammar accepts, for did-you-mean suggestions.
+const MNEMONICS: [&str; 11] = [
+    "x", "y", "z", "s", "t", "h", "cnot", "cz", "cphase", "toffoli", "measure",
+];
+
 /// Error produced while parsing circuit assembly.
+///
+/// Carries the 1-based line number, the byte span of the offending token
+/// within that line, the line's text, and an optional hint. `Display`
+/// renders a spanned caret diagnostic; front ends surface it verbatim
+/// (exit 2 on the CLI, `{error, hint}` JSON over HTTP).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseAsmError {
     line: usize,
+    span: (usize, usize),
+    source: String,
     message: String,
+    hint: Option<String>,
 }
 
 impl ParseAsmError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    fn new(line: usize, source: &str, token: &str, message: impl Into<String>) -> Self {
         Self {
             line,
+            span: byte_span(source, token),
+            source: source.to_string(),
             message: message.into(),
+            hint: None,
         }
+    }
+
+    fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
     }
 
     /// 1-based line number of the offending line.
@@ -34,11 +66,65 @@ impl ParseAsmError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// Byte span `(start, end)` of the offending token within
+    /// [`ParseAsmError::source_line`].
+    #[must_use]
+    pub fn span(&self) -> (usize, usize) {
+        self.span
+    }
+
+    /// Text of the offending line.
+    #[must_use]
+    pub fn source_line(&self) -> &str {
+        &self.source
+    }
+
+    /// The bare diagnostic message, without the caret rendering.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// A did-you-mean or usage hint, when one applies.
+    #[must_use]
+    pub fn hint(&self) -> Option<&str> {
+        self.hint.as_deref()
+    }
+}
+
+/// Byte span of `token` within `line` (the token must be a subslice);
+/// falls back to the whole line.
+fn byte_span(line: &str, token: &str) -> (usize, usize) {
+    let line_ptr = line.as_ptr() as usize;
+    let tok_ptr = token.as_ptr() as usize;
+    if tok_ptr >= line_ptr && tok_ptr + token.len() <= line_ptr + line.len() {
+        let start = tok_ptr - line_ptr;
+        (start, start + token.len())
+    } else {
+        (0, line.len())
+    }
 }
 
 impl core::fmt::Display for ParseAsmError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        let (start, end) = self.span;
+        writeln!(
+            f,
+            "parse error at line {}, columns {start}..{end}: {}",
+            self.line, self.message
+        )?;
+        writeln!(f, "  {}", self.source)?;
+        let pad = self.source[..start.min(self.source.len())].chars().count();
+        let width = self.source[start.min(self.source.len())..end.min(self.source.len())]
+            .chars()
+            .count()
+            .max(1);
+        write!(f, "  {}{}", " ".repeat(pad), "^".repeat(width))?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n  hint: {hint}")?;
+        }
+        Ok(())
     }
 }
 
@@ -54,12 +140,13 @@ pub fn emit(circuit: &Circuit) -> String {
 /// Parses assembly text into a circuit.
 ///
 /// The register size is the maximum qubit index seen plus one, unless a
-/// header comment `# circuit: N qubits, ...` declares it.
+/// header comment `# circuit: N qubits, ...` declares a larger one.
 ///
 /// # Errors
 ///
-/// Returns [`ParseAsmError`] on unknown mnemonics, malformed operands, or
-/// arity mismatches.
+/// Returns [`ParseAsmError`] — with line number, span, and caret
+/// rendering — on unknown mnemonics, malformed operands, arity
+/// mismatches, or repeated operands.
 ///
 /// # Examples
 ///
@@ -92,7 +179,7 @@ pub fn parse(text: &str) -> Result<Circuit, ParseAsmError> {
             }
             continue;
         }
-        let gate = parse_line(line, lineno)?;
+        let gate = parse_line(raw, line, lineno)?;
         for q in gate.qubits() {
             max_qubit = max_qubit.max(q.index());
         }
@@ -110,7 +197,9 @@ pub fn parse(text: &str) -> Result<Circuit, ParseAsmError> {
     Ok(circuit)
 }
 
-fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
+/// Parses one non-blank, non-comment line. `raw` is the full source line
+/// (for spans), `line` its trimmed subslice.
+fn parse_line(raw: &str, line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
     let (head, rest) = match line.split_once(' ') {
         Some((h, r)) => (h.trim(), r.trim()),
         None => (line, ""),
@@ -118,34 +207,78 @@ fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
     let (mnemonic, order) = match head.split_once('[') {
         Some((m, bracket)) => {
             let inner = bracket.strip_suffix(']').ok_or_else(|| {
-                ParseAsmError::new(lineno, format!("unterminated '[' in {head:?}"))
+                ParseAsmError::new(lineno, raw, head, format!("unterminated '[' in {head:?}"))
+                    .with_hint("phase orders close with `]`, e.g. cphase[3]")
             })?;
             let k: u8 = inner.parse().map_err(|_| {
-                ParseAsmError::new(lineno, format!("invalid phase order {inner:?}"))
+                ParseAsmError::new(lineno, raw, inner, format!("invalid phase order {inner:?}"))
+                    .with_hint("the order is a small integer, e.g. cphase[3]")
             })?;
             (m, Some(k))
         }
         None => (head, None),
     };
 
-    let operands: Vec<QubitId> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',')
-            .map(|tok| parse_qubit(tok.trim(), lineno))
-            .collect::<Result<_, _>>()?
-    };
+    if !MNEMONICS.contains(&mnemonic) {
+        let mut err =
+            ParseAsmError::new(lineno, raw, head, format!("unknown mnemonic {mnemonic:?}"));
+        if let Some(candidate) = suggest(mnemonic, &MNEMONICS) {
+            err = err.with_hint(format!("did you mean `{candidate}`?"));
+        } else {
+            err = err.with_hint(format!("known mnemonics: {}", MNEMONICS.join(", ")));
+        }
+        return Err(err);
+    }
+    if order.is_some() && mnemonic != "cphase" {
+        return Err(ParseAsmError::new(
+            lineno,
+            raw,
+            head,
+            format!("{mnemonic} does not take an order parameter"),
+        )
+        .with_hint("only cphase takes an order, e.g. cphase[3] q0, q1"));
+    }
+
+    let mut operands: Vec<QubitId> = Vec::new();
+    if !rest.is_empty() {
+        for tok in rest.split(',') {
+            operands.push(parse_qubit(raw, tok.trim(), lineno)?);
+        }
+    }
 
     let expect = |n: usize| -> Result<(), ParseAsmError> {
         if operands.len() == n {
             Ok(())
         } else {
+            let span_tok = if rest.is_empty() { head } else { rest };
             Err(ParseAsmError::new(
                 lineno,
+                raw,
+                span_tok,
                 format!("{mnemonic} expects {n} operands, got {}", operands.len()),
-            ))
+            )
+            .with_hint(format!(
+                "operands are comma-separated qubits, e.g. {mnemonic}{} {}",
+                if mnemonic == "cphase" { "[3]" } else { "" },
+                (0..n)
+                    .map(|i| format!("q{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )))
         }
     };
+
+    for (i, a) in operands.iter().enumerate() {
+        if operands[i + 1..].contains(a) {
+            return Err(ParseAsmError::new(
+                lineno,
+                raw,
+                rest,
+                format!("{mnemonic} repeats operand {a}"),
+            )
+            .with_hint("each operand must name a distinct qubit"));
+        }
+    }
 
     let gate = match mnemonic {
         "x" => {
@@ -193,7 +326,8 @@ fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
         "cphase" => {
             expect(2)?;
             let order = order.ok_or_else(|| {
-                ParseAsmError::new(lineno, "cphase requires an order, e.g. cphase[3]")
+                ParseAsmError::new(lineno, raw, head, "cphase requires an order")
+                    .with_hint("write the order in brackets, e.g. cphase[3] q0, q1")
             })?;
             Gate::ControlledPhase {
                 control: operands[0],
@@ -209,30 +343,59 @@ fn parse_line(line: &str, lineno: usize) -> Result<Gate, ParseAsmError> {
                 target: operands[2],
             }
         }
-        other => {
-            return Err(ParseAsmError::new(
-                lineno,
-                format!("unknown mnemonic {other:?}"),
-            ))
-        }
+        _ => unreachable!("mnemonic membership checked above"),
     };
-    if order.is_some() && mnemonic != "cphase" {
-        return Err(ParseAsmError::new(
-            lineno,
-            format!("{mnemonic} does not take an order parameter"),
-        ));
-    }
     Ok(gate)
 }
 
-fn parse_qubit(token: &str, lineno: usize) -> Result<QubitId, ParseAsmError> {
+fn parse_qubit(raw: &str, token: &str, lineno: usize) -> Result<QubitId, ParseAsmError> {
     let digits = token.strip_prefix('q').ok_or_else(|| {
-        ParseAsmError::new(lineno, format!("operand {token:?} must look like q7"))
+        ParseAsmError::new(
+            lineno,
+            raw,
+            token,
+            format!("operand {token:?} must look like q7"),
+        )
+        .with_hint("qubit operands are `q` followed by an index")
     })?;
-    let index: u32 = digits
-        .parse()
-        .map_err(|_| ParseAsmError::new(lineno, format!("invalid qubit index in {token:?}")))?;
+    let index: u32 = digits.parse().map_err(|_| {
+        ParseAsmError::new(
+            lineno,
+            raw,
+            token,
+            format!("invalid qubit index in {token:?}"),
+        )
+        .with_hint("the index is a decimal integer, e.g. q7")
+    })?;
     Ok(QubitId::new(index))
+}
+
+/// Returns the closest candidate within an edit-distance budget of
+/// `2.max(len/3)` — the did-you-mean heuristic the sweep-spec grammar
+/// uses.
+fn suggest(input: &str, candidates: &[&'static str]) -> Option<&'static str> {
+    let budget = 2.max(input.chars().count().div_ceil(3));
+    candidates
+        .iter()
+        .map(|c| (edit_distance(input, c), *c))
+        .filter(|&(d, _)| d <= budget)
+        .min()
+        .map(|(_, c)| c)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -278,10 +441,43 @@ mod tests {
     }
 
     #[test]
+    fn unknown_mnemonic_renders_span_and_suggestion() {
+        let err = parse("x q0\ntofolli q0, q1, q2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.span(), (0, 7));
+        assert_eq!(err.source_line(), "tofolli q0, q1, q2");
+        assert_eq!(err.hint(), Some("did you mean `toffoli`?"));
+        let rendered = err.to_string();
+        assert!(rendered.contains("parse error at line 2, columns 0..7"));
+        assert!(rendered.contains("\n  tofolli q0, q1, q2\n  ^^^^^^^"));
+        assert!(rendered.contains("hint: did you mean `toffoli`?"));
+    }
+
+    #[test]
+    fn spans_respect_leading_whitespace() {
+        let err = parse("   x banana\n").unwrap_err();
+        assert_eq!(err.span(), (5, 11));
+        assert!(err.to_string().contains("\n     x banana\n       ^^^^^^"));
+    }
+
+    #[test]
     fn arity_errors() {
         assert!(parse("cnot q0\n").is_err());
         assert!(parse("toffoli q0, q1\n").is_err());
         assert!(parse("x q0, q1\n").is_err());
+        let err = parse("cnot q0\n").unwrap_err();
+        assert!(err.to_string().contains("cnot expects 2 operands, got 1"));
+        assert_eq!(
+            err.hint(),
+            Some("operands are comma-separated qubits, e.g. cnot q0, q1")
+        );
+    }
+
+    #[test]
+    fn repeated_operands_error_instead_of_panicking() {
+        let err = parse("cnot q3, q3\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("repeats operand q3"));
     }
 
     #[test]
@@ -291,5 +487,20 @@ mod tests {
         assert!(parse("cphase q0, q1\n").is_err()); // missing order
         assert!(parse("cphase[z] q0, q1\n").is_err());
         assert!(parse("cnot[2] q0, q1\n").is_err()); // stray order
+        let err = parse("x 0\n").unwrap_err();
+        assert_eq!(err.span(), (2, 3));
+    }
+
+    #[test]
+    fn unknown_mnemonic_without_close_match_lists_the_grammar() {
+        let err = parse("quux q0\n").unwrap_err();
+        assert!(err.hint().unwrap().starts_with("known mnemonics:"));
+    }
+
+    #[test]
+    fn suggest_respects_budget() {
+        assert_eq!(suggest("tofoli", &MNEMONICS), Some("toffoli"));
+        assert_eq!(suggest("measrue", &MNEMONICS), Some("measure"));
+        assert_eq!(suggest("zzzzzzzzzz", &MNEMONICS), None);
     }
 }

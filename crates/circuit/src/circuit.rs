@@ -123,6 +123,26 @@ impl Circuit {
         self.push(Gate::X(QubitId::new(q)));
     }
 
+    /// Appends `Y` on `q`.
+    pub fn y(&mut self, q: u32) {
+        self.push(Gate::Y(QubitId::new(q)));
+    }
+
+    /// Appends `Z` on `q`.
+    pub fn z(&mut self, q: u32) {
+        self.push(Gate::Z(QubitId::new(q)));
+    }
+
+    /// Appends `S` on `q`.
+    pub fn s(&mut self, q: u32) {
+        self.push(Gate::S(QubitId::new(q)));
+    }
+
+    /// Appends `T` on `q`.
+    pub fn t(&mut self, q: u32) {
+        self.push(Gate::T(QubitId::new(q)));
+    }
+
     /// Appends `H` on `q`.
     pub fn h(&mut self, q: u32) {
         self.push(Gate::H(QubitId::new(q)));
@@ -131,6 +151,14 @@ impl Circuit {
     /// Appends a CNOT.
     pub fn cnot(&mut self, control: u32, target: u32) {
         self.push(Gate::cnot(control, target));
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: u32, b: u32) {
+        self.push(Gate::Cz {
+            a: QubitId::new(a),
+            b: QubitId::new(b),
+        });
     }
 
     /// Appends a Toffoli.
@@ -264,6 +292,31 @@ mod tests {
         assert_eq!(counts.total(), 5);
         assert_eq!(c.total_gate_equivalents(), 1 + 1 + 15 + 1 + 1);
         assert_eq!(c.active_qubits(), 4);
+    }
+
+    #[test]
+    fn every_gate_kind_has_a_builder() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.y(0);
+        c.z(0);
+        c.s(0);
+        c.t(0);
+        c.h(0);
+        c.cnot(0, 1);
+        c.cz(0, 1);
+        let counts = c.counts();
+        assert_eq!(counts.single_qubit, 6);
+        assert_eq!(counts.cnot, 1);
+        assert_eq!(counts.two_qubit_other, 1);
+        assert_eq!(c.gates()[1], Gate::Y(QubitId::new(0)));
+        assert_eq!(
+            c.gates()[7],
+            Gate::Cz {
+                a: QubitId::new(0),
+                b: QubitId::new(1)
+            }
+        );
     }
 
     #[test]

@@ -91,6 +91,8 @@ impl Schedule {
     }
 
     /// Peak concurrent gates.
+    ///
+    /// An empty schedule has no occupied time units and peaks at `0`.
     #[must_use]
     pub fn peak_parallelism(&self) -> usize {
         self.occupancy.iter().copied().max().unwrap_or(0)
@@ -100,13 +102,18 @@ impl Schedule {
     ///
     /// For [`Width::Unlimited`] the denominator uses the peak parallelism
     /// (the hardware a sea-of-qubits machine would have had to provision).
+    ///
+    /// Empty schedules report `0.0` rather than the `0/0` the formula
+    /// would produce, and a single-gate schedule under
+    /// [`Width::Unlimited`] reports exactly `1.0` (one slot, fully busy)
+    /// — neither edge divides by zero.
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        if self.makespan == 0 {
+        if self.makespan == 0 || self.total_work == 0 {
             return 0.0;
         }
         let slots = match self.width {
-            Width::Blocks(b) => b,
+            Width::Blocks(b) => b.max(1),
             Width::Unlimited => self.peak_parallelism().max(1),
         };
         self.total_work as f64 / (slots as f64 * self.makespan as f64)
@@ -361,6 +368,51 @@ mod tests {
         assert_eq!(s.makespan(), 0);
         assert_eq!(s.utilization(), 0.0);
         assert!(s.occupancy().is_empty());
+    }
+
+    #[test]
+    fn empty_circuit_under_unlimited_width_has_finite_metrics() {
+        let c = Circuit::new(1);
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Unlimited, unit);
+        assert_eq!(s.makespan(), 0);
+        assert_eq!(s.peak_parallelism(), 0);
+        assert_eq!(s.total_work(), 0);
+        // 0/0 must not leak out as NaN.
+        assert_eq!(s.utilization(), 0.0);
+        assert!(s.utilization().is_finite());
+    }
+
+    #[test]
+    fn single_gate_circuit_is_fully_utilized() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let dag = DependencyDag::new(&c);
+        for width in [Width::Unlimited, Width::Blocks(1)] {
+            let s = ListScheduler::new(&dag).schedule(width, unit);
+            assert_eq!(s.makespan(), 1);
+            assert_eq!(s.peak_parallelism(), 1);
+            assert!((s.utilization() - 1.0).abs() < 1e-12, "width {width}");
+            assert!(s.utilization().is_finite());
+        }
+    }
+
+    #[test]
+    fn single_gate_on_wide_hardware_dilutes_utilization() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let dag = DependencyDag::new(&c);
+        let s = ListScheduler::new(&dag).schedule(Width::Blocks(4), unit);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule width must be positive")]
+    fn zero_width_is_rejected() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let dag = DependencyDag::new(&c);
+        let _ = ListScheduler::new(&dag).schedule(Width::Blocks(0), unit);
     }
 
     #[test]

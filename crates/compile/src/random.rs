@@ -1,0 +1,156 @@
+//! Seeded random Clifford+T workload generator for stress grids.
+//!
+//! [`random_circuit`] is a pure function of `(qubits, gates, seed)`: the
+//! vendored `rand` stand-in is a fixed xoshiro256** generator with
+//! SplitMix64 seeding and unbiased integer ranges, so the same triple
+//! produces the same circuit on every platform, thread count, and worker
+//! fleet. That determinism is what lets a `seed=1..=64` grid axis shard
+//! across machines and merge byte-identically.
+//!
+//! The gate mix is Clifford+T: mostly CNOT/CZ with a single-qubit
+//! Clifford+T sprinkling and an occasional Toffoli so the downstream
+//! decomposition stage has work to do. No measurements — generated
+//! workloads stay unitary so they schedule like the paper's adder
+//! kernels.
+
+use cqla_circuit::Circuit;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates a seeded random Clifford+T circuit on `qubits` qubits with
+/// exactly `gates` gates.
+///
+/// Draws that need more qubits than the register offers degrade
+/// gracefully: two-qubit gates become single-qubit gates on a 1-qubit
+/// register, and Toffolis become CNOTs below 3 qubits.
+///
+/// # Panics
+///
+/// Panics if `qubits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cqla_compile::random::random_circuit;
+///
+/// let a = random_circuit(8, 64, 42);
+/// let b = random_circuit(8, 64, 42);
+/// assert_eq!(a, b); // same seed, same circuit
+/// assert_eq!(a.len(), 64);
+/// assert_eq!(a.num_qubits(), 8);
+/// ```
+#[must_use]
+pub fn random_circuit(qubits: u32, gates: u32, seed: u64) -> Circuit {
+    assert!(qubits > 0, "a circuit needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(qubits);
+    for _ in 0..gates {
+        push_random_gate(&mut circuit, &mut rng, qubits);
+    }
+    circuit
+}
+
+fn push_random_gate(circuit: &mut Circuit, rng: &mut StdRng, qubits: u32) {
+    // Weighted mix out of 100: 38% CNOT, 14% CZ, 8% Toffoli, 40%
+    // single-qubit Clifford+T (H, T, S, X, Z, Y).
+    let draw = rng.gen_range(0u32..100);
+    let a = rng.gen_range(0..qubits);
+    match draw {
+        0..=11 => circuit.h(a),
+        12..=23 => circuit.t(a),
+        24..=29 => circuit.s(a),
+        30..=33 => circuit.x(a),
+        34..=37 => circuit.z(a),
+        38..=39 => circuit.y(a),
+        40..=77 => match distinct(rng, qubits, &[a]) {
+            Some(b) => circuit.cnot(a, b),
+            None => circuit.h(a),
+        },
+        78..=91 => match distinct(rng, qubits, &[a]) {
+            Some(b) => circuit.cz(a, b),
+            None => circuit.t(a),
+        },
+        _ => match distinct(rng, qubits, &[a]) {
+            Some(b) => match distinct(rng, qubits, &[a, b]) {
+                Some(c) => circuit.toffoli(a, b, c),
+                None => circuit.cnot(a, b),
+            },
+            None => circuit.h(a),
+        },
+    }
+}
+
+/// Draws a qubit distinct from `taken` by rejection sampling, or `None`
+/// if the register has no free qubit left.
+fn distinct(rng: &mut StdRng, qubits: u32, taken: &[u32]) -> Option<u32> {
+    if (taken.len() as u32) >= qubits {
+        return None;
+    }
+    loop {
+        let q = rng.gen_range(0..qubits);
+        if !taken.contains(&q) {
+            return Some(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqla_circuit::asm;
+
+    #[test]
+    fn same_seed_same_circuit() {
+        assert_eq!(random_circuit(8, 100, 1), random_circuit(8, 100, 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_circuit(8, 100, 1), random_circuit(8, 100, 2));
+    }
+
+    #[test]
+    fn requested_shape_is_honored() {
+        let c = random_circuit(5, 37, 9);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.len(), 37);
+        assert_eq!(c.counts().measure, 0);
+    }
+
+    #[test]
+    fn single_qubit_register_degrades_to_single_qubit_gates() {
+        let c = random_circuit(1, 50, 3);
+        let counts = c.counts();
+        assert_eq!(counts.single_qubit, 50);
+        assert_eq!(counts.total(), 50);
+    }
+
+    #[test]
+    fn two_qubit_register_never_emits_toffolis() {
+        let c = random_circuit(2, 200, 4);
+        assert_eq!(c.counts().toffoli, 0);
+    }
+
+    #[test]
+    fn mix_covers_the_gate_families() {
+        let counts = random_circuit(16, 512, 11).counts();
+        assert!(counts.single_qubit > 0);
+        assert!(counts.cnot > 0);
+        assert!(counts.two_qubit_other > 0);
+        assert!(counts.toffoli > 0);
+    }
+
+    #[test]
+    fn output_round_trips_through_asm() {
+        let c = random_circuit(12, 256, 77);
+        let text = asm::emit(&c);
+        let parsed = asm::parse(&text).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(asm::emit(&parsed), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_is_rejected() {
+        let _ = random_circuit(0, 1, 0);
+    }
+}

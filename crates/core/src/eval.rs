@@ -24,7 +24,8 @@
 //! process-wide via [`memo_counters`] (surfaced by `cqla serve` in
 //! `/v1/stats`).
 
-use cqla_circuit::{DependencyDag, Gate, ListScheduler, QubitId, Width};
+use cqla_circuit::{asm, Circuit, DependencyDag, Gate, ListScheduler, QubitId, Width};
+use cqla_compile::ScheduleCosts;
 use cqla_ecc::fidelity::{AppSize, FidelityBudget};
 use cqla_ecc::memo::Memo;
 use cqla_ecc::{Code, EccMetrics, Level};
@@ -94,6 +95,7 @@ pub struct EvalCtx {
     cache: Memo<(u32, usize), CacheBehavior>,
     level1_share: Memo<(&'static str, Code, u32), f64>,
     area: Memo<(&'static str, Code, u64, u32), f64>,
+    compiled: Memo<(String, u32), ScheduleCosts>,
 }
 
 impl EvalCtx {
@@ -212,16 +214,31 @@ impl EvalCtx {
             })
     }
 
+    /// Memoized [`cqla_compile::schedule_costs`] of a compiled (already
+    /// lowered) circuit on `blocks` compute blocks. The key is the
+    /// circuit's emitted asm text — exact, collision-free, and identical
+    /// for identical programs however they were produced (inline asm,
+    /// the seeded generator, …) — so every point of a `compile` grid
+    /// that lowers to the same circuit shares one schedule.
+    #[must_use]
+    pub fn compiled_costs(&self, lowered: &Circuit, blocks: u32) -> ScheduleCosts {
+        self.compiled
+            .get_or_compute((asm::emit(lowered), blocks), || {
+                cqla_compile::schedule_costs(lowered, blocks)
+            })
+    }
+
     /// This context's cumulative `(hits, misses)` across all its tables.
     #[must_use]
     pub fn counters(&self) -> (u64, u64) {
-        let tables: [(u64, u64); 6] = [
+        let tables: [(u64, u64); 7] = [
             (self.ecc.hits(), self.ecc.misses()),
             (self.adder.hits(), self.adder.misses()),
             (self.qla_makespan.hits(), self.qla_makespan.misses()),
             (self.cache.hits(), self.cache.misses()),
             (self.level1_share.hits(), self.level1_share.misses()),
             (self.area.hits(), self.area.misses()),
+            (self.compiled.hits(), self.compiled.misses()),
         ];
         tables
             .iter()
@@ -285,6 +302,22 @@ mod tests {
         let current = ctx.ecc_metrics(Code::Steane713, Level::TWO, &TechnologyParams::current());
         let projected = ctx.ecc_metrics(Code::Steane713, Level::TWO, &tech());
         assert_ne!(current.ec_time(), projected.ec_time());
+    }
+
+    #[test]
+    fn compiled_costs_match_the_direct_pipeline() {
+        let ctx = EvalCtx::new();
+        let circuit = cqla_compile::random::random_circuit(8, 64, 5);
+        let lowered = cqla_circuit::decompose_toffolis(&circuit);
+        let memoized = ctx.compiled_costs(&lowered, 4);
+        assert_eq!(memoized, cqla_compile::schedule_costs(&lowered, 4));
+        // Same circuit, same width: a hit. Different width: a miss.
+        let before = ctx.counters();
+        let _ = ctx.compiled_costs(&lowered, 4);
+        let _ = ctx.compiled_costs(&lowered, 8);
+        let after = ctx.counters();
+        assert_eq!(after.0 - before.0, 1);
+        assert_eq!(after.1 - before.1, 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use cqla_ecc::Code;
 use cqla_iontrap::TechPoint;
 
+use super::compile::CompileSource;
 use crate::json::Json;
 
 /// What running an experiment produces: the paper-style text rendering
@@ -85,6 +86,8 @@ pub enum Domain {
     PosInt,
     /// A positive finite decimal (cache ratios and the like).
     Ratio,
+    /// A compile program source (`inline-asm|random`).
+    Source,
 }
 
 impl Domain {
@@ -96,6 +99,7 @@ impl Domain {
             Self::Code => CODE_ACCEPTS,
             Self::PosInt => INT_ACCEPTS,
             Self::Ratio => RATIO_ACCEPTS,
+            Self::Source => SOURCE_ACCEPTS,
         }
     }
 
@@ -108,6 +112,7 @@ impl Domain {
             Self::Code => Code::parse(value).is_some(),
             Self::PosInt => parse_pos_int(value).is_some(),
             Self::Ratio => parse_pos_ratio(value).is_some(),
+            Self::Source => CompileSource::parse(value).is_some(),
         }
     }
 }
@@ -367,6 +372,15 @@ pub fn parse_ratio(key: &'static str, value: &str) -> Result<f64, ParamError> {
     parse_pos_ratio(value).ok_or_else(|| bad_value(key, value, Domain::Ratio))
 }
 
+/// Parses a [`CompileSource`] parameter value ([`Domain::Source`]).
+///
+/// # Errors
+///
+/// [`ParamError::BadValue`] when the value names neither source.
+pub fn parse_source(key: &'static str, value: &str) -> Result<CompileSource, ParamError> {
+    CompileSource::parse(value).ok_or_else(|| bad_value(key, value, Domain::Source))
+}
+
 /// The `accepts` string for technology-preset parameters.
 pub const TECH_ACCEPTS: &str = "current|projected";
 
@@ -379,14 +393,17 @@ pub const INT_ACCEPTS: &str = "a positive integer";
 /// The `accepts` string for ratio parameters.
 pub const RATIO_ACCEPTS: &str = "a positive decimal";
 
+/// The `accepts` string for compile program sources.
+pub const SOURCE_ACCEPTS: &str = "inline-asm|random";
+
 /// Every paper artifact, in the paper's presentation order: Tables 1–5,
-/// Figures 2/6a/6b/7/8a/8b, then the `verify` self-checks and the
-/// `machine` configuration pricer.
+/// Figures 2/6a/6b/7/8a/8b, then the `verify` self-checks, the `machine`
+/// configuration pricer, and the `compile` program front end.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn Experiment>> {
     use super::{
-        Fig2, Fig6a, Fig6b, Fig7, Fig8a, Fig8b, Machine, Table1, Table2, Table3, Table4, Table5,
-        Verify,
+        Compile, Fig2, Fig6a, Fig6b, Fig7, Fig8a, Fig8b, Machine, Table1, Table2, Table3, Table4,
+        Table5, Verify,
     };
     vec![
         Box::new(Table1),
@@ -402,6 +419,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(Fig8b::default()),
         Box::new(Verify),
         Box::new(Machine::default()),
+        Box::new(Compile::default()),
     ]
 }
 
@@ -491,7 +509,7 @@ mod tests {
     fn registry_covers_every_paper_artifact() {
         let expected = [
             "table1", "table2", "table3", "table4", "table5", "fig2", "fig6a", "fig6b", "fig7",
-            "fig8a", "fig8b", "verify", "machine",
+            "fig8a", "fig8b", "verify", "machine", "compile",
         ];
         assert_eq!(ids(), expected);
     }

@@ -358,6 +358,17 @@ pub fn parse_value_set(
                 ))
             }
         }),
+        Domain::Source => parse_items(spec, values, values_start, |piece, span| {
+            if Domain::Source.admits(piece) {
+                Ok(vec![piece.to_owned()])
+            } else {
+                Err(SpecError::new(
+                    spec,
+                    span,
+                    format!("unknown source `{piece}`; expected inline-asm|random"),
+                ))
+            }
+        }),
     }
 }
 

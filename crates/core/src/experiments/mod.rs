@@ -20,6 +20,7 @@
 
 mod api;
 mod apps;
+mod compile;
 mod figures;
 pub mod grid;
 mod machine;
@@ -27,11 +28,12 @@ mod tables;
 mod verify;
 
 pub use api::{
-    find, ids, listing_json, params_usage, parse_code, parse_positive, parse_ratio, parse_tech,
-    registry, suggest, unknown_key, Domain, Experiment, ExperimentOutput, Param, ParamError,
-    ParamSpec, CODE_ACCEPTS, INT_ACCEPTS, RATIO_ACCEPTS, TECH_ACCEPTS,
+    find, ids, listing_json, params_usage, parse_code, parse_positive, parse_ratio, parse_source,
+    parse_tech, registry, suggest, unknown_key, Domain, Experiment, ExperimentOutput, Param,
+    ParamError, ParamSpec, CODE_ACCEPTS, INT_ACCEPTS, RATIO_ACCEPTS, SOURCE_ACCEPTS, TECH_ACCEPTS,
 };
 pub use apps::{fig8a_row, fig8b_row, AppTimeRow, Fig8a, Fig8b, FIG8A_SIZES, FIG8B_SIZES};
+pub use compile::{Compile, CompileSource};
 pub use cqla_iontrap::TechPoint;
 pub use figures::{
     fig6a_cell, fig6a_cell_ctx, fig6b_series, fig7_cell, fig7_cell_ctx, Fig2, Fig2Data, Fig6a,

@@ -626,6 +626,35 @@ mod tests {
     }
 
     #[test]
+    fn compile_seed_grids_shard_losslessly() {
+        // `compile` is a registry entry like any other, so seed sweeps
+        // shard across a fleet with the same order-preserving,
+        // reparseable splits the analytic grids get.
+        let specs = find("compile").unwrap().specs();
+        let grid = Grid::parse("compile", &specs, "seed=1,2,3,4,5 qubits=8 gates=32").unwrap();
+        let work = Work::Grid(grid.clone());
+        for n in 1..=6 {
+            let shards = work.split(n);
+            assert_eq!(shards.len(), n.min(grid.len()));
+            let merged: Vec<_> = shards
+                .iter()
+                .flat_map(|s| match s {
+                    Work::Grid(g) => g.points(),
+                    Work::Sweep(_) => unreachable!("grid work splits into grids"),
+                })
+                .collect();
+            assert_eq!(merged, grid.points());
+            for shard in &shards {
+                let Work::Grid(g) = shard else {
+                    unreachable!("grid work splits into grids")
+                };
+                let reparsed = Grid::parse("compile", &specs, &shard.body()).unwrap();
+                assert_eq!(reparsed.points(), g.points());
+            }
+        }
+    }
+
+    #[test]
     fn dist_errors_attribute_the_worker() {
         let attributed = DistError::at("127.0.0.1:9", "connect refused");
         assert_eq!(

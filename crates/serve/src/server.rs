@@ -348,6 +348,10 @@ struct Shared {
     jobs_active: AtomicU64,
     /// Chunked streams currently open (gauge).
     streams_open: AtomicU64,
+    /// `POST /v1/compile` requests accepted (any outcome).
+    compiles: AtomicU64,
+    /// Compile requests answered from the results cache.
+    compile_cache_hits: AtomicU64,
 }
 
 /// Bumps a gauge for its lifetime.
@@ -456,6 +460,8 @@ impl Server {
                 coalesced: AtomicU64::new(0),
                 jobs_active: AtomicU64::new(0),
                 streams_open: AtomicU64::new(0),
+                compiles: AtomicU64::new(0),
+                compile_cache_hits: AtomicU64::new(0),
             }),
         })
     }
@@ -705,6 +711,10 @@ fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed
             "GET" => Response::ok(format!("{}\n", stats_json(shared).to_pretty())),
             _ => method_not_allowed("GET"),
         }),
+        "/v1/compile" => full(match method {
+            "POST" => compile_endpoint(&request.body, &request.query, shared),
+            _ => method_not_allowed("POST"),
+        }),
         "/v1/sweep" => full(match method {
             "POST" => sweep_endpoint(&request.body, shared, pool_threads),
             _ => method_not_allowed("POST"),
@@ -748,7 +758,8 @@ fn route(request: &Request, shared: &Arc<Shared>, pool_threads: usize) -> Routed
                     format!("no route for `{path}`"),
                     Some(
                         "endpoints: GET /healthz, GET /v1/experiments, \
-                         GET /v1/run/{id}?key=value-set, POST /v1/sweep, \
+                         GET /v1/run/{id}?key=value-set, POST /v1/compile, \
+                         POST /v1/sweep, \
                          POST /v1/sweep/{id}, POST /v1/jobs/{id}, \
                          POST /v1/jobs/sweep, GET /v1/jobs/{jid}, \
                          GET /v1/jobs/{jid}/stream?from=K, \
@@ -787,7 +798,7 @@ fn health_json(shared: &Shared, pool_threads: usize) -> Json {
 }
 
 /// The observability document: request, cache, coalescing,
-/// job/stream, and evaluation-memo counters.
+/// job/stream, compile, and evaluation-memo counters.
 fn stats_json(shared: &Shared) -> Json {
     let entries = shared.cache.lock().expect("cache lock").len();
     let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::Relaxed) as i64);
@@ -801,6 +812,8 @@ fn stats_json(shared: &Shared) -> Json {
         ("cache_entries", Json::Int(entries as i64)),
         ("jobs_active", load(&shared.jobs_active)),
         ("streams_open", load(&shared.streams_open)),
+        ("compiles", load(&shared.compiles)),
+        ("compile_cache_hits", load(&shared.compile_cache_hits)),
         ("memo_hits", Json::Int(memo_hits as i64)),
         ("memo_misses", Json::Int(memo_misses as i64)),
     ])
@@ -1465,6 +1478,111 @@ fn sweep_endpoint(body: &[u8], shared: &Shared, pool_threads: usize) -> Response
     }
 }
 
+/// `POST /v1/compile` — the body is an asm IR program; query params
+/// override the `compile` experiment's machine parameters (`tech`,
+/// `code`, `width`, `cache`, …). An empty body compiles the seeded
+/// generated workload instead (`?source=random&seed=…`), so the route
+/// covers both front-end shapes.
+///
+/// The response is byte-identical to `cqla compile FILE --format json`
+/// with the same program and overrides: the pretty-printed `compile`
+/// artifact document plus the trailing newline. Bodies ride the same
+/// results cache and single-flight machinery as `/v1/run/{id}` — the
+/// program text is one more (length-prefixed) component of the
+/// canonical key — and programs that fail to parse are answered 400
+/// with the spanned caret diagnostic and its hint, before any flight
+/// is registered.
+fn compile_endpoint(body: &[u8], query: &[(String, String)], shared: &Shared) -> Response {
+    shared.compiles.fetch_add(1, Ordering::Relaxed);
+    let Ok(source) = core::str::from_utf8(body) else {
+        return Response::error(Status::BadRequest, "program is not UTF-8", None);
+    };
+    let source = source.trim();
+    if let Some((k, v)) = query.iter().find(|(k, v)| is_set_clause(k, v)) {
+        return Response::error(
+            Status::BadRequest,
+            format!("`{k}={v}` is a value set; /v1/compile compiles one machine point"),
+            Some("grids over machines stream from GET /v1/run/compile?key=value-set".to_owned()),
+        );
+    }
+    let mut params: Vec<(String, String)> = query.to_vec();
+    if !source.is_empty() {
+        // An inline program and a generated workload are mutually
+        // exclusive; a body with `source=random` is a contradiction,
+        // not an override to silently drop.
+        if let Some((_, v)) = params.iter().find(|(k, _)| k == "source") {
+            if v != "inline-asm" {
+                return Response::error(
+                    Status::BadRequest,
+                    format!("request body conflicts with `source={v}`"),
+                    Some(
+                        "POST a program body (source=inline-asm is implied), or use \
+                         GET /v1/run/compile?source=random&seed=N"
+                            .to_owned(),
+                    ),
+                );
+            }
+        } else {
+            params.push(("source".to_owned(), "inline-asm".to_owned()));
+        }
+        if params.iter().any(|(k, _)| k == "program") {
+            return Response::error(
+                Status::BadRequest,
+                "`program` is set from the request body",
+                Some("POST the program as the body and drop the query param".to_owned()),
+            );
+        }
+        // Pre-validate so a broken program answers 400 with the spanned
+        // diagnostic instead of a failed-run document.
+        if let Err(e) = cqla_circuit::asm::parse(source) {
+            let hint = e.hint().map(str::to_owned);
+            return Response::error(Status::BadRequest, e.to_string(), hint);
+        }
+        params.push(("program".to_owned(), source.to_owned()));
+    }
+    params.sort();
+    let key = canonical_key("compile", &params);
+    match lookup(shared, &key) {
+        Lookup::Hit(body) => {
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.compile_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::shared(body);
+        }
+        Lookup::Coalesced(body) => {
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Response::shared(body);
+        }
+        Lookup::Owned => {}
+    }
+    let mut guard = FlightGuard {
+        shared,
+        key,
+        armed: true,
+    };
+    let mut experiment = find("compile").expect("the registry always has `compile`");
+    for (param, value) in &params {
+        if let Err(e) = experiment.set(param, value) {
+            return Response::error(
+                Status::BadRequest,
+                e.to_string(),
+                Some(format!(
+                    "compile takes: {}",
+                    params_usage(experiment.as_ref())
+                )),
+            );
+        }
+    }
+    let output = experiment.run();
+    let body = Arc::new(format!("{}\n", output.document("compile").to_pretty()));
+    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+    if output.passed {
+        guard.armed = false;
+        resolve_flight(shared, &guard.key, Arc::clone(&body));
+    }
+    drop(guard);
+    Response::shared(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1746,6 +1864,90 @@ mod tests {
         let bad = sweep_endpoint(b"frobnicate=1", shared, 2);
         assert_eq!(bad.status, Status::BadRequest);
         assert!(bad.body.contains("error"), "{}", bad.body);
+    }
+
+    #[test]
+    fn compile_endpoint_matches_the_registry_document_and_caches() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        // An empty body compiles the default generated workload —
+        // byte-identical to `cqla run compile --format json`.
+        let resp = compile_endpoint(b"", &[], shared);
+        assert_eq!(resp.status, Status::Ok);
+        let expected = format!(
+            "{}\n",
+            find("compile")
+                .unwrap()
+                .run()
+                .document("compile")
+                .to_pretty()
+        );
+        assert_eq!(*resp.body, expected);
+        // The second identical request is a compile cache hit.
+        let again = compile_endpoint(b"", &[], shared);
+        assert_eq!(*again.body, expected);
+        assert_eq!(shared.compiles.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.compile_cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.cache_misses.load(Ordering::Relaxed), 1);
+        assert!(shared.flights.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn compile_endpoint_accepts_programs_and_rejects_conflicts() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        let program = b"h q0\ntoffoli q0, q1, q2\nmeasure q2\n";
+        let width = [("width".to_owned(), "4".to_owned())];
+        let resp = compile_endpoint(program, &width, shared);
+        assert_eq!(resp.status, Status::Ok, "{}", resp.body);
+        // The body is what the registry produces for the same point.
+        let mut experiment = find("compile").unwrap();
+        experiment.set("source", "inline-asm").unwrap();
+        experiment
+            .set("program", core::str::from_utf8(program).unwrap().trim())
+            .unwrap();
+        experiment.set("width", "4").unwrap();
+        let expected = format!("{}\n", experiment.run().document("compile").to_pretty());
+        assert_eq!(*resp.body, expected);
+        assert!(resp.body.contains("\"source\": \"inline-asm\""));
+        // A body alongside `source=random` is a contradiction, not an
+        // override to drop silently; ditto a `program` query param and
+        // value-set syntax (grids stream from /v1/run/compile).
+        let random = [("source".to_owned(), "random".to_owned())];
+        let conflict = compile_endpoint(program, &random, shared);
+        assert_eq!(conflict.status, Status::BadRequest);
+        assert!(conflict.body.contains("conflicts"), "{}", conflict.body);
+        let smuggled = [("program".to_owned(), "h q0".to_owned())];
+        assert_eq!(
+            compile_endpoint(program, &smuggled, shared).status,
+            Status::BadRequest
+        );
+        let grid = [("width".to_owned(), "4,9".to_owned())];
+        let fanout = compile_endpoint(program, &grid, shared);
+        assert_eq!(fanout.status, Status::BadRequest);
+        assert!(fanout.body.contains("value set"), "{}", fanout.body);
+        // Bad machine params get the usage hint and release the flight.
+        let bad = compile_endpoint(program, &[("tech".to_owned(), "warp".to_owned())], shared);
+        assert_eq!(bad.status, Status::BadRequest);
+        assert!(bad.body.contains("compile takes"), "{}", bad.body);
+        assert!(shared.flights.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn compile_endpoint_answers_parse_errors_with_the_spanned_diagnostic() {
+        let server = Server::bind("127.0.0.1:0", 1).unwrap();
+        let shared = &server.shared;
+        let resp = compile_endpoint(b"frobnicate q0\n", &[], shared);
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(resp.body.contains("unknown mnemonic"), "{}", resp.body);
+        assert!(resp.body.contains("^^^^^^^^^^"), "{}", resp.body);
+        // Parse errors are rejected before any flight is registered
+        // and never cached.
+        assert!(shared.flights.lock().unwrap().is_empty());
+        assert_eq!(shared.cache.lock().unwrap().len(), 0);
+        let binary = compile_endpoint(&[0xff, 0xfe], &[], shared);
+        assert_eq!(binary.status, Status::BadRequest);
+        assert!(binary.body.contains("not UTF-8"), "{}", binary.body);
     }
 
     #[test]

@@ -484,6 +484,21 @@ mod tests {
     }
 
     #[test]
+    fn compile_seed_grids_are_deterministic_across_thread_counts() {
+        // The compile workload generator is seeded, so a grid over
+        // seeds must be as reproducible as any analytic experiment:
+        // the merged document is byte-identical however the pool
+        // splits the points.
+        let g = grid("compile", "seed=1,2,3,4 qubits=8 gates=48");
+        let serial = GridRun::execute(&g, 1).to_json().to_pretty();
+        let parallel = GridRun::execute(&g, 4).to_json().to_pretty();
+        assert_eq!(serial, parallel);
+        let doc = cqla_core::json::parse(&serial).unwrap();
+        assert_eq!(doc.get("artifact").and_then(Json::as_str), Some("compile"));
+        assert_eq!(doc.get("points").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
     fn point_cache_is_read_through_and_populated() {
         struct MapCache(Mutex<std::collections::HashMap<String, String>>);
         impl PointCache for MapCache {

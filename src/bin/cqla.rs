@@ -20,6 +20,10 @@
 //!                               and --retries N tune fault handling:
 //!                               retries > 0 re-shards a dead worker's
 //!                               points onto the survivors
+//! cqla compile FILE [k=v ...]   compile an asm program file (`-` reads
+//!                               stdin) through the `compile` artifact:
+//!                               parse → decompose → schedule → price;
+//!                               byte-identical to POST /v1/compile
 //! cqla bench-diff OLD NEW [--threshold X]
 //!                               compare two BENCH_sweep.json documents
 //! cqla serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N]
@@ -61,16 +65,18 @@ use cqla_repro::sweep::{pool, GridRun, Sweep, SweepRun};
 const USAGE: &str = "usage: cqla [--format text|json] [--threads N] \
      <list | run ID [k=v|k=set...] | sweep [SPEC | ID [k=set...] | --spec-file FILE] \
      [--workers HOST:PORT,... [--connect-timeout SECS] [--retries N]] | \
+     compile FILE [k=v...] | \
      bench-diff OLD NEW [--threshold X] | \
      serve [--addr HOST:PORT] [--idle-timeout SECS] [--job-retention N] \
      [--workers HOST:PORT,...] | \
      machine BITS BLOCKS [CODE] | table N | figure N | floorplan | verify>";
 
 /// The subcommand spellings `cqla` accepts, for did-you-mean suggestions.
-const COMMANDS: [&str; 10] = [
+const COMMANDS: [&str; 11] = [
     "list",
     "run",
     "sweep",
+    "compile",
     "bench-diff",
     "serve",
     "table",
@@ -189,6 +195,7 @@ fn main() -> ExitCode {
         Some("list") => Ok(list(&cli)),
         Some("run") => run(&cli, cli.args.get(1), &cli.args[2.min(cli.args.len())..]),
         Some("sweep") => sweep(&cli),
+        Some("compile") => compile(&cli),
         Some("bench-diff") => bench_diff(&cli),
         Some("serve") => serve(&cli),
         Some("table") => legacy(&cli, "table", cli.arg(1)),
@@ -605,6 +612,83 @@ fn sweep(cli: &Cli) -> Result<ExitCode, UsageError> {
         },
     );
     Ok(ExitCode::SUCCESS)
+}
+
+/// `cqla compile FILE [key=value ...]`: compile one asm program file
+/// (`-` reads stdin) through the registry's `compile` artifact. The
+/// program is pre-validated so a bad file exits 2 with the spanned
+/// caret diagnostic; overrides tune the machine (`width=`, `tech=`,
+/// `code=`, `cache=`). Seed grids live on `cqla run compile` instead —
+/// a single program compile has exactly one point.
+fn compile(cli: &Cli) -> Result<ExitCode, UsageError> {
+    let usage = "usage: cqla compile FILE [key=value ...] (FILE `-` reads stdin)";
+    let Some(path) = cli.arg(1) else {
+        return Err(UsageError::with_hint(
+            "compile expects a program file",
+            usage,
+        ));
+    };
+    let source = if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("cqla: cannot read stdin: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+        text
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cqla: cannot read {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    };
+    // Pre-validate: a program that does not parse is a usage error (exit
+    // 2) with the full caret diagnostic, same contract as bad sweep
+    // specs.
+    if let Err(e) = cqla_repro::circuit::asm::parse(&source) {
+        return Err(UsageError::new(format!("{path}: {e}")));
+    }
+    let mut exp = find("compile").expect("compile is registered");
+    exp.set("source", "inline-asm")
+        .expect("inline-asm is valid");
+    exp.set("program", &source)
+        .expect("program accepts any text");
+    for pair in &cli.args[2..] {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(UsageError::with_hint(
+                format!("expected key=value, got `{pair}`"),
+                usage,
+            ));
+        };
+        if key == "source" || key == "program" {
+            return Err(UsageError::with_hint(
+                format!("`{key}` is set by the program file"),
+                "to compile generated workloads, use `cqla run compile source=random seed=…`",
+            ));
+        }
+        if is_set_clause(key, value) {
+            return Err(UsageError::with_hint(
+                format!("`{pair}` is a value set; compile prices one point per program"),
+                "grid over machines with `cqla run compile source=inline-asm width=4,9,16`",
+            ));
+        }
+        exp.set(key, value).map_err(|e| {
+            UsageError::with_hint(
+                e.to_string(),
+                format!("compile takes: {}", params_usage(exp.as_ref())),
+            )
+        })?;
+    }
+    let output = exp.run();
+    cli.emit(|| output.text.clone(), || output.document(exp.id()));
+    Ok(if output.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 /// `cqla bench-diff OLD NEW [--threshold X]`: the perf regression gate.

@@ -16,6 +16,7 @@
 //! | [`iontrap`] | `cqla-iontrap` | Table 1 technology model, trap geometry |
 //! | [`ecc`] | `cqla-ecc` | concatenated-EC costs (Tables 2–3), Eq. 1 fidelity |
 //! | [`circuit`] | `cqla-circuit` | gate IR, DAGs, scheduling, reversible sim |
+//! | [`compile`] | `cqla-compile` | asm program pipeline + seeded workload generator |
 //! | [`workloads`] | `cqla-workloads` | Draper/ripple adders, modexp, QFT, Shor |
 //! | [`network`] | `cqla-network` | EPR purification, mesh, bandwidth (Fig 6b) |
 //! | [`core`] | `cqla-core` | the CQLA itself + the experiment registry + JSON |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use cqla_circuit as circuit;
+pub use cqla_compile as compile;
 pub use cqla_core as core;
 pub use cqla_dist as dist;
 pub use cqla_ecc as ecc;

@@ -123,7 +123,7 @@ fn shor_app_size_consistent_with_fidelity_requirements() {
 mod cli {
     use cqla_repro::core::experiments::{ids, registry};
 
-    use std::process::{Command, Output};
+    use std::process::{Command, Output, Stdio};
 
     /// Runs the compiled `cqla` binary with `args`.
     fn cqla(args: &[&str]) -> Output {
@@ -131,6 +131,26 @@ mod cli {
             .args(args)
             .output()
             .expect("cqla binary spawns")
+    }
+
+    /// Runs the compiled `cqla` binary with `args`, feeding `input` on
+    /// stdin (the `cqla compile -` path).
+    fn cqla_stdin(args: &[&str], input: &str) -> Output {
+        use std::io::Write as _;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cqla"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("cqla binary spawns");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("stdin written");
+        child.wait_with_output().expect("cqla completes")
     }
 
     fn stdout(out: &Output) -> String {
@@ -239,6 +259,9 @@ mod cli {
             &["sweep", "--spec-file"][..],
             &["bench-diff"][..],
             &["bench-diff", "a.json", "b.json", "--threshold", "0.2"][..],
+            &["compile"][..],
+            &["compile", "-", "source=random"][..],
+            &["compile", "-", "width=4,9"][..],
             &["--format", "yaml", "table", "4"][..],
             &["--threads", "0", "sweep", "quick"][..],
         ] {
@@ -350,7 +373,7 @@ mod cli {
     fn every_registry_artifact_and_the_builtin_grid_stay_byte_identical() {
         // The evaluation-core contract: bit-packing the stabilizer
         // kernel and memoizing shared sub-results must not move a single
-        // byte of any artifact. tests/golden/registry/ pins all 13
+        // byte of any artifact. tests/golden/registry/ pins all 14
         // registry entries; tests/golden/grid_sweep.json pins the
         // builtin 24-point grid sweep (threads must not matter).
         // Regenerate deliberately (cargo run --release --bin cqla --
@@ -369,6 +392,7 @@ mod cli {
             ("fig8b", include_str!("golden/registry/fig8b.json")),
             ("machine", include_str!("golden/registry/machine.json")),
             ("verify", include_str!("golden/registry/verify.json")),
+            ("compile", include_str!("golden/registry/compile.json")),
         ] {
             let out = cqla(&["run", id, "--format", "json"]);
             assert!(out.status.success(), "{id}: {:?}", out.status);
@@ -384,6 +408,82 @@ mod cli {
                 "builtin grid sweep drifted from golden (threads={threads})"
             );
         }
+    }
+
+    #[test]
+    fn compile_grids_over_seeds_match_the_committed_golden_document() {
+        // The compile determinism contract: a grid over generator seeds
+        // emits the merged document byte-stable across runs and thread
+        // counts, pinned by tests/golden/compile_grid.json. Regenerate
+        // deliberately (cargo run --release --bin cqla -- run compile
+        // "seed=1,2,3" --format json) when the model changes.
+        let golden = include_str!("golden/compile_grid.json");
+        let one = cqla(&["run", "compile", "seed=1,2,3", "--format", "json"]);
+        assert!(one.status.success(), "exit: {:?}", one.status);
+        assert_eq!(stdout(&one), golden, "compile grid drifted from golden");
+        let threaded = cqla(&[
+            "run",
+            "compile",
+            "seed=1,2,3",
+            "--format",
+            "json",
+            "--threads",
+            "3",
+        ]);
+        assert_eq!(stdout(&threaded), golden, "thread count must not matter");
+    }
+
+    #[test]
+    fn compile_subcommand_reads_files_and_stdin_identically() {
+        let dir = std::env::temp_dir().join("cqla-compile-e2e-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.asm");
+        let program = "h q0\ntoffoli q0, q1, q2\ncnot q0, q1\nmeasure q2\n";
+        std::fs::write(&path, program).unwrap();
+        let from_file = cqla(&[
+            "compile",
+            path.to_str().unwrap(),
+            "width=4",
+            "--format",
+            "json",
+        ]);
+        assert!(
+            from_file.status.success(),
+            "exit: {:?}\n{}",
+            from_file.status,
+            stderr(&from_file)
+        );
+        let doc = cqla_repro::sweep::json::parse(&stdout(&from_file)).unwrap();
+        assert_eq!(
+            doc.get("artifact").and_then(|v| v.as_str()),
+            Some("compile")
+        );
+        let source = doc
+            .get("data")
+            .and_then(|d| d.get("program"))
+            .and_then(|p| p.get("source"))
+            .and_then(|s| s.as_str());
+        assert_eq!(source, Some("inline-asm"), "a FILE implies inline-asm");
+        // `cqla compile -` reads the same program from stdin, byte for
+        // byte the same artifact.
+        let from_stdin = cqla_stdin(&["compile", "-", "width=4", "--format", "json"], program);
+        assert!(from_stdin.status.success(), "{}", stderr(&from_stdin));
+        assert_eq!(from_stdin.stdout, from_file.stdout, "stdin vs FILE");
+    }
+
+    #[test]
+    fn compile_subcommand_diagnoses_parse_errors_with_carets() {
+        let dir = std::env::temp_dir().join("cqla-compile-e2e-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.asm");
+        std::fs::write(&bad, "h q0\ntofoli q0, q1, q2\n").unwrap();
+        let out = cqla(&["compile", bad.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains("unknown mnemonic"), "{err}");
+        assert!(err.contains("^^^^^^"), "{err}");
+        assert!(err.contains("did you mean `toffoli`?"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]
@@ -654,7 +754,7 @@ mod cli {
     // exercise CI's release e2e job runs.
 
     mod serve {
-        use super::{cqla, stdout};
+        use super::{cqla, stderr, stdout};
         use std::io::{BufRead, BufReader, Read, Write};
         use std::net::TcpStream;
         use std::process::{Child, Command, Stdio};
@@ -860,6 +960,72 @@ mod cli {
             );
             let (status, _) = serve.post("/v1/shutdown", "");
             assert_eq!(status, 200);
+        }
+
+        #[test]
+        fn compile_route_is_byte_identical_to_the_cli_and_counted() {
+            let serve = Serve::start("2");
+            // An empty body compiles the default generated workload —
+            // byte-identical to `cqla run compile --format json`.
+            let cli = cqla(&["run", "compile", "--format", "json"]);
+            assert!(cli.status.success());
+            let (status, body) = serve.post("/v1/compile", "");
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(body, stdout(&cli), "empty body must match the CLI run");
+            // A program body with machine overrides matches the
+            // `cqla compile FILE` artifact byte for byte.
+            let program = "h q0\ntoffoli q0, q1, q2\nmeasure q2\n";
+            let dir = std::env::temp_dir().join("cqla-compile-http-test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("prog.asm");
+            std::fs::write(&path, program).unwrap();
+            let cli = cqla(&[
+                "compile",
+                path.to_str().unwrap(),
+                "width=4",
+                "--format",
+                "json",
+            ]);
+            assert!(cli.status.success(), "{}", stderr(&cli));
+            let (status, body) = serve.post("/v1/compile?width=4", program);
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(body, stdout(&cli), "HTTP compile must match CLI compile");
+            // The identical re-POST is served from the results cache,
+            // visible in the /v1/stats compile counters.
+            let (_, again) = serve.post("/v1/compile?width=4", program);
+            assert_eq!(again, body);
+            let (status, stats) = serve.get("/v1/stats");
+            assert_eq!(status, 200);
+            let doc = cqla_repro::sweep::json::parse(&stats).unwrap();
+            assert_eq!(
+                doc.get("compiles").and_then(|v| v.as_f64()),
+                Some(3.0),
+                "{stats}"
+            );
+            assert_eq!(
+                doc.get("compile_cache_hits").and_then(|v| v.as_f64()),
+                Some(1.0),
+                "{stats}"
+            );
+            let _ = serve.post("/v1/shutdown", "");
+        }
+
+        #[test]
+        fn compile_route_rejects_bad_programs_with_the_spanned_diagnostic() {
+            let serve = Serve::start("2");
+            let (status, body) = serve.post("/v1/compile", "h q0\ntofoli q0, q1, q2\n");
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("unknown mnemonic"), "{body}");
+            assert!(body.contains("did you mean `toffoli`?"), "{body}");
+            // A body alongside source=random is a conflict, not a
+            // silent override.
+            let (status, body) = serve.post("/v1/compile?source=random", "h q0\n");
+            assert_eq!(status, 400, "{body}");
+            assert!(body.contains("conflicts"), "{body}");
+            // The route is POST-only.
+            let (status, body) = serve.get("/v1/compile");
+            assert_eq!(status, 405, "{body}");
+            let _ = serve.post("/v1/shutdown", "");
         }
 
         #[test]

@@ -526,3 +526,46 @@ mod sweep_spec {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The compile front end: the seeded workload generator's output must
+// survive the asm front door losslessly — emit -> parse -> emit is
+// byte-identical for any (qubits, gates, seed) — and generation itself
+// must be a pure function of the seed, which is what makes `seed=` a
+// cache- and shard-stable parameter across CLI, HTTP, and fleets.
+
+mod compile_front_end {
+    use proptest::prelude::*;
+
+    use cqla_repro::circuit::asm;
+    use cqla_repro::compile::random::random_circuit;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_workloads_round_trip_through_asm(
+            qubits in 1u32..=32,
+            gates in 0u32..=256,
+            seed in any::<u64>(),
+        ) {
+            let circuit = random_circuit(qubits, gates, seed);
+            let text = asm::emit(&circuit);
+            let parsed = asm::parse(&text)
+                .unwrap_or_else(|e| panic!("generated programs must parse: {e}"));
+            prop_assert_eq!(asm::emit(&parsed), text);
+        }
+
+        #[test]
+        fn generation_is_a_pure_function_of_the_seed(
+            qubits in 1u32..=16,
+            gates in 0u32..=64,
+            seed in any::<u64>(),
+        ) {
+            prop_assert_eq!(
+                asm::emit(&random_circuit(qubits, gates, seed)),
+                asm::emit(&random_circuit(qubits, gates, seed))
+            );
+        }
+    }
+}
